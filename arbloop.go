@@ -1,0 +1,191 @@
+// Package arbloop is the public API of the arbitrage-loop profit
+// maximization library, a faithful reproduction of "Profit Maximization
+// In Arbitrage Loops" (Zhang et al., ICDCS 2024).
+//
+// # Overview
+//
+// On constant-product AMMs (Uniswap V2 style), a loop of liquidity pools
+// X→Y→Z→X is an arbitrage loop when the product of fee-adjusted spot
+// prices along it exceeds 1. This library finds such loops and maximizes
+// the *monetized* profit — the net token amounts valued at CEX prices —
+// with the paper's four strategies:
+//
+//   - Traditional: fix a start token, maximize P_t·(Δout − Δin). The
+//     loop composition is a closed-form Möbius map, so the optimum is
+//     Δ* = (√(AB) − B)/C.
+//   - MaxPrice: Traditional from the highest-priced loop token
+//     (shown unreliable by the paper).
+//   - MaxMax: Traditional from every token; take the best.
+//   - ConvexOptimization: the paper's problem (8), solved with a
+//     hand-rolled log-barrier interior-point method; provably ≥ MaxMax.
+//
+// # Quick start
+//
+//	p1, _ := arbloop.NewPool("p1", "X", "Y", 100, 200, arbloop.DefaultFee)
+//	p2, _ := arbloop.NewPool("p2", "Y", "Z", 300, 200, arbloop.DefaultFee)
+//	p3, _ := arbloop.NewPool("p3", "Z", "X", 200, 400, arbloop.DefaultFee)
+//	loop, _ := arbloop.NewLoop([]arbloop.Hop{
+//		{Pool: p1, TokenIn: "X"},
+//		{Pool: p2, TokenIn: "Y"},
+//		{Pool: p3, TokenIn: "Z"},
+//	})
+//	prices := arbloop.PriceMap{"X": 2, "Y": 10.2, "Z": 20}
+//	best, _ := arbloop.MaxMax(loop, prices)
+//	fmt.Printf("start %s, profit %.1f$\n", best.StartToken, best.Monetized)
+//
+// See examples/ for runnable programs and internal/experiments for the
+// harnesses that regenerate every figure and table of the paper.
+package arbloop
+
+import (
+	"arbloop/internal/amm"
+	"arbloop/internal/cex"
+	"arbloop/internal/cycles"
+	"arbloop/internal/experiments"
+	"arbloop/internal/graph"
+	"arbloop/internal/market"
+	"arbloop/internal/pathfind"
+	"arbloop/internal/strategy"
+)
+
+// DefaultFee is the Uniswap V2 pool fee (0.3%).
+const DefaultFee = amm.DefaultFee
+
+// Core AMM types.
+type (
+	// Pool is an analytic constant-product pool (float64 reserves).
+	Pool = amm.Pool
+	// Pair is the exact big.Int Uniswap V2 pair.
+	Pair = amm.Pair
+	// Mobius is the composed swap map A·Δ/(B + C·Δ).
+	Mobius = amm.Mobius
+)
+
+// Strategy types.
+type (
+	// Hop is one swap of a loop.
+	Hop = strategy.Hop
+	// Loop is a validated arbitrage loop.
+	Loop = strategy.Loop
+	// PriceMap maps token keys to CEX USD prices.
+	PriceMap = strategy.PriceMap
+	// Result is a strategy outcome.
+	Result = strategy.Result
+	// TradePlan is the per-hop flow of a result.
+	TradePlan = strategy.TradePlan
+	// ConvexOptions tunes the ConvexOptimization solver.
+	ConvexOptions = strategy.ConvexOptions
+	// Kind identifies a strategy.
+	Kind = strategy.Kind
+)
+
+// Strategy kinds.
+const (
+	KindTraditional = strategy.KindTraditional
+	KindMaxPrice    = strategy.KindMaxPrice
+	KindMaxMax      = strategy.KindMaxMax
+	KindConvex      = strategy.KindConvex
+)
+
+// Market and detection types.
+type (
+	// Snapshot is a market snapshot (tokens, pools, CEX prices).
+	Snapshot = market.Snapshot
+	// PoolRecord is one pool inside a snapshot.
+	PoolRecord = market.PoolRecord
+	// GeneratorConfig tunes the synthetic market generator.
+	GeneratorConfig = market.GeneratorConfig
+	// Graph is the token exchange graph.
+	Graph = graph.Graph
+	// Cycle is an undirected simple cycle of pools.
+	Cycle = cycles.Cycle
+	// Directed is an oriented traversal of a cycle.
+	Directed = cycles.Directed
+	// Oracle supplies CEX prices.
+	Oracle = cex.Oracle
+	// PriceClientOptions tunes the HTTP price client.
+	PriceClientOptions = cex.ClientOptions
+)
+
+// Pool and loop construction.
+var (
+	// NewPool validates and builds an analytic pool.
+	NewPool = amm.NewPool
+	// NewPair builds an exact integer pair.
+	NewPair = amm.NewPair
+	// NewLoop validates a hop sequence into a Loop.
+	NewLoop = strategy.NewLoop
+)
+
+// Strategies (the paper's contribution).
+var (
+	// Traditional maximizes profit from a fixed start token.
+	Traditional = strategy.Traditional
+	// TraditionalAll runs Traditional from every loop token.
+	TraditionalAll = strategy.TraditionalAll
+	// MaxPrice starts from the highest-priced token.
+	MaxPrice = strategy.MaxPrice
+	// MaxMax takes the best Traditional start (paper eq. 6).
+	MaxMax = strategy.MaxMax
+	// Convex solves the paper's problem (8).
+	Convex = strategy.Convex
+	// ConvexRisky solves the shorting-allowed relaxation the paper
+	// mentions in §IV but declines to evaluate (extension).
+	ConvexRisky = strategy.ConvexRisky
+	// VerifyNoArbEquivalence checks the §IV no-arbitrage theorem.
+	VerifyNoArbEquivalence = strategy.VerifyNoArbEquivalence
+)
+
+// Loop detection.
+var (
+	// BuildGraph constructs a token exchange graph from pools.
+	BuildGraph = graph.Build
+	// EnumerateCycles lists simple cycles with length bounds.
+	EnumerateCycles = cycles.Enumerate
+	// ArbitrageLoops keeps the profitable orientations of cycles.
+	ArbitrageLoops = cycles.ArbitrageLoops
+	// JohnsonCircuits enumerates elementary circuits (related work).
+	JohnsonCircuits = cycles.Johnson
+	// FindNegativeCycle runs Bellman–Ford–Moore arbitrage detection.
+	FindNegativeCycle = cycles.BellmanFordMoore
+	// LoopFromDirected converts a detected cycle into a Loop.
+	LoopFromDirected = experiments.LoopFromDirected
+)
+
+// Market utilities.
+var (
+	// GenerateMarket builds a deterministic synthetic snapshot.
+	GenerateMarket = market.Generate
+	// DefaultGeneratorConfig reproduces the paper's §VI statistics.
+	DefaultGeneratorConfig = market.DefaultGeneratorConfig
+	// LoadSnapshot reads a snapshot from JSON.
+	LoadSnapshot = market.Load
+)
+
+// CEX price oracles.
+var (
+	// NewStaticOracle wraps a fixed price table.
+	NewStaticOracle = cex.NewStatic
+	// NewPriceServer serves a CoinGecko-style price API.
+	NewPriceServer = cex.NewServer
+	// NewPriceClient fetches prices over HTTP with TTL caching.
+	NewPriceClient = cex.NewClient
+)
+
+// Order routing (related work [8], Danos et al.).
+type (
+	// Route is one candidate swap path with its evaluation.
+	Route = pathfind.Route
+	// Split is an optimal allocation across parallel routes.
+	Split = pathfind.Split
+)
+
+// Order routing functions.
+var (
+	// BestRoute finds the output-maximizing path between two tokens.
+	BestRoute = pathfind.BestRoute
+	// AllRoutes enumerates candidate paths sorted by output.
+	AllRoutes = pathfind.AllRoutes
+	// OptimalSplit water-fills an input across parallel routes.
+	OptimalSplit = pathfind.OptimalSplit
+)

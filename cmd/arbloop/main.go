@@ -1,0 +1,353 @@
+// Command arbloop is the library's CLI: generate synthetic markets,
+// detect arbitrage loops, and compare the paper's four profit-maximization
+// strategies.
+//
+// Usage:
+//
+//	arbloop gen      [-seed N] [-tokens N] [-pools N] [-o FILE]
+//	arbloop detect   [-snapshot FILE] [-len N] [-top N]
+//	arbloop optimize [-snapshot FILE] [-len N] [-loop N]
+//	arbloop execute  [-snapshot FILE] [-len N] [-loop N]
+//
+// Without -snapshot the paper-calibrated synthetic market is generated in
+// memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"sort"
+
+	"arbloop/internal/chain"
+	"arbloop/internal/cycles"
+	"arbloop/internal/experiments"
+	"arbloop/internal/graph"
+	"arbloop/internal/market"
+	"arbloop/internal/plot"
+	"arbloop/internal/strategy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "arbloop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "detect":
+		return cmdDetect(args[1:])
+	case "optimize":
+		return cmdOptimize(args[1:])
+	case "execute":
+		return cmdExecute(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `arbloop — arbitrage-loop profit maximization (Zhang et al., ICDCS 2024)
+
+subcommands:
+  gen       generate a synthetic market snapshot as JSON
+  detect    list arbitrage loops in a snapshot
+  optimize  compare Traditional/MaxPrice/MaxMax/Convex on a loop
+  execute   run the best convex plan atomically on the chain simulator`)
+}
+
+func loadOrGenerate(path string, seed int64) (*market.Snapshot, error) {
+	if path == "" {
+		cfg := market.DefaultGeneratorConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return market.Generate(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open snapshot: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return market.Load(f)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 0, "generator seed (0 = paper default)")
+	tokens := fs.Int("tokens", 0, "token count (0 = paper's 51)")
+	pools := fs.Int("pools", 0, "pool count (0 = paper's 208)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := market.DefaultGeneratorConfig()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *tokens > 0 {
+		cfg.Tokens = *tokens
+	}
+	if *pools > 0 {
+		cfg.Pools = *pools
+	}
+	snap, err := market.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	if err := snap.Save(w); err != nil {
+		return err
+	}
+	st := snap.Stats()
+	fmt.Fprintf(os.Stderr, "generated %d tokens, %d pools, total TVL $%.0f\n", st.Tokens, st.Pools, st.TotalTVL)
+	return nil
+}
+
+// detectLoops runs the shared detection pipeline.
+func detectLoops(snap *market.Snapshot, loopLen int) (*graph.Graph, []cycles.Directed, error) {
+	filtered := snap.FilterPools(30_000, 100)
+	g, err := filtered.BuildGraph()
+	if err != nil {
+		return nil, nil, err
+	}
+	cs, err := cycles.Enumerate(g, loopLen, loopLen, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	loops, err := cycles.ArbitrageLoops(g, cs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, loops, nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	snapshot := fs.String("snapshot", "", "snapshot JSON (default: generate synthetic)")
+	seed := fs.Int64("seed", 0, "generator seed when generating")
+	loopLen := fs.Int("len", 3, "loop length")
+	top := fs.Int("top", 20, "show the N most profitable loops")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := loadOrGenerate(*snapshot, *seed)
+	if err != nil {
+		return err
+	}
+	g, loops, err := detectLoops(snap, *loopLen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d tokens, %d pools; %d arbitrage loops of length %d\n",
+		g.NumNodes(), g.NumEdges(), len(loops), *loopLen)
+
+	prices := strategy.PriceMap(snap.PricesUSD)
+	type scored struct {
+		idx  int
+		loop *strategy.Loop
+		mm   strategy.Result
+	}
+	rows := make([]scored, 0, len(loops))
+	for i, d := range loops {
+		loop, err := experiments.LoopFromDirected(g, d)
+		if err != nil {
+			return err
+		}
+		mm, err := strategy.MaxMax(loop, prices)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, scored{idx: i, loop: loop, mm: mm})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mm.Monetized > rows[j].mm.Monetized })
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
+	}
+	tbl := plot.Table{Columns: []string{"#", "loop", "best start", "MaxMax profit ($)"}}
+	for _, r := range rows {
+		tbl.AddRow(fmt.Sprint(r.idx), r.loop.String(), r.mm.StartToken, fmt.Sprintf("%.2f", r.mm.Monetized))
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	snapshot := fs.String("snapshot", "", "snapshot JSON (default: generate synthetic)")
+	seed := fs.Int64("seed", 0, "generator seed when generating")
+	loopLen := fs.Int("len", 3, "loop length")
+	loopIdx := fs.Int("loop", -1, "loop index from `detect` (-1 = most profitable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := loadOrGenerate(*snapshot, *seed)
+	if err != nil {
+		return err
+	}
+	g, loops, err := detectLoops(snap, *loopLen)
+	if err != nil {
+		return err
+	}
+	if len(loops) == 0 {
+		return fmt.Errorf("no arbitrage loops of length %d", *loopLen)
+	}
+	prices := strategy.PriceMap(snap.PricesUSD)
+
+	pick := *loopIdx
+	if pick < 0 {
+		best := -1.0
+		for i, d := range loops {
+			loop, err := experiments.LoopFromDirected(g, d)
+			if err != nil {
+				return err
+			}
+			mm, err := strategy.MaxMax(loop, prices)
+			if err != nil {
+				return err
+			}
+			if mm.Monetized > best {
+				best, pick = mm.Monetized, i
+			}
+		}
+	}
+	if pick >= len(loops) {
+		return fmt.Errorf("loop index %d out of range (%d loops)", pick, len(loops))
+	}
+	loop, err := experiments.LoopFromDirected(g, loops[pick])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loop #%d: %s\n", pick, loop)
+
+	tbl := plot.Table{Columns: []string{"strategy", "start", "input", "monetized profit ($)"}}
+	all, err := strategy.TraditionalAll(loop, prices)
+	if err != nil {
+		return err
+	}
+	for _, r := range all {
+		tbl.AddRow("Traditional", r.StartToken, fmt.Sprintf("%.4f", r.Input), fmt.Sprintf("%.4f", r.Monetized))
+	}
+	mp, err := strategy.MaxPrice(loop, prices)
+	if err != nil {
+		return err
+	}
+	tbl.AddRow("MaxPrice", mp.StartToken, fmt.Sprintf("%.4f", mp.Input), fmt.Sprintf("%.4f", mp.Monetized))
+	mm, err := strategy.MaxMax(loop, prices)
+	if err != nil {
+		return err
+	}
+	tbl.AddRow("MaxMax", mm.StartToken, fmt.Sprintf("%.4f", mm.Input), fmt.Sprintf("%.4f", mm.Monetized))
+	cv, err := strategy.Convex(loop, prices, strategy.ConvexOptions{})
+	if err != nil {
+		return err
+	}
+	tbl.AddRow("Convex", "(all)", fmt.Sprintf("%.4f", cv.Plan.Inputs[0]), fmt.Sprintf("%.4f", cv.Monetized))
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("convex net tokens: %v\n", cv.NetTokens)
+	return nil
+}
+
+func cmdExecute(args []string) error {
+	fs := flag.NewFlagSet("execute", flag.ContinueOnError)
+	snapshot := fs.String("snapshot", "", "snapshot JSON (default: generate synthetic)")
+	seed := fs.Int64("seed", 0, "generator seed when generating")
+	loopLen := fs.Int("len", 3, "loop length")
+	loopIdx := fs.Int("loop", -1, "loop index (-1 = most profitable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := loadOrGenerate(*snapshot, *seed)
+	if err != nil {
+		return err
+	}
+	g, loops, err := detectLoops(snap, *loopLen)
+	if err != nil {
+		return err
+	}
+	if len(loops) == 0 {
+		return fmt.Errorf("no arbitrage loops of length %d", *loopLen)
+	}
+	prices := strategy.PriceMap(snap.PricesUSD)
+
+	pick := *loopIdx
+	if pick < 0 {
+		best := -1.0
+		for i, d := range loops {
+			loop, err := experiments.LoopFromDirected(g, d)
+			if err != nil {
+				return err
+			}
+			mm, err := strategy.MaxMax(loop, prices)
+			if err != nil {
+				return err
+			}
+			if mm.Monetized > best {
+				best, pick = mm.Monetized, i
+			}
+		}
+	}
+	loop, err := experiments.LoopFromDirected(g, loops[pick])
+	if err != nil {
+		return err
+	}
+	mm, err := strategy.MaxMax(loop, prices)
+	if err != nil {
+		return err
+	}
+
+	// Mirror the filtered snapshot onto the chain simulator, scaling token
+	// units to 1e6 integer base units.
+	const scale = 1_000_000
+	state := chain.NewState(1_693_526_400)
+	filtered := snap.FilterPools(30_000, 100)
+	for _, p := range filtered.Pools {
+		r0 := new(big.Int).SetInt64(int64(p.Reserve0 * scale))
+		r1 := new(big.Int).SetInt64(int64(p.Reserve1 * scale))
+		if err := state.AddPool(p.ID, p.Token0, p.Token1, r0, r1, 30); err != nil {
+			return err
+		}
+	}
+	rot := mm.Loop
+	steps := make([]chain.SwapStep, rot.Len())
+	for i := 0; i < rot.Len(); i++ {
+		steps[i] = chain.SwapStep{PairID: rot.Hop(i).Pool.ID, TokenIn: rot.Tokens()[i]}
+	}
+	tx := chain.Tx{
+		Borrow: mm.StartToken,
+		Amount: big.NewInt(int64(mm.Input * scale)),
+		Steps:  steps,
+	}
+	rcpt := state.ExecuteTx(tx)
+	if !rcpt.OK {
+		return fmt.Errorf("execution reverted: %w", rcpt.Err)
+	}
+	fmt.Printf("executed %s atomically: borrowed %.4f %s, profit:\n", rot, mm.Input, mm.StartToken)
+	for tok, amt := range rcpt.Profit {
+		f, _ := new(big.Float).Quo(new(big.Float).SetInt(amt), big.NewFloat(scale)).Float64()
+		fmt.Printf("  %-8s %+.6f (≈ $%.2f)\n", tok, f, f*prices[tok])
+	}
+	return nil
+}

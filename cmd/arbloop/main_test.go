@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// snapshotFile generates a small snapshot on disk for the subcommands.
+func snapshotFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := run([]string{"gen", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args: want error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand: want error")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestGenAndDetect(t *testing.T) {
+	path := snapshotFile(t)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"detect", "-snapshot", path, "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectGeneratedMarket(t *testing.T) {
+	if err := run([]string{"detect", "-top", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimize(t *testing.T) {
+	path := snapshotFile(t)
+	if err := run([]string{"optimize", "-snapshot", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range loop index.
+	if err := run([]string{"optimize", "-snapshot", path, "-loop", "99999"}); err == nil {
+		t.Error("out-of-range loop: want error")
+	}
+}
+
+func TestExecute(t *testing.T) {
+	path := snapshotFile(t)
+	if err := run([]string{"execute", "-snapshot", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectMissingSnapshotFile(t *testing.T) {
+	if err := run([]string{"detect", "-snapshot", "/nonexistent/snap.json"}); err == nil {
+		t.Error("missing file: want error")
+	}
+}

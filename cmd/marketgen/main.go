@@ -1,0 +1,75 @@
+// Command marketgen writes a synthetic Uniswap-V2-style market snapshot
+// as JSON. With no flags it reproduces the paper's §VI statistics
+// (51 tokens, 208 pools above the TVL/reserve floor, 123 length-3
+// arbitrage loops).
+//
+// Usage:
+//
+//	marketgen [-seed N] [-tokens N] [-pools N] [-hubs N] [-sigma S] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arbloop/internal/market"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "marketgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("marketgen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 0, "RNG seed (0 = paper default)")
+	tokens := fs.Int("tokens", 0, "number of tokens (0 = 51)")
+	pools := fs.Int("pools", 0, "number of pools (0 = 208)")
+	hubs := fs.Int("hubs", 0, "number of hub tokens (0 = 5)")
+	sigma := fs.Float64("sigma", 0, "mispricing sigma (0 = calibrated default, <0 = none)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := market.DefaultGeneratorConfig()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *tokens > 0 {
+		cfg.Tokens = *tokens
+	}
+	if *pools > 0 {
+		cfg.Pools = *pools
+	}
+	if *hubs > 0 {
+		cfg.Hubs = *hubs
+	}
+	if *sigma != 0 {
+		cfg.MispricingSigma = *sigma
+	}
+	snap, err := market.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	if err := snap.Save(w); err != nil {
+		return err
+	}
+	st := snap.Stats()
+	fmt.Fprintf(os.Stderr, "marketgen: %d tokens, %d pools, total TVL $%.0f, median TVL $%.0f\n",
+		st.Tokens, st.Pools, st.TotalTVL, st.MedianTVL)
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"arbloop/internal/market"
+)
+
+func TestRunWritesSnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "snap.json")
+	if err := run([]string{"-seed", "7", "-tokens", "12", "-pools", "25", "-hubs", "2", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	snap, err := market.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Tokens) != 12 || len(snap.Pools) != 25 {
+		t.Errorf("snapshot = %d tokens, %d pools", len(snap.Tokens), len(snap.Pools))
+	}
+}
+
+func TestRunDefaultConfig(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "snap.json")
+	if err := run([]string{"-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	snap, err := market.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Tokens) != 51 || len(snap.Pools) != 208 {
+		t.Errorf("default snapshot = %d tokens, %d pools; want 51, 208", len(snap.Tokens), len(snap.Pools))
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag: want error")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	if err := run([]string{"-tokens", "3", "-hubs", "5", "-o", filepath.Join(t.TempDir(), "x.json")}); err == nil {
+		t.Error("hubs > tokens: want error")
+	}
+}

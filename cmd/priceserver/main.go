@@ -1,0 +1,87 @@
+// Command priceserver runs the CoinGecko-style CEX price API simulator.
+// Prices come from a market snapshot JSON (or the default synthetic
+// market when no snapshot is given).
+//
+// Usage:
+//
+//	priceserver [-addr :8377] [-snapshot FILE]
+//
+// Endpoint:
+//
+//	GET /simple/price?ids=WETH,USDC&vs_currencies=usd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"arbloop/internal/cex"
+	"arbloop/internal/market"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "priceserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("priceserver", flag.ContinueOnError)
+	addr := fs.String("addr", ":8377", "listen address")
+	snapshot := fs.String("snapshot", "", "snapshot JSON with prices (default: synthetic)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prices, err := loadPrices(*snapshot)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "priceserver: serving %d prices on %s\n", len(prices), ln.Addr())
+	return serve(ln, prices)
+}
+
+// loadPrices reads the price table from a snapshot file, or generates the
+// default synthetic market when path is empty.
+func loadPrices(path string) (map[string]float64, error) {
+	if path == "" {
+		snap, err := market.Generate(market.DefaultGeneratorConfig())
+		if err != nil {
+			return nil, err
+		}
+		return snap.PricesUSD, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open snapshot: %w", err)
+	}
+	snap, err := market.Load(f)
+	closeErr := f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, fmt.Errorf("close snapshot: %w", closeErr)
+	}
+	return snap.PricesUSD, nil
+}
+
+// serve blocks serving the price API on the listener until it is closed.
+func serve(ln net.Listener, prices map[string]float64) error {
+	srv := &http.Server{
+		Handler:           cex.NewServer(cex.NewStatic(prices)),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

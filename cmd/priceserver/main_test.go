@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"arbloop/internal/cex"
+	"arbloop/internal/market"
+)
+
+func TestLoadPricesDefault(t *testing.T) {
+	prices, err := loadPrices("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prices) != 51 {
+		t.Errorf("default prices = %d symbols, want 51", len(prices))
+	}
+	if prices["WETH"] <= 0 {
+		t.Errorf("WETH price = %g", prices["WETH"])
+	}
+}
+
+func TestLoadPricesFromSnapshot(t *testing.T) {
+	snap, err := market.Generate(market.GeneratorConfig{Seed: 9, Tokens: 10, Pools: 15, Hubs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	prices, err := loadPrices(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prices) != 10 {
+		t.Errorf("prices = %d symbols, want 10", len(prices))
+	}
+}
+
+func TestLoadPricesMissingFile(t *testing.T) {
+	if _, err := loadPrices("/nonexistent/snap.json"); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, map[string]float64{"AAA": 1.5}) }()
+
+	client := cex.NewClient("http://"+ln.Addr().String(), cex.ClientOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	p, err := client.Price(ctx, "AAA")
+	if err != nil || p != 1.5 {
+		t.Errorf("Price = %g, %v", p, err)
+	}
+
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			return // closed listener surfaces as ErrServerClosed → nil or use-of-closed error
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not stop after listener close")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag: want error")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run([]string{"-addr", "256.256.256.256:99999"}); err == nil {
+		t.Error("bad address: want error")
+	}
+}

@@ -1,0 +1,105 @@
+// Liveoracle shows the networked price path a production arbitrage bot
+// would use: it starts the CoinGecko-style price API simulator on a local
+// port, fetches prices through the TTL-caching HTTP client, and monetizes
+// a detected arbitrage loop with the fetched prices.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"arbloop"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Generate the calibrated market and detect loops.
+	snap, err := arbloop.GenerateMarket(arbloop.DefaultGeneratorConfig())
+	if err != nil {
+		return err
+	}
+	filtered := snap.FilterPools(30_000, 100)
+	g, err := filtered.BuildGraph()
+	if err != nil {
+		return err
+	}
+	cs, err := arbloop.EnumerateCycles(g, 3, 3, 0)
+	if err != nil {
+		return err
+	}
+	loops, err := arbloop.ArbitrageLoops(g, cs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detected %d arbitrage loops\n", len(loops))
+
+	// Serve the snapshot's CEX prices over HTTP on an ephemeral port.
+	oracle := arbloop.NewStaticOracle(filtered.PricesUSD)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           arbloop.NewPriceServer(oracle),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	}()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("price API serving on %s\n", baseURL)
+
+	// Fetch prices through the caching client and optimize each loop.
+	client := arbloop.NewPriceClient(baseURL, arbloop.PriceClientOptions{TTL: 30 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	bestProfit := -1.0
+	var bestLoop *arbloop.Loop
+	for _, d := range loops {
+		loop, err := arbloop.LoopFromDirected(g, d)
+		if err != nil {
+			return err
+		}
+		fetched, err := client.Prices(ctx, loop.Tokens())
+		if err != nil {
+			return fmt.Errorf("fetch prices: %w", err)
+		}
+		mm, err := arbloop.MaxMax(loop, arbloop.PriceMap(fetched))
+		if err != nil {
+			return err
+		}
+		if mm.Monetized > bestProfit {
+			bestProfit, bestLoop = mm.Monetized, loop
+		}
+	}
+	fmt.Printf("best loop via HTTP-fetched prices: %s at $%.2f\n", bestLoop, bestProfit)
+
+	// Second pass hits the cache: no additional upstream requests.
+	start := time.Now()
+	for _, d := range loops[:10] {
+		loop, err := arbloop.LoopFromDirected(g, d)
+		if err != nil {
+			return err
+		}
+		if _, err := client.Prices(ctx, loop.Tokens()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("10 cached re-fetches took %v (served from TTL cache)\n", time.Since(start).Round(time.Microsecond))
+	return nil
+}

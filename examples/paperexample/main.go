@@ -1,0 +1,87 @@
+// Paperexample reproduces Section V of the paper end to end: the
+// per-start table (T1), the MaxPrice failure at P_x ≈ 15$, and the
+// Fig. 2/3 sweeps, printing paper-vs-measured values side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"arbloop/internal/experiments"
+	"arbloop/internal/plot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// T1: the worked example.
+	t1, err := experiments.TableT1()
+	if err != nil {
+		return err
+	}
+	tbl := plot.Table{
+		Title:   "Section V worked example — paper vs measured",
+		Columns: []string{"quantity", "paper", "measured"},
+	}
+	paper := map[string][3]float64{
+		"X": {27.0, 16.8, 33.7},
+		"Y": {31.5, 19.7, 201.1},
+		"Z": {16.4, 10.3, 205.6},
+	}
+	for _, s := range t1.Starts {
+		p := paper[s.Start]
+		tbl.AddRow(fmt.Sprintf("input from %s", s.Start), fmt.Sprintf("%.1f", p[0]), fmt.Sprintf("%.2f", s.Input))
+		tbl.AddRow(fmt.Sprintf("profit (%s)", s.Start), fmt.Sprintf("%.1f", p[1]), fmt.Sprintf("%.2f", s.Profit))
+		tbl.AddRow(fmt.Sprintf("monetized from %s ($)", s.Start), fmt.Sprintf("%.1f", p[2]), fmt.Sprintf("%.2f", s.Monetized))
+	}
+	tbl.AddRow("MaxMax ($)", "205.6", fmt.Sprintf("%.2f (start %s)", t1.MaxMaxMonetized, t1.MaxMaxStart))
+	tbl.AddRow("Convex ($)", "206.1", fmt.Sprintf("%.2f", t1.ConvexMonetized))
+	tbl.AddRow("Convex net Y", "5.0", fmt.Sprintf("%.2f", t1.ConvexNet["Y"]))
+	tbl.AddRow("Convex net Z", "7.7", fmt.Sprintf("%.2f", t1.ConvexNet["Z"]))
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nConvex trade plan (paper: 31.3 X→47.6 Y, 42.6 Y→24.8 Z, 17.1 Z→31.3 X):\n")
+	labels := []string{"X→Y", "Y→Z", "Z→X"}
+	for i, lbl := range labels {
+		fmt.Printf("  %s: in %.2f out %.2f\n", lbl, t1.ConvexInputs[i], t1.ConvexOutputs[i])
+	}
+
+	// The Fig. 2 sweep and the MaxPrice failure the paper highlights: at
+	// P_x ≈ 15$ the X start beats the Z start even though P_z = 20$ is
+	// the highest CEX price.
+	rows, err := experiments.PxSweep(0.2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFig. 2/3 sweep (%d price points):\n", len(rows))
+	for _, r := range rows {
+		if r.Px == 15.0 {
+			fmt.Printf("  at Px=15$: start-X profit $%.1f vs MaxPrice (Z) $%.1f → MaxPrice unreliable\n",
+				r.StartX, r.MaxPrice)
+		}
+	}
+	var worstGap, worstPx float64
+	for _, r := range rows {
+		if gap := r.MaxMax - r.MaxPrice; gap > worstGap {
+			worstGap, worstPx = gap, r.Px
+		}
+	}
+	fmt.Printf("  largest MaxPrice shortfall: $%.1f at Px=%.1f$\n", worstGap, worstPx)
+
+	var convexWins int
+	for _, r := range rows {
+		if r.Convex > r.MaxMax+1e-6 {
+			convexWins++
+		}
+	}
+	fmt.Printf("  Convex strictly above MaxMax at %d/%d sweep points (equal elsewhere)\n",
+		convexWins, len(rows))
+	return nil
+}

@@ -1,0 +1,73 @@
+package amm
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzGetAmountOut differentially fuzzes the exact integer swap against
+// the analytic float64 pool: the integer result must never exceed the
+// real-valued swap and must stay within its truncation distance, and the
+// fee-adjusted K invariant must hold exactly.
+func FuzzGetAmountOut(f *testing.F) {
+	f.Add(uint64(100_000_000), uint64(200_000_000), uint64(27_000_000))
+	f.Add(uint64(1), uint64(1), uint64(1))
+	f.Add(uint64(1_000_000), uint64(1), uint64(999_999))
+	f.Add(uint64(1<<50), uint64(1<<40), uint64(1<<30))
+
+	f.Fuzz(func(t *testing.T, rinU, routU, inU uint64) {
+		// Clamp into ranges where the float64 comparison stays meaningful
+		// (the integer path itself works beyond 2^53; the float oracle
+		// does not).
+		rin := rinU%(1<<48) + 1
+		rout := routU%(1<<48) + 1
+		in := inU%(1<<40) + 1
+
+		rinB := new(big.Int).SetUint64(rin)
+		routB := new(big.Int).SetUint64(rout)
+		inB := new(big.Int).SetUint64(in)
+
+		out, err := GetAmountOut(inB, rinB, routB, 30)
+		if err != nil {
+			t.Fatalf("GetAmountOut(%d, %d, %d): %v", in, rin, rout, err)
+		}
+		if out.Sign() < 0 {
+			t.Fatalf("negative output %s", out)
+		}
+		if out.Cmp(routB) >= 0 {
+			t.Fatalf("output %s >= reserve %d", out, rout)
+		}
+
+		// Analytic comparison.
+		pool, err := NewPool("f", "A", "B", float64(rin), float64(rout), 0.003)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic, err := pool.AmountOut("A", float64(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outF, _ := new(big.Float).SetInt(out).Float64()
+		// Integer result ≤ analytic (+ float noise), and within 2 units +
+		// relative float error below it.
+		tol := 2 + 1e-9*analytic
+		if outF > analytic+tol {
+			t.Fatalf("integer %g above analytic %g", outF, analytic)
+		}
+		if outF < analytic-tol {
+			t.Fatalf("integer %g more than truncation below analytic %g", outF, analytic)
+		}
+
+		// Exact fee-adjusted invariant: (rin·D + in·(D−fee))·(rout−out) ≥ rin·rout·D.
+		d := big.NewInt(FeeDenominator)
+		keep := big.NewInt(FeeDenominator - 30)
+		lhs := new(big.Int).Mul(rinB, d)
+		lhs.Add(lhs, new(big.Int).Mul(inB, keep))
+		lhs.Mul(lhs, new(big.Int).Sub(routB, out))
+		rhs := new(big.Int).Mul(rinB, routB)
+		rhs.Mul(rhs, d)
+		if lhs.Cmp(rhs) < 0 {
+			t.Fatalf("fee-adjusted K violated: %s < %s", lhs, rhs)
+		}
+	})
+}

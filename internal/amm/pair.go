@@ -1,0 +1,348 @@
+package amm
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// The integer Pair mirrors the UniswapV2Pair contract. All arithmetic is
+// exact big.Int; rounding matches the Solidity implementation (integer
+// division truncates toward zero, getAmountIn rounds up by adding 1).
+
+// FeeDenominator is the basis of the fee expressed in basis points
+// (Uniswap V2's 0.3% fee is 30 bps, i.e. 9970/10000 kept — arithmetically
+// identical to the contract's 997/1000).
+const FeeDenominator = 10_000
+
+// DefaultFeeBps is the Uniswap V2 fee in basis points.
+const DefaultFeeBps = 30
+
+// MinimumLiquidity is permanently locked on first mint, as in the contract.
+const MinimumLiquidity = 1_000
+
+// Errors returned by Pair operations, mirroring the contract's revert
+// reasons.
+var (
+	ErrInsufficientLiquidity       = errors.New("amm: insufficient liquidity")
+	ErrInsufficientInputAmount     = errors.New("amm: insufficient input amount")
+	ErrInsufficientOutputAmount    = errors.New("amm: insufficient output amount")
+	ErrInsufficientLiquidityMinted = errors.New("amm: insufficient liquidity minted")
+	ErrInsufficientLiquidityBurned = errors.New("amm: insufficient liquidity burned")
+	ErrKInvariant                  = errors.New("amm: K invariant violated")
+	ErrOverflow                    = errors.New("amm: reserve overflow")
+)
+
+// maxUint112 bounds reserves exactly as the contract's uint112 does.
+var maxUint112 = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 112), big.NewInt(1))
+
+// Pair is an exact-integer Uniswap V2 pair. It is safe for concurrent use.
+type Pair struct {
+	mu sync.Mutex
+
+	// token0, token1 are opaque token keys sorted so token0 < token1.
+	token0, token1 string
+	reserve0       *big.Int
+	reserve1       *big.Int
+	feeBps         int64
+
+	totalSupply *big.Int            // liquidity tokens outstanding
+	balances    map[string]*big.Int // liquidity token balances by provider id
+
+	// price accumulators emulate price0CumulativeLast/price1CumulativeLast;
+	// units are (reserve ratio) · seconds with float64 precision, which is
+	// sufficient for TWAP analytics in the simulator.
+	price0Cumulative, price1Cumulative float64
+	lastTimestamp                      int64
+}
+
+// NewPair creates an empty pair. Token keys are stored in the given order;
+// callers should pre-sort (token.Address.Less) to follow the Uniswap
+// convention.
+func NewPair(token0, token1 string, feeBps int64) (*Pair, error) {
+	if token0 == token1 {
+		return nil, fmt.Errorf("amm: pair tokens must differ, both %q", token0)
+	}
+	if feeBps < 0 || feeBps >= FeeDenominator {
+		return nil, fmt.Errorf("%w: fee %d bps", ErrInvalidFee, feeBps)
+	}
+	return &Pair{
+		token0:      token0,
+		token1:      token1,
+		reserve0:    new(big.Int),
+		reserve1:    new(big.Int),
+		feeBps:      feeBps,
+		totalSupply: new(big.Int),
+		balances:    make(map[string]*big.Int),
+	}, nil
+}
+
+// Token0 returns the first token key.
+func (p *Pair) Token0() string { return p.token0 }
+
+// Token1 returns the second token key.
+func (p *Pair) Token1() string { return p.token1 }
+
+// FeeBps returns the fee in basis points.
+func (p *Pair) FeeBps() int64 { return p.feeBps }
+
+// Reserves returns copies of the current reserves.
+func (p *Pair) Reserves() (r0, r1 *big.Int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return new(big.Int).Set(p.reserve0), new(big.Int).Set(p.reserve1)
+}
+
+// K returns the current invariant reserve0·reserve1.
+func (p *Pair) K() *big.Int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return new(big.Int).Mul(p.reserve0, p.reserve1)
+}
+
+// TotalSupply returns the outstanding liquidity token supply.
+func (p *Pair) TotalSupply() *big.Int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return new(big.Int).Set(p.totalSupply)
+}
+
+// LiquidityBalance returns provider's liquidity token balance.
+func (p *Pair) LiquidityBalance(provider string) *big.Int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.balances[provider]; ok {
+		return new(big.Int).Set(b)
+	}
+	return new(big.Int)
+}
+
+// GetAmountOut implements UniswapV2Library.getAmountOut with the pair's fee:
+// out = in·(D−fee)·r_out / (r_in·D + in·(D−fee)), truncated.
+func GetAmountOut(amountIn, reserveIn, reserveOut *big.Int, feeBps int64) (*big.Int, error) {
+	if amountIn == nil || amountIn.Sign() <= 0 {
+		return nil, ErrInsufficientInputAmount
+	}
+	if reserveIn.Sign() <= 0 || reserveOut.Sign() <= 0 {
+		return nil, ErrInsufficientLiquidity
+	}
+	keep := big.NewInt(FeeDenominator - feeBps)
+	inWithFee := new(big.Int).Mul(amountIn, keep)
+	num := new(big.Int).Mul(inWithFee, reserveOut)
+	den := new(big.Int).Mul(reserveIn, big.NewInt(FeeDenominator))
+	den.Add(den, inWithFee)
+	return num.Quo(num, den), nil
+}
+
+// GetAmountIn implements UniswapV2Library.getAmountIn (rounds up):
+// in = r_in·out·D / ((r_out−out)·(D−fee)) + 1.
+func GetAmountIn(amountOut, reserveIn, reserveOut *big.Int, feeBps int64) (*big.Int, error) {
+	if amountOut == nil || amountOut.Sign() <= 0 {
+		return nil, ErrInsufficientOutputAmount
+	}
+	if reserveIn.Sign() <= 0 || reserveOut.Sign() <= 0 || amountOut.Cmp(reserveOut) >= 0 {
+		return nil, ErrInsufficientLiquidity
+	}
+	num := new(big.Int).Mul(reserveIn, amountOut)
+	num.Mul(num, big.NewInt(FeeDenominator))
+	den := new(big.Int).Sub(reserveOut, amountOut)
+	den.Mul(den, big.NewInt(FeeDenominator-feeBps))
+	out := num.Quo(num, den)
+	return out.Add(out, big.NewInt(1)), nil
+}
+
+// Mint adds (amount0, amount1) of liquidity for provider and returns the
+// liquidity tokens minted. The first mint locks MinimumLiquidity forever,
+// as in the contract.
+func (p *Pair) Mint(provider string, amount0, amount1 *big.Int) (*big.Int, error) {
+	if amount0 == nil || amount1 == nil || amount0.Sign() <= 0 || amount1.Sign() <= 0 {
+		return nil, ErrInsufficientInputAmount
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	var liquidity *big.Int
+	if p.totalSupply.Sign() == 0 {
+		// liquidity = sqrt(a0·a1) − MINIMUM_LIQUIDITY
+		prod := new(big.Int).Mul(amount0, amount1)
+		liquidity = new(big.Int).Sqrt(prod)
+		liquidity.Sub(liquidity, big.NewInt(MinimumLiquidity))
+		if liquidity.Sign() <= 0 {
+			return nil, ErrInsufficientLiquidityMinted
+		}
+		p.totalSupply.Add(p.totalSupply, big.NewInt(MinimumLiquidity)) // locked
+	} else {
+		// liquidity = min(a0·T/r0, a1·T/r1)
+		l0 := new(big.Int).Mul(amount0, p.totalSupply)
+		l0.Quo(l0, p.reserve0)
+		l1 := new(big.Int).Mul(amount1, p.totalSupply)
+		l1.Quo(l1, p.reserve1)
+		liquidity = l0
+		if l1.Cmp(l0) < 0 {
+			liquidity = l1
+		}
+		if liquidity.Sign() <= 0 {
+			return nil, ErrInsufficientLiquidityMinted
+		}
+	}
+
+	nr0 := new(big.Int).Add(p.reserve0, amount0)
+	nr1 := new(big.Int).Add(p.reserve1, amount1)
+	if nr0.Cmp(maxUint112) > 0 || nr1.Cmp(maxUint112) > 0 {
+		return nil, ErrOverflow
+	}
+	p.reserve0, p.reserve1 = nr0, nr1
+	p.totalSupply.Add(p.totalSupply, liquidity)
+	bal, ok := p.balances[provider]
+	if !ok {
+		bal = new(big.Int)
+		p.balances[provider] = bal
+	}
+	bal.Add(bal, liquidity)
+	return new(big.Int).Set(liquidity), nil
+}
+
+// Burn redeems liquidity tokens for the underlying reserves pro rata.
+func (p *Pair) Burn(provider string, liquidity *big.Int) (amount0, amount1 *big.Int, err error) {
+	if liquidity == nil || liquidity.Sign() <= 0 {
+		return nil, nil, ErrInsufficientLiquidityBurned
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bal, ok := p.balances[provider]
+	if !ok || bal.Cmp(liquidity) < 0 {
+		return nil, nil, fmt.Errorf("%w: provider %q", ErrInsufficientLiquidityBurned, provider)
+	}
+	amount0 = new(big.Int).Mul(liquidity, p.reserve0)
+	amount0.Quo(amount0, p.totalSupply)
+	amount1 = new(big.Int).Mul(liquidity, p.reserve1)
+	amount1.Quo(amount1, p.totalSupply)
+	if amount0.Sign() == 0 || amount1.Sign() == 0 {
+		return nil, nil, ErrInsufficientLiquidityBurned
+	}
+	bal.Sub(bal, liquidity)
+	p.totalSupply.Sub(p.totalSupply, liquidity)
+	p.reserve0.Sub(p.reserve0, amount0)
+	p.reserve1.Sub(p.reserve1, amount1)
+	return amount0, amount1, nil
+}
+
+// Swap executes an exact-input swap of amountIn of tokenIn and returns the
+// output amount, verifying the fee-adjusted K invariant exactly as the
+// contract does.
+func (p *Pair) Swap(tokenIn string, amountIn *big.Int) (*big.Int, error) {
+	if tokenIn != p.token0 && tokenIn != p.token1 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownToken, tokenIn)
+	}
+	if amountIn == nil || amountIn.Sign() <= 0 {
+		return nil, ErrInsufficientInputAmount
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	rin, rout := p.reserve0, p.reserve1
+	if tokenIn == p.token1 {
+		rin, rout = p.reserve1, p.reserve0
+	}
+	out, err := GetAmountOut(amountIn, rin, rout, p.feeBps)
+	if err != nil {
+		return nil, err
+	}
+	if out.Sign() <= 0 {
+		return nil, ErrInsufficientOutputAmount
+	}
+	if out.Cmp(rout) >= 0 {
+		return nil, ErrInsufficientLiquidity
+	}
+
+	kBefore := new(big.Int).Mul(p.reserve0, p.reserve1)
+
+	nrin := new(big.Int).Add(rin, amountIn)
+	nrout := new(big.Int).Sub(rout, out)
+	if nrin.Cmp(maxUint112) > 0 {
+		return nil, ErrOverflow
+	}
+	if tokenIn == p.token0 {
+		p.reserve0, p.reserve1 = nrin, nrout
+	} else {
+		p.reserve1, p.reserve0 = nrin, nrout
+	}
+
+	// Fee-adjusted invariant check (contract: balanceAdjusted products).
+	// balanceInAdjusted = nrin·D − amountIn·fee; K check uses D² scale.
+	adjIn := new(big.Int).Mul(nrin, big.NewInt(FeeDenominator))
+	feePart := new(big.Int).Mul(amountIn, big.NewInt(p.feeBps))
+	adjIn.Sub(adjIn, feePart)
+	adjOut := new(big.Int).Mul(nrout, big.NewInt(FeeDenominator))
+	left := new(big.Int).Mul(adjIn, adjOut)
+	right := new(big.Int).Mul(kBefore, big.NewInt(FeeDenominator*FeeDenominator))
+	if left.Cmp(right) < 0 {
+		return nil, ErrKInvariant
+	}
+	return out, nil
+}
+
+// Sync force-sets the reserves (the contract's sync() rebases reserves to
+// balances; here callers provide the balances directly).
+func (p *Pair) Sync(balance0, balance1 *big.Int) error {
+	if balance0 == nil || balance1 == nil || balance0.Sign() < 0 || balance1.Sign() < 0 {
+		return ErrInsufficientLiquidity
+	}
+	if balance0.Cmp(maxUint112) > 0 || balance1.Cmp(maxUint112) > 0 {
+		return ErrOverflow
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reserve0 = new(big.Int).Set(balance0)
+	p.reserve1 = new(big.Int).Set(balance1)
+	return nil
+}
+
+// Skim returns the excess of the provided balances over the recorded
+// reserves (the contract transfers the excess to a caller; here it is
+// simply reported).
+func (p *Pair) Skim(balance0, balance1 *big.Int) (excess0, excess1 *big.Int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	excess0 = new(big.Int).Sub(balance0, p.reserve0)
+	if excess0.Sign() < 0 {
+		excess0.SetInt64(0)
+	}
+	excess1 = new(big.Int).Sub(balance1, p.reserve1)
+	if excess1.Sign() < 0 {
+		excess1.SetInt64(0)
+	}
+	return excess0, excess1
+}
+
+// UpdateCumulativePrices advances the TWAP accumulators to timestamp (unix
+// seconds), mirroring _update in the contract.
+func (p *Pair) UpdateCumulativePrices(timestamp int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lastTimestamp != 0 && timestamp > p.lastTimestamp && p.reserve0.Sign() > 0 && p.reserve1.Sign() > 0 {
+		elapsed := float64(timestamp - p.lastTimestamp)
+		r0, _ := new(big.Float).SetInt(p.reserve0).Float64()
+		r1, _ := new(big.Float).SetInt(p.reserve1).Float64()
+		p.price0Cumulative += r1 / r0 * elapsed
+		p.price1Cumulative += r0 / r1 * elapsed
+	}
+	p.lastTimestamp = timestamp
+}
+
+// CumulativePrices returns the TWAP accumulators (price of token0 in token1
+// and vice versa, each integrated over seconds).
+func (p *Pair) CumulativePrices() (p0, p1 float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.price0Cumulative, p.price1Cumulative
+}
+
+// ToPool converts the integer pair to an analytic float64 Pool snapshot.
+func (p *Pair) ToPool(id string) (*Pool, error) {
+	r0, r1 := p.Reserves()
+	f0, _ := new(big.Float).SetInt(r0).Float64()
+	f1, _ := new(big.Float).SetInt(r1).Float64()
+	return NewPool(id, p.token0, p.token1, f0, f1, float64(p.feeBps)/FeeDenominator)
+}

@@ -1,0 +1,346 @@
+package amm
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func mustPair(t *testing.T, feeBps int64) *Pair {
+	t.Helper()
+	p, err := NewPair("X", "Y", feeBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPairValidation(t *testing.T) {
+	if _, err := NewPair("X", "X", 30); err == nil {
+		t.Error("same tokens: want error")
+	}
+	if _, err := NewPair("X", "Y", -1); err == nil {
+		t.Error("negative fee: want error")
+	}
+	if _, err := NewPair("X", "Y", FeeDenominator); err == nil {
+		t.Error("fee = 100%: want error")
+	}
+}
+
+func TestGetAmountOutMatchesUniswapFormula(t *testing.T) {
+	// Canonical Uniswap V2 check: in=1e18, reserves 100e18/100e18, 30 bps.
+	// out = 997e18·100e18 / (100e18·1000 + 997e18·1e0)… computed with the
+	// 997/1000 formulation and cross-checked here with 9970/10000.
+	in, _ := new(big.Int).SetString("1000000000000000000", 10)
+	r, _ := new(big.Int).SetString("100000000000000000000", 10)
+	out, err := GetAmountOut(in, r, r, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: floor(997 * 1e18 * 100e18 / (100e18*1000 + 997*1e18)).
+	num := new(big.Int).Mul(big.NewInt(997), in)
+	num.Mul(num, r)
+	den := new(big.Int).Mul(r, big.NewInt(1000))
+	den.Add(den, new(big.Int).Mul(big.NewInt(997), in))
+	want := new(big.Int).Quo(num, den)
+	if out.Cmp(want) != 0 {
+		t.Errorf("GetAmountOut = %s, want %s", out, want)
+	}
+}
+
+func TestGetAmountOutErrors(t *testing.T) {
+	tests := []struct {
+		name          string
+		in, rin, rout *big.Int
+	}{
+		{name: "zero in", in: bi(0), rin: bi(100), rout: bi(100)},
+		{name: "nil in", in: nil, rin: bi(100), rout: bi(100)},
+		{name: "zero rin", in: bi(1), rin: bi(0), rout: bi(100)},
+		{name: "zero rout", in: bi(1), rin: bi(100), rout: bi(0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := GetAmountOut(tt.in, tt.rin, tt.rout, 30); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestGetAmountInRoundTrip(t *testing.T) {
+	rin := bi(1_000_000)
+	rout := bi(2_000_000)
+	for _, outWant := range []int64{1, 100, 12_345, 1_999_999 / 2} {
+		in, err := GetAmountIn(bi(outWant), rin, rout, 30)
+		if err != nil {
+			t.Fatalf("GetAmountIn(%d): %v", outWant, err)
+		}
+		got, err := GetAmountOut(in, rin, rout, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(bi(outWant)) < 0 {
+			t.Errorf("GetAmountOut(GetAmountIn(%d)) = %s, want ≥ %d", outWant, got, outWant)
+		}
+		// And one less input must not suffice (tightness up to rounding).
+		if in.Cmp(bi(1)) > 0 {
+			less := new(big.Int).Sub(in, bi(1))
+			got2, err := GetAmountOut(less, rin, rout, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got2.Cmp(bi(outWant)) > 0 {
+				t.Errorf("input %s−1 already yields %s > %d", in, got2, outWant)
+			}
+		}
+	}
+}
+
+func TestGetAmountInRejectsDrain(t *testing.T) {
+	if _, err := GetAmountIn(bi(100), bi(100), bi(100), 30); err == nil {
+		t.Error("amountOut == reserveOut: want error")
+	}
+}
+
+func TestPairMintFirstLocksMinimumLiquidity(t *testing.T) {
+	p := mustPair(t, 30)
+	liq, err := p.Mint("alice", bi(4_000_000), bi(1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sqrt(4e6·1e6) = 2e6; minus MINIMUM_LIQUIDITY.
+	want := bi(2_000_000 - MinimumLiquidity)
+	if liq.Cmp(want) != 0 {
+		t.Errorf("first mint liquidity = %s, want %s", liq, want)
+	}
+	if p.TotalSupply().Cmp(bi(2_000_000)) != 0 {
+		t.Errorf("total supply = %s, want 2000000", p.TotalSupply())
+	}
+}
+
+func TestPairMintProRata(t *testing.T) {
+	p := mustPair(t, 30)
+	if _, err := p.Mint("alice", bi(1_000_000), bi(1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	liq, err := p.Mint("bob", bi(500_000), bi(500_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob adds 50% of reserves → gets 50% of supply.
+	want := bi(500_000)
+	if liq.Cmp(want) != 0 {
+		t.Errorf("pro-rata mint = %s, want %s", liq, want)
+	}
+}
+
+func TestPairMintRejectsDust(t *testing.T) {
+	p := mustPair(t, 30)
+	if _, err := p.Mint("alice", bi(10), bi(10)); err == nil {
+		t.Error("first mint below MINIMUM_LIQUIDITY: want error")
+	}
+	if _, err := p.Mint("alice", bi(0), bi(10)); err == nil {
+		t.Error("zero amount0: want error")
+	}
+}
+
+func TestPairBurnReturnsProRataShares(t *testing.T) {
+	p := mustPair(t, 30)
+	liq, err := p.Mint("alice", bi(9_000_000), bi(4_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, a1, err := p.Burn("alice", liq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice burns all her liquidity but MINIMUM_LIQUIDITY stays locked, so
+	// she gets slightly less than she deposited.
+	if a0.Cmp(bi(9_000_000)) >= 0 || a1.Cmp(bi(4_000_000)) >= 0 {
+		t.Errorf("burn returned (%s, %s), want strictly less than deposits", a0, a1)
+	}
+	if a0.Sign() <= 0 || a1.Sign() <= 0 {
+		t.Errorf("burn returned (%s, %s), want positive", a0, a1)
+	}
+	if _, _, err := p.Burn("alice", bi(1)); err == nil {
+		t.Error("burning more than balance: want error")
+	}
+}
+
+func TestPairSwapAgainstAnalyticPool(t *testing.T) {
+	p := mustPair(t, 30)
+	if _, err := p.Mint("lp", bi(100_000_000), bi(200_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := p.ToPool("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := bi(5_000_000)
+	wantFloat, err := pool.AmountOut("X", 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Swap("X", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFloat, _ := new(big.Float).SetInt(got).Float64()
+	// Integer truncation: |analytic − exact| < 1 unit.
+	if diff := wantFloat - gotFloat; diff < 0 || diff >= 1 {
+		t.Errorf("integer swap %g vs analytic %g: diff %g ∉ [0, 1)", gotFloat, wantFloat, diff)
+	}
+}
+
+func TestPairSwapUpdatesReservesAndGrowsK(t *testing.T) {
+	p := mustPair(t, 30)
+	if _, err := p.Mint("lp", bi(1_000_000), bi(1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	k0 := p.K()
+	out, err := p.Swap("X", bi(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := p.Reserves()
+	if r0.Cmp(bi(1_010_000)) != 0 {
+		t.Errorf("reserve0 = %s, want 1010000", r0)
+	}
+	wantR1 := new(big.Int).Sub(bi(1_000_000), out)
+	if r1.Cmp(wantR1) != 0 {
+		t.Errorf("reserve1 = %s, want %s", r1, wantR1)
+	}
+	if p.K().Cmp(k0) < 0 {
+		t.Errorf("K after swap %s < before %s", p.K(), k0)
+	}
+}
+
+func TestPairSwapErrors(t *testing.T) {
+	p := mustPair(t, 30)
+	if _, err := p.Swap("X", bi(10)); err == nil {
+		t.Error("swap on empty pair: want error")
+	}
+	if _, err := p.Mint("lp", bi(1_000_000), bi(1_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Swap("Z", bi(10)); err == nil {
+		t.Error("unknown token: want error")
+	}
+	if _, err := p.Swap("X", bi(0)); err == nil {
+		t.Error("zero input: want error")
+	}
+	if _, err := p.Swap("X", nil); err == nil {
+		t.Error("nil input: want error")
+	}
+}
+
+func TestPairSyncAndSkim(t *testing.T) {
+	p := mustPair(t, 30)
+	if err := p.Sync(bi(500), bi(600)); err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := p.Reserves()
+	if r0.Cmp(bi(500)) != 0 || r1.Cmp(bi(600)) != 0 {
+		t.Errorf("after sync reserves = (%s, %s), want (500, 600)", r0, r1)
+	}
+	e0, e1 := p.Skim(bi(700), bi(550))
+	if e0.Cmp(bi(200)) != 0 {
+		t.Errorf("skim excess0 = %s, want 200", e0)
+	}
+	if e1.Sign() != 0 {
+		t.Errorf("skim excess1 = %s, want 0 (deficit clamps to zero)", e1)
+	}
+	if err := p.Sync(bi(-1), bi(0)); err == nil {
+		t.Error("negative sync: want error")
+	}
+	over := new(big.Int).Lsh(bi(1), 113)
+	if err := p.Sync(over, bi(1)); err == nil {
+		t.Error("overflow sync: want error")
+	}
+}
+
+func TestPairCumulativePrices(t *testing.T) {
+	p := mustPair(t, 30)
+	if _, err := p.Mint("lp", bi(1_000), bi(2_000)); err != nil {
+		t.Fatal(err)
+	}
+	p.UpdateCumulativePrices(100) // first observation only arms the clock
+	p.UpdateCumulativePrices(110) // 10 s at price0 = 2, price1 = 0.5
+	p0, p1 := p.CumulativePrices()
+	if p0 != 20 {
+		t.Errorf("price0Cumulative = %g, want 20", p0)
+	}
+	if p1 != 5 {
+		t.Errorf("price1Cumulative = %g, want 5", p1)
+	}
+	// Non-monotone timestamps are ignored.
+	p.UpdateCumulativePrices(105)
+	if g0, _ := p.CumulativePrices(); g0 != 20 {
+		t.Errorf("price0Cumulative after stale update = %g, want 20", g0)
+	}
+}
+
+func TestPairConcurrentSwaps(t *testing.T) {
+	p := mustPair(t, 30)
+	if _, err := p.Mint("lp", bi(1_000_000_000), bi(1_000_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tok := "X"
+			if i%2 == 0 {
+				tok = "Y"
+			}
+			for j := 0; j < 50; j++ {
+				//nolint:errcheck // some swaps may fail near drain; the race detector is the assertion here
+				p.Swap(tok, bi(1_000))
+			}
+		}(i)
+	}
+	wg.Wait()
+	r0, r1 := p.Reserves()
+	if r0.Sign() <= 0 || r1.Sign() <= 0 {
+		t.Errorf("reserves after concurrent swaps = (%s, %s)", r0, r1)
+	}
+}
+
+// Property: the exact integer swap never exceeds the analytic (real-valued)
+// swap, and the K invariant never decreases.
+func TestPairSwapPropertyAgainstAnalytic(t *testing.T) {
+	f := func(r0u, r1u, inu uint32) bool {
+		r0 := int64(r0u%50_000_000) + 1_000_000
+		r1 := int64(r1u%50_000_000) + 1_000_000
+		in := int64(inu%5_000_000) + 1
+		p, err := NewPair("X", "Y", 30)
+		if err != nil {
+			return false
+		}
+		if _, err := p.Mint("lp", bi(r0), bi(r1)); err != nil {
+			return false
+		}
+		kBefore := p.K()
+		out, err := p.Swap("X", bi(in))
+		if err != nil {
+			return false
+		}
+		pool := MustNewPool("p", "X", "Y", float64(r0), float64(r1), 0.003)
+		analytic, err := pool.AmountOut("X", float64(in))
+		if err != nil {
+			return false
+		}
+		outF, _ := new(big.Float).SetInt(out).Float64()
+		if outF > analytic+1e-6 {
+			return false
+		}
+		return p.K().Cmp(kBefore) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,437 @@
+package amm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff < tol
+	}
+	return diff/scale < tol
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	tests := []struct {
+		name           string
+		r0, r1, fee    float64
+		token0, token1 string
+		wantErr        bool
+	}{
+		{name: "valid", r0: 100, r1: 200, fee: 0.003, token0: "X", token1: "Y"},
+		{name: "zero fee valid", r0: 1, r1: 1, fee: 0, token0: "X", token1: "Y"},
+		{name: "zero reserve0", r0: 0, r1: 200, fee: 0.003, token0: "X", token1: "Y", wantErr: true},
+		{name: "negative reserve1", r0: 100, r1: -1, fee: 0.003, token0: "X", token1: "Y", wantErr: true},
+		{name: "nan reserve", r0: math.NaN(), r1: 1, fee: 0.003, token0: "X", token1: "Y", wantErr: true},
+		{name: "inf reserve", r0: math.Inf(1), r1: 1, fee: 0.003, token0: "X", token1: "Y", wantErr: true},
+		{name: "fee one", r0: 100, r1: 200, fee: 1, token0: "X", token1: "Y", wantErr: true},
+		{name: "fee negative", r0: 100, r1: 200, fee: -0.1, token0: "X", token1: "Y", wantErr: true},
+		{name: "fee nan", r0: 100, r1: 200, fee: math.NaN(), token0: "X", token1: "Y", wantErr: true},
+		{name: "same tokens", r0: 100, r1: 200, fee: 0.003, token0: "X", token1: "X", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewPool("p", tt.token0, tt.token1, tt.r0, tt.r1, tt.fee)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewPool() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPoolAmountOutKnownValues(t *testing.T) {
+	// Paper Section V first pool: (x, y) = (100, 200), λ = 0.003.
+	p := MustNewPool("p1", "X", "Y", 100, 200, 0.003)
+
+	tests := []struct {
+		name    string
+		tokenIn string
+		dx      float64
+		want    float64
+	}{
+		{name: "zero in zero out", tokenIn: "X", dx: 0, want: 0},
+		// F(10) = 0.997·200·10 / (100 + 0.997·10) = 1994/109.97
+		{name: "ten X", tokenIn: "X", dx: 10, want: 1994.0 / 109.97},
+		// Reverse direction: F(10) = 0.997·100·10/(200+9.97)
+		{name: "ten Y", tokenIn: "Y", dx: 10, want: 997.0 / 209.97},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := p.AmountOut(tt.tokenIn, tt.dx)
+			if err != nil {
+				t.Fatalf("AmountOut() error = %v", err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("AmountOut(%q, %g) = %.15g, want %.15g", tt.tokenIn, tt.dx, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPoolAmountOutErrors(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 100, 200, 0.003)
+	if _, err := p.AmountOut("Z", 1); err == nil {
+		t.Error("AmountOut with unknown token: want error")
+	}
+	if _, err := p.AmountOut("X", -1); err == nil {
+		t.Error("AmountOut with negative amount: want error")
+	}
+	if _, err := p.AmountOut("X", math.NaN()); err == nil {
+		t.Error("AmountOut with NaN: want error")
+	}
+}
+
+func TestPoolAmountInInvertsAmountOut(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 1000, 5000, 0.003)
+	for _, dx := range []float64{0.001, 0.5, 1, 10, 100, 999, 12345} {
+		dy, err := p.AmountOut("X", dx)
+		if err != nil {
+			t.Fatalf("AmountOut(%g): %v", dx, err)
+		}
+		back, err := p.AmountIn("X", dy)
+		if err != nil {
+			t.Fatalf("AmountIn(%g): %v", dy, err)
+		}
+		if !almostEqual(back, dx, 1e-9) {
+			t.Errorf("AmountIn(AmountOut(%g)) = %g, want %g", dx, back, dx)
+		}
+	}
+}
+
+func TestPoolAmountInRejectsDrain(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 100, 200, 0.003)
+	if _, err := p.AmountIn("X", 200); err == nil {
+		t.Error("AmountIn(full reserve): want error")
+	}
+	if _, err := p.AmountIn("X", 250); err == nil {
+		t.Error("AmountIn(beyond reserve): want error")
+	}
+}
+
+func TestPoolSpotPriceMatchesDerivativeAtZero(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 123, 789, 0.003)
+	spot, err := p.SpotPrice("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := p.DOutDIn("X", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(spot, d0, 1e-14) {
+		t.Errorf("spot price %g != F'(0) %g", spot, d0)
+	}
+}
+
+func TestPoolDerivativeMatchesFiniteDifference(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 250, 400, 0.003)
+	const h = 1e-6
+	for _, dx := range []float64{0.5, 5, 50, 500} {
+		fPlus, _ := p.AmountOut("X", dx+h)
+		fMinus, _ := p.AmountOut("X", dx-h)
+		numeric := (fPlus - fMinus) / (2 * h)
+		analytic, err := p.DOutDIn("X", dx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(numeric, analytic, 1e-6) {
+			t.Errorf("F'(%g): analytic %g, finite difference %g", dx, analytic, numeric)
+		}
+	}
+}
+
+func TestPoolSecondDerivativeNegative(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 250, 400, 0.003)
+	for _, dx := range []float64{0, 1, 10, 1000} {
+		d2, err := p.D2OutDIn2("X", dx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d2 >= 0 {
+			t.Errorf("F''(%g) = %g, want < 0 (strict concavity)", dx, d2)
+		}
+	}
+}
+
+func TestPoolApplySwapConservesFeeAdjustedK(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 100, 200, 0.003)
+	next, dy, err := p.ApplySwap("X", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dy <= 0 {
+		t.Fatalf("ApplySwap output = %g, want > 0", dy)
+	}
+	// Fee-adjusted invariant: (x + γΔx)(y − Δy) = x·y exactly.
+	adj := (p.Reserve0 + p.Gamma()*10) * (p.Reserve1 - dy)
+	if !almostEqual(adj, p.K(), 1e-12) {
+		t.Errorf("fee-adjusted K after swap = %g, want %g", adj, p.K())
+	}
+	// Raw K grows because fees accrue to the pool.
+	if next.K() < p.K() {
+		t.Errorf("raw K after swap = %g < before %g", next.K(), p.K())
+	}
+	// Original pool untouched.
+	if p.Reserve0 != 100 || p.Reserve1 != 200 {
+		t.Errorf("ApplySwap mutated receiver: %v", p)
+	}
+}
+
+func TestPoolOtherAndHas(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 1, 1, 0)
+	if !p.Has("X") || !p.Has("Y") || p.Has("Z") {
+		t.Error("Has() misreports membership")
+	}
+	other, err := p.Other("X")
+	if err != nil || other != "Y" {
+		t.Errorf("Other(X) = %q, %v", other, err)
+	}
+	other, err = p.Other("Y")
+	if err != nil || other != "X" {
+		t.Errorf("Other(Y) = %q, %v", other, err)
+	}
+	if _, err := p.Other("Z"); err == nil {
+		t.Error("Other(Z): want error")
+	}
+}
+
+func TestPoolTVL(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 100, 200, 0.003)
+	if got := p.TVL(2, 3); got != 100*2+200*3 {
+		t.Errorf("TVL = %g, want 800", got)
+	}
+}
+
+// Property: swap output is strictly less than the output reserve and
+// strictly positive for positive input; the function is increasing.
+func TestPoolSwapBoundsProperty(t *testing.T) {
+	f := func(r0u, r1u, dxu uint32) bool {
+		r0 := float64(r0u%1_000_000) + 1
+		r1 := float64(r1u%1_000_000) + 1
+		dx := float64(dxu%10_000_000)/100 + 0.001
+		p := MustNewPool("p", "X", "Y", r0, r1, 0.003)
+		dy, err := p.AmountOut("X", dx)
+		if err != nil {
+			return false
+		}
+		dy2, err := p.AmountOut("X", dx*2)
+		if err != nil {
+			return false
+		}
+		return dy > 0 && dy < r1 && dy2 > dy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AmountOut is concave — midpoint value ≥ chord midpoint.
+func TestPoolConcavityProperty(t *testing.T) {
+	f := func(r0u, r1u, au, bu uint32) bool {
+		r0 := float64(r0u%100_000) + 10
+		r1 := float64(r1u%100_000) + 10
+		a := float64(au%1_000_000)/1000 + 0.001
+		b := float64(bu%1_000_000)/1000 + 0.001
+		p := MustNewPool("p", "X", "Y", r0, r1, 0.003)
+		fa, err1 := p.AmountOut("X", a)
+		fb, err2 := p.AmountOut("X", b)
+		fm, err3 := p.AmountOut("X", (a+b)/2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return fm >= (fa+fb)/2-1e-9*(1+fa+fb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMobiusMatchesPool(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 137, 911, 0.003)
+	m, err := p.Mobius("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dx := range []float64{0, 0.1, 1, 10, 100, 1e6} {
+		want, _ := p.AmountOut("X", dx)
+		if got := m.Eval(dx); !almostEqual(got, want, 1e-12) {
+			t.Errorf("Mobius.Eval(%g) = %g, want %g", dx, got, want)
+		}
+		wantD, _ := p.DOutDIn("X", dx)
+		if got := m.Deriv(dx); !almostEqual(got, wantD, 1e-12) {
+			t.Errorf("Mobius.Deriv(%g) = %g, want %g", dx, got, wantD)
+		}
+	}
+}
+
+// Property: composing Möbius maps equals applying swaps sequentially.
+func TestMobiusCompositionProperty(t *testing.T) {
+	f := func(seed uint32, dxu uint32) bool {
+		r := func(i uint32) float64 { return float64((seed>>i)%10_000) + 50 }
+		p1 := MustNewPool("p1", "X", "Y", r(0), r(3), 0.003)
+		p2 := MustNewPool("p2", "Y", "Z", r(6), r(9), 0.003)
+		p3 := MustNewPool("p3", "Z", "X", r(12), r(15), 0.003)
+		dx := float64(dxu%100_000)/100 + 0.01
+
+		m1, _ := p1.Mobius("X")
+		m2, _ := p2.Mobius("Y")
+		m3, _ := p3.Mobius("Z")
+		composed := m1.Compose(m2).Compose(m3)
+
+		dy, _ := p1.AmountOut("X", dx)
+		dz, _ := p2.AmountOut("Y", dy)
+		dxOut, _ := p3.AmountOut("Z", dz)
+
+		return almostEqual(composed.Eval(dx), dxOut, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMobiusOptimalInputStationarity(t *testing.T) {
+	// Paper Section V loop: derivative at the optimum must be 1.
+	p1 := MustNewPool("p1", "X", "Y", 100, 200, 0.003)
+	p2 := MustNewPool("p2", "Y", "Z", 300, 200, 0.003)
+	p3 := MustNewPool("p3", "Z", "X", 200, 400, 0.003)
+	m1, _ := p1.Mobius("X")
+	m2, _ := p2.Mobius("Y")
+	m3, _ := p3.Mobius("Z")
+	m := m1.Compose(m2).Compose(m3)
+
+	if !m.Profitable() {
+		t.Fatal("paper example loop must be profitable")
+	}
+	star := m.OptimalInput()
+	if !almostEqual(m.Deriv(star), 1, 1e-9) {
+		t.Errorf("F'(Δ*) = %.12g, want 1", m.Deriv(star))
+	}
+	// Paper: Δx* ≈ 27.0 with profit ≈ 16.8 token X.
+	if math.Abs(star-27.0) > 0.05 {
+		t.Errorf("Δx* = %g, paper reports 27.0", star)
+	}
+	if profit := m.MaxProfit(); math.Abs(profit-16.8) > 0.1 {
+		t.Errorf("max profit = %g, paper reports 16.8", profit)
+	}
+}
+
+func TestMobiusUnprofitableLoopYieldsZero(t *testing.T) {
+	// Balanced pools with fees always make a loop unprofitable.
+	p1 := MustNewPool("p1", "X", "Y", 100, 100, 0.003)
+	p2 := MustNewPool("p2", "Y", "Z", 100, 100, 0.003)
+	p3 := MustNewPool("p3", "Z", "X", 100, 100, 0.003)
+	m1, _ := p1.Mobius("X")
+	m2, _ := p2.Mobius("Y")
+	m3, _ := p3.Mobius("Z")
+	m := m1.Compose(m2).Compose(m3)
+	if m.Profitable() {
+		t.Fatal("balanced loop must not be profitable")
+	}
+	if m.OptimalInput() != 0 || m.MaxProfit() != 0 {
+		t.Errorf("unprofitable loop: OptimalInput=%g MaxProfit=%g, want 0, 0", m.OptimalInput(), m.MaxProfit())
+	}
+}
+
+// Property: MaxProfit is an upper bound of sampled profits and is attained
+// at OptimalInput.
+func TestMobiusMaxProfitProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := func(i uint32) float64 { return float64((seed>>i)%5_000) + 20 }
+		p1 := MustNewPool("p1", "X", "Y", r(0), 3*r(2), 0.003)
+		p2 := MustNewPool("p2", "Y", "Z", r(5), 2*r(7), 0.003)
+		p3 := MustNewPool("p3", "Z", "X", r(9), r(11)+500, 0.003)
+		m1, _ := p1.Mobius("X")
+		m2, _ := p2.Mobius("Y")
+		m3, _ := p3.Mobius("Z")
+		m := m1.Compose(m2).Compose(m3)
+		best := m.MaxProfit()
+		star := m.OptimalInput()
+		if !almostEqual(m.ProfitAt(star), best, 1e-9) {
+			return false
+		}
+		for _, d := range []float64{0.5 * star, 0.9 * star, 1.1 * star, 2 * star, 1, 10} {
+			if m.ProfitAt(d) > best+1e-9*(1+best) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityMobius(t *testing.T) {
+	id := Identity()
+	for _, d := range []float64{0.5, 1, 42} {
+		if got := id.Eval(d); got != d {
+			t.Errorf("Identity.Eval(%g) = %g", d, got)
+		}
+	}
+	p := MustNewPool("p", "X", "Y", 100, 300, 0.003)
+	m, _ := p.Mobius("X")
+	composed := id.Compose(m)
+	for _, d := range []float64{1, 5, 20} {
+		want, _ := p.AmountOut("X", d)
+		if got := composed.Eval(d); !almostEqual(got, want, 1e-12) {
+			t.Errorf("Identity∘m Eval(%g) = %g, want %g", d, got, want)
+		}
+	}
+}
+
+func TestEffectivePriceApproachesSpot(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 1_000, 3_000, 0.003)
+	spot, err := p.SpotPrice("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := p.EffectivePrice("X", 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(eff, spot, 1e-9) {
+		t.Errorf("tiny-trade effective price %g vs spot %g", eff, spot)
+	}
+	// Effective price decreases with size.
+	e1, _ := p.EffectivePrice("X", 10)
+	e2, _ := p.EffectivePrice("X", 100)
+	if e2 >= e1 {
+		t.Errorf("effective price not decreasing: %g then %g", e1, e2)
+	}
+	if _, err := p.EffectivePrice("X", 0); err == nil {
+		t.Error("zero size: want error")
+	}
+}
+
+func TestPriceImpactBounds(t *testing.T) {
+	p := MustNewPool("p", "X", "Y", 1_000, 3_000, 0.003)
+	for _, dx := range []float64{0.01, 1, 100, 10_000} {
+		impact, err := p.PriceImpact("X", dx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if impact < 0 || impact >= 1 {
+			t.Errorf("impact(%g) = %g outside [0, 1)", dx, impact)
+		}
+	}
+	// Impact grows with size; a trade equal to the input reserve moves
+	// the price by ~half.
+	small, _ := p.PriceImpact("X", 1)
+	big, _ := p.PriceImpact("X", 1_000)
+	if big <= small {
+		t.Errorf("impact not increasing: %g then %g", small, big)
+	}
+	if math.Abs(big-0.5) > 0.01 {
+		t.Errorf("reserve-sized trade impact = %g, want ≈ 0.5", big)
+	}
+	if _, err := p.PriceImpact("Q", 1); err == nil {
+		t.Error("unknown token: want error")
+	}
+}

@@ -1,0 +1,341 @@
+package amm
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+)
+
+// This file reproduces the UniswapV2Factory / UniswapV2Router02 /
+// UniswapV2Library semantics on top of the exact integer Pair: pair
+// discovery, quoting, multi-hop amount chains, liquidity provision with
+// optimal-amount logic, and exact-in/exact-out path swaps with
+// min/max-amount protection.
+
+// Router/Factory errors mirroring the contracts' revert reasons.
+var (
+	ErrPairExists          = errors.New("amm: pair exists")
+	ErrPairNotFound        = errors.New("amm: pair not found")
+	ErrInvalidPath         = errors.New("amm: invalid path")
+	ErrExcessiveInput      = errors.New("amm: excessive input amount")
+	ErrInsufficientBAmount = errors.New("amm: insufficient B amount")
+	ErrInsufficientAAmount = errors.New("amm: insufficient A amount")
+	ErrSlippage            = errors.New("amm: output below minimum")
+)
+
+// Factory creates and indexes pairs, one per unordered token pair (the
+// UniswapV2Factory behaviour). Safe for concurrent use.
+type Factory struct {
+	mu     sync.RWMutex
+	feeBps int64
+	pairs  map[[2]string]*Pair
+}
+
+// NewFactory returns a factory creating pairs with the given fee.
+func NewFactory(feeBps int64) *Factory {
+	return &Factory{feeBps: feeBps, pairs: make(map[[2]string]*Pair)}
+}
+
+func pairKey(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// CreatePair deploys the pair for (tokenA, tokenB). Token order is
+// normalized lexicographically, matching the contract's sort-by-address.
+func (f *Factory) CreatePair(tokenA, tokenB string) (*Pair, error) {
+	if tokenA == tokenB {
+		return nil, fmt.Errorf("amm: identical tokens %q", tokenA)
+	}
+	key := pairKey(tokenA, tokenB)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.pairs[key]; ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrPairExists, key[0], key[1])
+	}
+	p, err := NewPair(key[0], key[1], f.feeBps)
+	if err != nil {
+		return nil, err
+	}
+	f.pairs[key] = p
+	return p, nil
+}
+
+// GetPair returns the pair for (tokenA, tokenB) in either order.
+func (f *Factory) GetPair(tokenA, tokenB string) (*Pair, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	p, ok := f.pairs[pairKey(tokenA, tokenB)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrPairNotFound, tokenA, tokenB)
+	}
+	return p, nil
+}
+
+// AllPairs lists pairs sorted by token key for deterministic iteration.
+func (f *Factory) AllPairs() []*Pair {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys := make([][2]string, 0, len(f.pairs))
+	for k := range f.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]*Pair, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.pairs[k])
+	}
+	return out
+}
+
+// Quote implements UniswapV2Library.quote: the amount of B equivalent in
+// value to amountA at the current reserve ratio (no fee).
+func Quote(amountA, reserveA, reserveB *big.Int) (*big.Int, error) {
+	if amountA == nil || amountA.Sign() <= 0 {
+		return nil, ErrInsufficientInputAmount
+	}
+	if reserveA.Sign() <= 0 || reserveB.Sign() <= 0 {
+		return nil, ErrInsufficientLiquidity
+	}
+	out := new(big.Int).Mul(amountA, reserveB)
+	return out.Quo(out, reserveA), nil
+}
+
+// Router executes multi-hop swaps and liquidity operations against a
+// factory's pairs, with the UniswapV2Router02 amount logic. The router
+// holds a coarse lock so a multi-hop swap observes a consistent snapshot
+// of reserves.
+type Router struct {
+	mu      sync.Mutex
+	factory *Factory
+}
+
+// NewRouter wraps a factory.
+func NewRouter(f *Factory) *Router { return &Router{factory: f} }
+
+// pathReserves resolves the oriented reserves for each hop of the path.
+func (r *Router) pathReserves(path []string) (pairs []*Pair, rin, rout []*big.Int, err error) {
+	if len(path) < 2 {
+		return nil, nil, nil, fmt.Errorf("%w: length %d", ErrInvalidPath, len(path))
+	}
+	pairs = make([]*Pair, len(path)-1)
+	rin = make([]*big.Int, len(path)-1)
+	rout = make([]*big.Int, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		p, err := r.factory.GetPair(path[i], path[i+1])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		r0, r1 := p.Reserves()
+		if path[i] == p.Token0() {
+			rin[i], rout[i] = r0, r1
+		} else {
+			rin[i], rout[i] = r1, r0
+		}
+		pairs[i] = p
+	}
+	return pairs, rin, rout, nil
+}
+
+// GetAmountsOut implements UniswapV2Library.getAmountsOut over the path.
+func (r *Router) GetAmountsOut(amountIn *big.Int, path []string) ([]*big.Int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.getAmountsOutLocked(amountIn, path)
+}
+
+func (r *Router) getAmountsOutLocked(amountIn *big.Int, path []string) ([]*big.Int, error) {
+	_, rin, rout, err := r.pathReserves(path)
+	if err != nil {
+		return nil, err
+	}
+	amounts := make([]*big.Int, len(path))
+	amounts[0] = new(big.Int).Set(amountIn)
+	for i := 0; i+1 < len(path); i++ {
+		out, err := GetAmountOut(amounts[i], rin[i], rout[i], r.factory.feeBps)
+		if err != nil {
+			return nil, fmt.Errorf("hop %d: %w", i, err)
+		}
+		amounts[i+1] = out
+	}
+	return amounts, nil
+}
+
+// GetAmountsIn implements UniswapV2Library.getAmountsIn: the minimal
+// inputs along the path to withdraw amountOut at the end.
+func (r *Router) GetAmountsIn(amountOut *big.Int, path []string) ([]*big.Int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, rin, rout, err := r.pathReserves(path)
+	if err != nil {
+		return nil, err
+	}
+	amounts := make([]*big.Int, len(path))
+	amounts[len(path)-1] = new(big.Int).Set(amountOut)
+	for i := len(path) - 2; i >= 0; i-- {
+		in, err := GetAmountIn(amounts[i+1], rin[i], rout[i], r.factory.feeBps)
+		if err != nil {
+			return nil, fmt.Errorf("hop %d: %w", i, err)
+		}
+		amounts[i] = in
+	}
+	return amounts, nil
+}
+
+// SwapExactTokensForTokens swaps amountIn along the path, reverting if
+// the final output is below amountOutMin. Returns the amount chain.
+func (r *Router) SwapExactTokensForTokens(amountIn, amountOutMin *big.Int, path []string) ([]*big.Int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	amounts, err := r.getAmountsOutLocked(amountIn, path)
+	if err != nil {
+		return nil, err
+	}
+	last := amounts[len(amounts)-1]
+	if amountOutMin != nil && last.Cmp(amountOutMin) < 0 {
+		return nil, fmt.Errorf("%w: %s < %s", ErrSlippage, last, amountOutMin)
+	}
+	// Apply the swaps; the coarse router lock keeps the computed chain
+	// consistent with the state being mutated.
+	for i := 0; i+1 < len(path); i++ {
+		p, err := r.factory.GetPair(path[i], path[i+1])
+		if err != nil {
+			return nil, err
+		}
+		got, err := p.Swap(path[i], amounts[i])
+		if err != nil {
+			return nil, fmt.Errorf("hop %d: %w", i, err)
+		}
+		if got.Cmp(amounts[i+1]) != 0 {
+			return nil, fmt.Errorf("amm: hop %d executed %s, expected %s", i, got, amounts[i+1])
+		}
+	}
+	return amounts, nil
+}
+
+// SwapTokensForExactTokens swaps the minimal input for exactly amountOut,
+// reverting if the required input exceeds amountInMax.
+func (r *Router) SwapTokensForExactTokens(amountOut, amountInMax *big.Int, path []string) ([]*big.Int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, rin, rout, err := r.pathReserves(path)
+	if err != nil {
+		return nil, err
+	}
+	amounts := make([]*big.Int, len(path))
+	amounts[len(path)-1] = new(big.Int).Set(amountOut)
+	for i := len(path) - 2; i >= 0; i-- {
+		in, err := GetAmountIn(amounts[i+1], rin[i], rout[i], r.factory.feeBps)
+		if err != nil {
+			return nil, fmt.Errorf("hop %d: %w", i, err)
+		}
+		amounts[i] = in
+	}
+	if amountInMax != nil && amounts[0].Cmp(amountInMax) > 0 {
+		return nil, fmt.Errorf("%w: need %s > max %s", ErrExcessiveInput, amounts[0], amountInMax)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		p, err := r.factory.GetPair(path[i], path[i+1])
+		if err != nil {
+			return nil, err
+		}
+		got, err := p.Swap(path[i], amounts[i])
+		if err != nil {
+			return nil, fmt.Errorf("hop %d: %w", i, err)
+		}
+		// Exact-out rounding can over-deliver by a unit; never under.
+		if got.Cmp(amounts[i+1]) < 0 {
+			return nil, fmt.Errorf("amm: hop %d delivered %s < planned %s", i, got, amounts[i+1])
+		}
+		amounts[i+1] = got
+	}
+	return amounts, nil
+}
+
+// AddLiquidity implements the router's optimal-amount logic: given
+// desired amounts and minimums, deposit at the current ratio. Returns
+// (amountA, amountB, liquidity).
+func (r *Router) AddLiquidity(provider, tokenA, tokenB string, amountADesired, amountBDesired, amountAMin, amountBMin *big.Int) (*big.Int, *big.Int, *big.Int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, err := r.factory.GetPair(tokenA, tokenB)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r0, r1 := p.Reserves()
+	resA, resB := r0, r1
+	if tokenA != p.Token0() {
+		resA, resB = r1, r0
+	}
+
+	amountA := new(big.Int).Set(amountADesired)
+	amountB := new(big.Int).Set(amountBDesired)
+	if resA.Sign() != 0 || resB.Sign() != 0 {
+		bOptimal, err := Quote(amountADesired, resA, resB)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if bOptimal.Cmp(amountBDesired) <= 0 {
+			if amountBMin != nil && bOptimal.Cmp(amountBMin) < 0 {
+				return nil, nil, nil, fmt.Errorf("%w: optimal %s < min %s", ErrInsufficientBAmount, bOptimal, amountBMin)
+			}
+			amountB = bOptimal
+		} else {
+			aOptimal, err := Quote(amountBDesired, resB, resA)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if aOptimal.Cmp(amountADesired) > 0 {
+				return nil, nil, nil, fmt.Errorf("%w: optimal %s > desired %s", ErrInsufficientAAmount, aOptimal, amountADesired)
+			}
+			if amountAMin != nil && aOptimal.Cmp(amountAMin) < 0 {
+				return nil, nil, nil, fmt.Errorf("%w: optimal %s < min %s", ErrInsufficientAAmount, aOptimal, amountAMin)
+			}
+			amountA = aOptimal
+		}
+	}
+
+	a0, a1 := amountA, amountB
+	if tokenA != p.Token0() {
+		a0, a1 = amountB, amountA
+	}
+	liquidity, err := p.Mint(provider, a0, a1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return amountA, amountB, liquidity, nil
+}
+
+// RemoveLiquidity burns liquidity and enforces minimum outputs.
+func (r *Router) RemoveLiquidity(provider, tokenA, tokenB string, liquidity, amountAMin, amountBMin *big.Int) (*big.Int, *big.Int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, err := r.factory.GetPair(tokenA, tokenB)
+	if err != nil {
+		return nil, nil, err
+	}
+	a0, a1, err := p.Burn(provider, liquidity)
+	if err != nil {
+		return nil, nil, err
+	}
+	amountA, amountB := a0, a1
+	if tokenA != p.Token0() {
+		amountA, amountB = a1, a0
+	}
+	if amountAMin != nil && amountA.Cmp(amountAMin) < 0 {
+		return nil, nil, fmt.Errorf("%w: got %s", ErrInsufficientAAmount, amountA)
+	}
+	if amountBMin != nil && amountB.Cmp(amountBMin) < 0 {
+		return nil, nil, fmt.Errorf("%w: got %s", ErrInsufficientBAmount, amountB)
+	}
+	return amountA, amountB, nil
+}

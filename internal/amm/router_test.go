@@ -1,0 +1,323 @@
+package amm
+
+import (
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newFundedFactory(t *testing.T) (*Factory, *Router) {
+	t.Helper()
+	f := NewFactory(30)
+	r := NewRouter(f)
+	pools := []struct {
+		a, b   string
+		ra, rb int64
+	}{
+		{"X", "Y", 100_000_000, 200_000_000},
+		{"Y", "Z", 300_000_000, 200_000_000},
+		{"X", "Z", 400_000_000, 200_000_000},
+	}
+	for _, pl := range pools {
+		p, err := f.CreatePair(pl.a, pl.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a0, a1 := bi(pl.ra), bi(pl.rb)
+		if p.Token0() != pl.a {
+			a0, a1 = a1, a0
+		}
+		if _, err := p.Mint("lp", a0, a1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, r
+}
+
+func TestFactoryCreateAndGet(t *testing.T) {
+	f := NewFactory(30)
+	p, err := f.CreatePair("B", "A") // normalized to (A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Token0() != "A" || p.Token1() != "B" {
+		t.Errorf("pair tokens = %s/%s, want A/B", p.Token0(), p.Token1())
+	}
+	if _, err := f.CreatePair("A", "B"); !errors.Is(err, ErrPairExists) {
+		t.Errorf("duplicate create error = %v", err)
+	}
+	if _, err := f.CreatePair("A", "A"); err == nil {
+		t.Error("identical tokens: want error")
+	}
+	got, err := f.GetPair("B", "A")
+	if err != nil || got != p {
+		t.Errorf("GetPair reversed order = %v, %v", got, err)
+	}
+	if _, err := f.GetPair("A", "C"); !errors.Is(err, ErrPairNotFound) {
+		t.Errorf("missing pair error = %v", err)
+	}
+	if pairs := f.AllPairs(); len(pairs) != 1 || pairs[0] != p {
+		t.Errorf("AllPairs = %v", pairs)
+	}
+}
+
+func TestQuote(t *testing.T) {
+	out, err := Quote(bi(100), bi(1000), bi(3000))
+	if err != nil || out.Cmp(bi(300)) != 0 {
+		t.Errorf("Quote = %s, %v; want 300", out, err)
+	}
+	if _, err := Quote(bi(0), bi(1), bi(1)); err == nil {
+		t.Error("zero amount: want error")
+	}
+	if _, err := Quote(bi(1), bi(0), bi(1)); err == nil {
+		t.Error("zero reserve: want error")
+	}
+}
+
+func TestGetAmountsOutMultiHop(t *testing.T) {
+	_, r := newFundedFactory(t)
+	amounts, err := r.GetAmountsOut(bi(1_000_000), []string{"X", "Y", "Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(amounts) != 3 {
+		t.Fatalf("amounts = %v", amounts)
+	}
+	if amounts[0].Cmp(bi(1_000_000)) != 0 {
+		t.Errorf("amounts[0] = %s", amounts[0])
+	}
+	// Each hop must match the single-pool formula.
+	single, err := GetAmountOut(bi(1_000_000), bi(100_000_000), bi(200_000_000), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amounts[1].Cmp(single) != 0 {
+		t.Errorf("hop 1 = %s, single-pool %s", amounts[1], single)
+	}
+	if amounts[2].Sign() <= 0 {
+		t.Errorf("final output = %s", amounts[2])
+	}
+}
+
+func TestGetAmountsOutErrors(t *testing.T) {
+	_, r := newFundedFactory(t)
+	if _, err := r.GetAmountsOut(bi(1), []string{"X"}); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("short path error = %v", err)
+	}
+	if _, err := r.GetAmountsOut(bi(1), []string{"X", "W"}); !errors.Is(err, ErrPairNotFound) {
+		t.Errorf("unknown pair error = %v", err)
+	}
+}
+
+func TestGetAmountsInRoundTrip(t *testing.T) {
+	_, r := newFundedFactory(t)
+	path := []string{"X", "Y", "Z"}
+	wantOut := bi(500_000)
+	ins, err := r.GetAmountsIn(wantOut, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := r.GetAmountsOut(ins[0], path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[len(outs)-1].Cmp(wantOut) < 0 {
+		t.Errorf("round trip delivers %s < requested %s", outs[len(outs)-1], wantOut)
+	}
+}
+
+func TestSwapExactTokensForTokens(t *testing.T) {
+	f, r := newFundedFactory(t)
+	path := []string{"X", "Y", "Z"}
+	quotes, err := r.GetAmountsOut(bi(2_000_000), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amounts, err := r.SwapExactTokensForTokens(bi(2_000_000), quotes[2], path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amounts[2].Cmp(quotes[2]) != 0 {
+		t.Errorf("executed %s, quoted %s", amounts[2], quotes[2])
+	}
+	// Reserves moved on both pairs.
+	p, err := f.GetPair("X", "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, _ := p.Reserves()
+	if p.Token0() == "X" && r0.Cmp(bi(102_000_000)) != 0 {
+		t.Errorf("X reserve after swap = %s", r0)
+	}
+}
+
+func TestSwapSlippageProtection(t *testing.T) {
+	_, r := newFundedFactory(t)
+	path := []string{"X", "Y"}
+	quotes, err := r.GetAmountsOut(bi(1_000_000), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tooHigh := new(big.Int).Add(quotes[1], bi(1))
+	if _, err := r.SwapExactTokensForTokens(bi(1_000_000), tooHigh, path); !errors.Is(err, ErrSlippage) {
+		t.Errorf("slippage error = %v", err)
+	}
+}
+
+func TestSwapTokensForExactTokens(t *testing.T) {
+	_, r := newFundedFactory(t)
+	path := []string{"X", "Y", "Z"}
+	want := bi(300_000)
+	amounts, err := r.SwapTokensForExactTokens(want, nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amounts[2].Cmp(want) < 0 {
+		t.Errorf("delivered %s < requested %s", amounts[2], want)
+	}
+	// Max-input protection.
+	if _, err := r.SwapTokensForExactTokens(want, bi(1), path); !errors.Is(err, ErrExcessiveInput) {
+		t.Errorf("max-input error = %v", err)
+	}
+}
+
+func TestAddLiquidityOptimalAmounts(t *testing.T) {
+	f := NewFactory(30)
+	r := NewRouter(f)
+	if _, err := f.CreatePair("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+
+	// First deposit sets the ratio 1:2.
+	a, b, liq, err := r.AddLiquidity("lp", "A", "B", bi(1_000_000), bi(2_000_000), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(bi(1_000_000)) != 0 || b.Cmp(bi(2_000_000)) != 0 || liq.Sign() <= 0 {
+		t.Errorf("first add = %s, %s, %s", a, b, liq)
+	}
+
+	// Second deposit with excess B gets trimmed to the ratio.
+	a, b, _, err = r.AddLiquidity("lp", "A", "B", bi(500_000), bi(9_999_999), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(bi(500_000)) != 0 || b.Cmp(bi(1_000_000)) != 0 {
+		t.Errorf("ratio add = %s, %s; want 500000, 1000000", a, b)
+	}
+
+	// Minimum protection rejects a deposit that would be trimmed below min.
+	if _, _, _, err := r.AddLiquidity("lp", "A", "B", bi(500_000), bi(2_000_000), nil, bi(1_500_000)); !errors.Is(err, ErrInsufficientBAmount) {
+		t.Errorf("B-min error = %v", err)
+	}
+
+	// Excess A path: desired B small, optimal A trimmed.
+	a, b, _, err = r.AddLiquidity("lp", "A", "B", bi(10_000_000), bi(1_000_000), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(bi(500_000)) != 0 || b.Cmp(bi(1_000_000)) != 0 {
+		t.Errorf("A-trim add = %s, %s; want 500000, 1000000", a, b)
+	}
+}
+
+func TestRemoveLiquidity(t *testing.T) {
+	f := NewFactory(30)
+	r := NewRouter(f)
+	if _, err := f.CreatePair("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, liq, err := r.AddLiquidity("lp", "A", "B", bi(4_000_000), bi(4_000_000), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, err := r.RemoveLiquidity("lp", "A", "B", liq, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sign() <= 0 || b.Sign() <= 0 {
+		t.Errorf("remove returned %s, %s", a, b)
+	}
+	// Minimums enforced.
+	_, _, liq2, err := r.AddLiquidity("lp", "A", "B", bi(1_000_000), bi(1_000_000), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.RemoveLiquidity("lp", "A", "B", liq2, bi(10_000_000), nil); !errors.Is(err, ErrInsufficientAAmount) {
+		t.Errorf("A-min error = %v", err)
+	}
+}
+
+// Property: the router's multi-hop quote equals the composition of
+// analytic pool swaps within integer truncation.
+func TestRouterMatchesAnalyticProperty(t *testing.T) {
+	f := func(r0u, r1u, r2u, r3u, inu uint32) bool {
+		r0 := int64(r0u%50_000_000) + 10_000_000
+		r1 := int64(r1u%50_000_000) + 10_000_000
+		r2 := int64(r2u%50_000_000) + 10_000_000
+		r3 := int64(r3u%50_000_000) + 10_000_000
+		in := int64(inu%1_000_000) + 1_000
+
+		fac := NewFactory(30)
+		router := NewRouter(fac)
+		p1, err := fac.CreatePair("A", "B")
+		if err != nil {
+			return false
+		}
+		if _, err := p1.Mint("lp", bi(r0), bi(r1)); err != nil {
+			return false
+		}
+		p2, err := fac.CreatePair("B", "C")
+		if err != nil {
+			return false
+		}
+		if _, err := p2.Mint("lp", bi(r2), bi(r3)); err != nil {
+			return false
+		}
+
+		amounts, err := router.GetAmountsOut(bi(in), []string{"A", "B", "C"})
+		if err != nil {
+			return false
+		}
+		poolAB := MustNewPool("ab", "A", "B", float64(r0), float64(r1), 0.003)
+		poolBC := MustNewPool("bc", "B", "C", float64(r2), float64(r3), 0.003)
+		mid, err := poolAB.AmountOut("A", float64(in))
+		if err != nil {
+			return false
+		}
+		end, err := poolBC.AmountOut("B", mid)
+		if err != nil {
+			return false
+		}
+		got, _ := new(big.Float).SetInt(amounts[2]).Float64()
+		// Hop-1 truncation (≤1 unit) is amplified by hop 2's marginal
+		// price (≤ γ·r3/r2) and hop 2 truncates once more.
+		slack := 0.997*float64(r3)/float64(r2) + 2
+		return got <= end+1e-6 && got >= end-slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouterConcurrentSwaps(t *testing.T) {
+	_, r := newFundedFactory(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := []string{"X", "Y", "Z"}
+			if i%2 == 0 {
+				path = []string{"Z", "Y", "X"}
+			}
+			for j := 0; j < 25; j++ {
+				//nolint:errcheck // race detector is the assertion
+				r.SwapExactTokensForTokens(bi(10_000), nil, path)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

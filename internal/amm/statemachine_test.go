@@ -1,0 +1,120 @@
+package amm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestPairStateMachine drives a Pair through long random sequences of
+// mint/swap/burn operations and checks the invariants the contract
+// guarantees after every step:
+//
+//   - reserves stay positive;
+//   - K = r0·r1 never decreases through swaps (fees accrue);
+//   - total supply equals the sum of balances plus the locked minimum;
+//   - burning the entire free supply never over-withdraws the reserves.
+func TestPairStateMachine(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			p, err := NewPair("X", "Y", 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			providers := []string{"alice", "bob", "carol"}
+
+			// Genesis liquidity.
+			if _, err := p.Mint("alice", big.NewInt(10_000_000), big.NewInt(20_000_000)); err != nil {
+				t.Fatal(err)
+			}
+
+			prevK := p.K()
+			minted := map[string]bool{"alice": true}
+			for step := 0; step < 400; step++ {
+				switch rng.Intn(4) {
+				case 0: // mint
+					who := providers[rng.Intn(len(providers))]
+					r0, r1 := p.Reserves()
+					// Deposit proportional amounts (1-10% of reserves).
+					f := int64(rng.Intn(10) + 1)
+					a0 := new(big.Int).Div(new(big.Int).Mul(r0, big.NewInt(f)), big.NewInt(100))
+					a1 := new(big.Int).Div(new(big.Int).Mul(r1, big.NewInt(f)), big.NewInt(100))
+					if a0.Sign() > 0 && a1.Sign() > 0 {
+						if _, err := p.Mint(who, a0, a1); err != nil {
+							t.Fatalf("step %d mint: %v", step, err)
+						}
+						minted[who] = true
+					}
+				case 1, 2: // swap (twice as likely)
+					tok := "X"
+					if rng.Intn(2) == 1 {
+						tok = "Y"
+					}
+					r0, r1 := p.Reserves()
+					rin := r0
+					if tok == "Y" {
+						rin = r1
+					}
+					in := new(big.Int).Div(rin, big.NewInt(int64(rng.Intn(50)+10)))
+					if in.Sign() > 0 {
+						if _, err := p.Swap(tok, in); err != nil {
+							t.Fatalf("step %d swap: %v", step, err)
+						}
+						if k := p.K(); k.Cmp(prevK) < 0 {
+							t.Fatalf("step %d: K decreased %s → %s", step, prevK, k)
+						}
+					}
+				case 3: // burn part of a provider's stake
+					who := providers[rng.Intn(len(providers))]
+					if !minted[who] {
+						continue
+					}
+					bal := p.LiquidityBalance(who)
+					if bal.Sign() == 0 {
+						continue
+					}
+					part := new(big.Int).Div(bal, big.NewInt(int64(rng.Intn(3)+2)))
+					if part.Sign() > 0 {
+						if _, _, err := p.Burn(who, part); err != nil {
+							t.Fatalf("step %d burn: %v", step, err)
+						}
+					}
+				}
+				prevK = p.K()
+
+				// Invariants.
+				r0, r1 := p.Reserves()
+				if r0.Sign() <= 0 || r1.Sign() <= 0 {
+					t.Fatalf("step %d: non-positive reserves (%s, %s)", step, r0, r1)
+				}
+				sum := big.NewInt(MinimumLiquidity)
+				for _, who := range providers {
+					sum.Add(sum, p.LiquidityBalance(who))
+				}
+				if sum.Cmp(p.TotalSupply()) != 0 {
+					t.Fatalf("step %d: supply %s != balances+locked %s", step, p.TotalSupply(), sum)
+				}
+			}
+
+			// Final teardown: every provider exits; reserves must cover all
+			// withdrawals with the locked minimum's share left over.
+			for _, who := range providers {
+				bal := p.LiquidityBalance(who)
+				if bal.Sign() > 0 {
+					if _, _, err := p.Burn(who, bal); err != nil {
+						t.Fatalf("final burn %s: %v", who, err)
+					}
+				}
+			}
+			r0, r1 := p.Reserves()
+			if r0.Sign() <= 0 || r1.Sign() <= 0 {
+				t.Fatalf("after full exit reserves = (%s, %s)", r0, r1)
+			}
+			if p.TotalSupply().Cmp(big.NewInt(MinimumLiquidity)) != 0 {
+				t.Fatalf("after full exit supply = %s, want locked %d", p.TotalSupply(), MinimumLiquidity)
+			}
+		})
+	}
+}

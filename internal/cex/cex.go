@@ -1,0 +1,296 @@
+// Package cex provides centralized-exchange price feeds for monetizing
+// arbitrage profits. The paper sources Binance prices through the
+// CoinGecko API; this package supplies the same capability three ways:
+//
+//   - Static: a fixed in-memory price table (used by tests and examples);
+//   - Server: an HTTP simulator speaking a CoinGecko-style
+//     GET /simple/price?ids=SYM1,SYM2&vs_currencies=usd endpoint;
+//   - Client: an HTTP client for that endpoint with TTL caching, so a
+//     trading loop can poll prices without hammering the upstream API.
+//
+// All oracles implement Oracle and are safe for concurrent use.
+package cex
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by oracles.
+var (
+	ErrUnknownSymbol = errors.New("cex: unknown symbol")
+	ErrBadResponse   = errors.New("cex: malformed upstream response")
+	ErrUpstream      = errors.New("cex: upstream failure")
+)
+
+// Oracle supplies USD prices for token symbols.
+type Oracle interface {
+	// Price returns the USD price of one symbol.
+	Price(ctx context.Context, symbol string) (float64, error)
+	// Prices returns USD prices for all requested symbols; it fails if any
+	// symbol is unknown.
+	Prices(ctx context.Context, symbols []string) (map[string]float64, error)
+}
+
+// Static is a fixed price table. The zero value is an empty oracle.
+type Static struct {
+	mu     sync.RWMutex
+	prices map[string]float64
+}
+
+var _ Oracle = (*Static)(nil)
+
+// NewStatic copies the given table into a Static oracle.
+func NewStatic(prices map[string]float64) *Static {
+	cp := make(map[string]float64, len(prices))
+	for k, v := range prices {
+		cp[k] = v
+	}
+	return &Static{prices: cp}
+}
+
+// Set inserts or updates a price.
+func (s *Static) Set(symbol string, price float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prices == nil {
+		s.prices = make(map[string]float64)
+	}
+	s.prices[symbol] = price
+}
+
+// Price implements Oracle.
+func (s *Static) Price(_ context.Context, symbol string) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.prices[symbol]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownSymbol, symbol)
+	}
+	return p, nil
+}
+
+// Prices implements Oracle.
+func (s *Static) Prices(ctx context.Context, symbols []string) (map[string]float64, error) {
+	out := make(map[string]float64, len(symbols))
+	for _, sym := range symbols {
+		p, err := s.Price(ctx, sym)
+		if err != nil {
+			return nil, err
+		}
+		out[sym] = p
+	}
+	return out, nil
+}
+
+// Server is an HTTP handler that simulates a CoinGecko-style price API:
+//
+//	GET /simple/price?ids=WETH,USDC&vs_currencies=usd
+//	→ {"WETH":{"usd":1650.0},"USDC":{"usd":1.0}}
+//
+// Unknown symbols yield 404 with a JSON error body, matching the behaviour
+// the trading client needs to distinguish "no such token" from transport
+// failures.
+type Server struct {
+	oracle Oracle
+}
+
+// NewServer wraps an oracle as an HTTP API.
+func NewServer(oracle Oracle) *Server { return &Server{oracle: oracle} }
+
+var _ http.Handler = (*Server)(nil)
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	if r.URL.Path != "/simple/price" {
+		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	if vs := q.Get("vs_currencies"); vs != "" && vs != "usd" {
+		http.Error(w, `{"error":"only usd supported"}`, http.StatusBadRequest)
+		return
+	}
+	ids := strings.Split(q.Get("ids"), ",")
+	syms := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if id = strings.TrimSpace(id); id != "" {
+			syms = append(syms, id)
+		}
+	}
+	if len(syms) == 0 {
+		http.Error(w, `{"error":"ids required"}`, http.StatusBadRequest)
+		return
+	}
+	sort.Strings(syms)
+
+	prices, err := s.oracle.Prices(r.Context(), syms)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownSymbol) {
+			status = http.StatusNotFound
+		}
+		body, _ := json.Marshal(map[string]string{"error": err.Error()})
+		http.Error(w, string(body), status)
+		return
+	}
+	out := make(map[string]map[string]float64, len(prices))
+	for sym, p := range prices {
+		out[sym] = map[string]float64{"usd": p}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		// Headers already sent; nothing recoverable remains.
+		return
+	}
+}
+
+// ClientOptions tune the HTTP oracle client.
+type ClientOptions struct {
+	// TTL is how long fetched prices stay fresh in the cache
+	// (default 5s).
+	TTL time.Duration
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+// Client fetches prices over HTTP with TTL caching. It implements Oracle.
+type Client struct {
+	baseURL string
+	opts    ClientOptions
+
+	mu    sync.Mutex
+	cache map[string]cachedPrice
+}
+
+type cachedPrice struct {
+	price   float64
+	fetched time.Time
+}
+
+var _ Oracle = (*Client)(nil)
+
+// NewClient builds a client for a Server-compatible API rooted at baseURL.
+func NewClient(baseURL string, opts ClientOptions) *Client {
+	if opts.TTL <= 0 {
+		opts.TTL = 5 * time.Second
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		opts:    opts,
+		cache:   make(map[string]cachedPrice),
+	}
+}
+
+// Price implements Oracle.
+func (c *Client) Price(ctx context.Context, symbol string) (float64, error) {
+	prices, err := c.Prices(ctx, []string{symbol})
+	if err != nil {
+		return 0, err
+	}
+	return prices[symbol], nil
+}
+
+// Prices implements Oracle: cached entries are served locally and only the
+// stale or missing symbols hit the upstream API (one batched request).
+func (c *Client) Prices(ctx context.Context, symbols []string) (map[string]float64, error) {
+	now := c.opts.Now()
+	out := make(map[string]float64, len(symbols))
+	var missing []string
+
+	c.mu.Lock()
+	for _, sym := range symbols {
+		if e, ok := c.cache[sym]; ok && now.Sub(e.fetched) < c.opts.TTL {
+			out[sym] = e.price
+		} else {
+			missing = append(missing, sym)
+		}
+	}
+	c.mu.Unlock()
+
+	if len(missing) == 0 {
+		return out, nil
+	}
+	sort.Strings(missing)
+
+	fetched, err := c.fetch(ctx, missing)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	for sym, p := range fetched {
+		c.cache[sym] = cachedPrice{price: p, fetched: now}
+		out[sym] = p
+	}
+	c.mu.Unlock()
+
+	for _, sym := range missing {
+		if _, ok := out[sym]; !ok {
+			return nil, fmt.Errorf("%w: %q missing from response", ErrBadResponse, sym)
+		}
+	}
+	return out, nil
+}
+
+// InvalidateCache drops all cached prices.
+func (c *Client) InvalidateCache() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = make(map[string]cachedPrice)
+}
+
+func (c *Client) fetch(ctx context.Context, symbols []string) (map[string]float64, error) {
+	u := fmt.Sprintf("%s/simple/price?ids=%s&vs_currencies=usd",
+		c.baseURL, url.QueryEscape(strings.Join(symbols, ",")))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cex: build request: %w", err)
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUpstream, err)
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: one of %v", ErrUnknownSymbol, symbols)
+	default:
+		return nil, fmt.Errorf("%w: status %d", ErrUpstream, resp.StatusCode)
+	}
+	var body map[string]map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadResponse, err)
+	}
+	out := make(map[string]float64, len(body))
+	for sym, cur := range body {
+		p, ok := cur["usd"]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q lacks usd quote", ErrBadResponse, sym)
+		}
+		out[sym] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,270 @@
+package cex
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStaticOracle(t *testing.T) {
+	o := NewStatic(map[string]float64{"WETH": 1650, "USDC": 1})
+	ctx := context.Background()
+
+	p, err := o.Price(ctx, "WETH")
+	if err != nil || p != 1650 {
+		t.Errorf("Price = %g, %v", p, err)
+	}
+	if _, err := o.Price(ctx, "NOPE"); !errors.Is(err, ErrUnknownSymbol) {
+		t.Errorf("unknown symbol error = %v", err)
+	}
+
+	ps, err := o.Prices(ctx, []string{"WETH", "USDC"})
+	if err != nil || len(ps) != 2 {
+		t.Errorf("Prices = %v, %v", ps, err)
+	}
+	if _, err := o.Prices(ctx, []string{"WETH", "NOPE"}); err == nil {
+		t.Error("partial unknown: want error")
+	}
+}
+
+func TestStaticSetAndZeroValue(t *testing.T) {
+	var o Static
+	o.Set("ABC", 3)
+	p, err := o.Price(context.Background(), "ABC")
+	if err != nil || p != 3 {
+		t.Errorf("after Set: %g, %v", p, err)
+	}
+	// NewStatic copies its input.
+	src := map[string]float64{"X": 1}
+	o2 := NewStatic(src)
+	src["X"] = 99
+	if p, _ := o2.Price(context.Background(), "X"); p != 1 {
+		t.Errorf("NewStatic aliases caller map: %g", p)
+	}
+}
+
+func TestStaticConcurrent(t *testing.T) {
+	o := NewStatic(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				o.Set("S", float64(j))
+				//nolint:errcheck // value race is fine; race detector is the assertion
+				o.Price(context.Background(), "S")
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *Static) {
+	t.Helper()
+	static := NewStatic(map[string]float64{"WETH": 1650, "USDC": 1, "DAI": 0.999})
+	srv := httptest.NewServer(NewServer(static))
+	t.Cleanup(srv.Close)
+	return srv, static
+}
+
+func TestServerHappyPath(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c := NewClient(srv.URL, ClientOptions{})
+	ps, err := c.Prices(context.Background(), []string{"WETH", "USDC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps["WETH"] != 1650 || ps["USDC"] != 1 {
+		t.Errorf("Prices = %v", ps)
+	}
+	p, err := c.Price(context.Background(), "DAI")
+	if err != nil || p != 0.999 {
+		t.Errorf("Price(DAI) = %g, %v", p, err)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	tests := []struct {
+		name       string
+		method     string
+		path       string
+		wantStatus int
+	}{
+		{name: "unknown symbol", method: http.MethodGet, path: "/simple/price?ids=NOPE", wantStatus: http.StatusNotFound},
+		{name: "bad path", method: http.MethodGet, path: "/other", wantStatus: http.StatusNotFound},
+		{name: "missing ids", method: http.MethodGet, path: "/simple/price", wantStatus: http.StatusBadRequest},
+		{name: "bad currency", method: http.MethodGet, path: "/simple/price?ids=WETH&vs_currencies=eur", wantStatus: http.StatusBadRequest},
+		{name: "bad method", method: http.MethodPost, path: "/simple/price?ids=WETH", wantStatus: http.StatusMethodNotAllowed},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			req, err := http.NewRequest(tt.method, srv.URL+tt.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = resp.Body.Close() }()
+			if resp.StatusCode != tt.wantStatus {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tt.wantStatus)
+			}
+		})
+	}
+}
+
+func TestClientCaching(t *testing.T) {
+	var calls atomic.Int64
+	static := NewStatic(map[string]float64{"WETH": 1650})
+	inner := NewServer(static)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := NewClient(srv.URL, ClientOptions{TTL: 10 * time.Second, Now: clock})
+	ctx := context.Background()
+
+	for i := 0; i < 5; i++ {
+		if _, err := c.Price(ctx, "WETH"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("upstream calls = %d, want 1 (cache hit)", got)
+	}
+
+	// Expire the TTL.
+	now = now.Add(11 * time.Second)
+	if _, err := c.Price(ctx, "WETH"); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("upstream calls after TTL = %d, want 2", got)
+	}
+
+	// Manual invalidation.
+	c.InvalidateCache()
+	if _, err := c.Price(ctx, "WETH"); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("upstream calls after invalidate = %d, want 3", got)
+	}
+}
+
+func TestClientBatchesOnlyMissing(t *testing.T) {
+	var lastQuery atomic.Value
+	static := NewStatic(map[string]float64{"A": 1, "B": 2, "C": 3})
+	inner := NewServer(static)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lastQuery.Store(r.URL.Query().Get("ids"))
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, ClientOptions{TTL: time.Hour})
+	ctx := context.Background()
+	if _, err := c.Prices(ctx, []string{"A"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Prices(ctx, []string{"A", "B", "C"}); err != nil {
+		t.Fatal(err)
+	}
+	// The second call must only fetch B and C.
+	if q := lastQuery.Load().(string); q != "B,C" {
+		t.Errorf("second fetch ids = %q, want \"B,C\"", q)
+	}
+}
+
+func TestClientUnknownSymbol(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c := NewClient(srv.URL, ClientOptions{})
+	if _, err := c.Price(context.Background(), "NOPE"); !errors.Is(err, ErrUnknownSymbol) {
+		t.Errorf("error = %v, want ErrUnknownSymbol", err)
+	}
+}
+
+func TestClientUpstreamFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, ClientOptions{})
+	if _, err := c.Price(context.Background(), "WETH"); !errors.Is(err, ErrUpstream) {
+		t.Errorf("error = %v, want ErrUpstream", err)
+	}
+}
+
+func TestClientMalformedResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write([]byte(`{"WETH":{"eur":5}}`)); err != nil {
+			return
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, ClientOptions{})
+	if _, err := c.Price(context.Background(), "WETH"); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("error = %v, want ErrBadResponse", err)
+	}
+}
+
+func TestClientIncompleteResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write([]byte(`{"A":{"usd":1}}`)); err != nil {
+			return
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, ClientOptions{})
+	if _, err := c.Prices(context.Background(), []string{"A", "B"}); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("error = %v, want ErrBadResponse for missing symbol", err)
+	}
+}
+
+func TestClientContextCancelled(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	c := NewClient(srv.URL, ClientOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Price(ctx, "WETH"); err == nil {
+		t.Error("cancelled context: want error")
+	}
+}
+
+func TestClientConcurrent(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c := NewClient(srv.URL, ClientOptions{TTL: time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				//nolint:errcheck // race detector is the assertion
+				c.Prices(context.Background(), []string{"WETH", "USDC", "DAI"})
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,380 @@
+// Package convexopt implements a self-contained interior-point solver for
+// smooth convex programs
+//
+//	minimize    f(x)
+//	subject to  g_i(x) ≤ 0,  i = 1…m
+//
+// with twice-differentiable f and g_i, using the classic log-barrier
+// path-following method (Boyd & Vandenberghe, ch. 11): for increasing t,
+// minimize φ_t(x) = t·f(x) − Σ log(−g_i(x)) with damped Newton steps, each
+// solved through a dense Cholesky factorization (package linalg). The
+// suboptimality after the outer loop is bounded by m/t.
+//
+// The paper's ConvexOptimization strategy (problem (8)) is solved through
+// this package; Go lacks a mature convex-optimization library, so the
+// solver is hand-rolled (see DESIGN.md substitutions).
+package convexopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"arbloop/internal/linalg"
+)
+
+// Errors returned by the solver.
+var (
+	ErrInfeasibleStart = errors.New("convexopt: start point is not strictly feasible")
+	ErrDimension       = errors.New("convexopt: dimension mismatch")
+	ErrNoProgress      = errors.New("convexopt: line search failed to make progress")
+	ErrBadProblem      = errors.New("convexopt: malformed problem")
+)
+
+// Constraint is one inequality g(x) ≤ 0.
+type Constraint struct {
+	// Value evaluates g(x). Feasibility requires g(x) < 0 strictly for
+	// interior points.
+	Value func(x linalg.Vector) float64
+	// Gradient writes ∇g(x) into grad (len n, pre-zeroed by the solver).
+	Gradient func(x linalg.Vector, grad linalg.Vector)
+	// Hessian adds ∇²g(x) into h (n×n). Nil for affine constraints.
+	Hessian func(x linalg.Vector, h *linalg.Matrix)
+}
+
+// Problem is a smooth convex minimization problem.
+type Problem struct {
+	// N is the number of variables.
+	N int
+	// Objective evaluates f(x).
+	Objective func(x linalg.Vector) float64
+	// Gradient writes ∇f(x) into grad (len n, pre-zeroed by the solver).
+	Gradient func(x linalg.Vector, grad linalg.Vector)
+	// Hessian adds ∇²f(x) into h (n×n, pre-zeroed by the solver). Nil for
+	// affine objectives.
+	Hessian func(x linalg.Vector, h *linalg.Matrix)
+	// Constraints are the inequality constraints.
+	Constraints []Constraint
+}
+
+// Options tune the barrier method. Zero values select defaults.
+type Options struct {
+	// Tol is the target duality-gap bound m/t (default 1e-9).
+	Tol float64
+	// T0 is the initial barrier parameter (default 1).
+	T0 float64
+	// Mu is the barrier growth factor per outer iteration (default 20).
+	Mu float64
+	// NewtonTol stops the inner loop when the Newton decrement λ²/2 falls
+	// below it (default 1e-10).
+	NewtonTol float64
+	// MaxNewton bounds inner iterations per outer step (default 100).
+	MaxNewton int
+	// MaxOuter bounds outer (centering) steps (default 100).
+	MaxOuter int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.T0 <= 0 {
+		o.T0 = 1
+	}
+	if o.Mu <= 1 {
+		o.Mu = 20
+	}
+	if o.NewtonTol <= 0 {
+		o.NewtonTol = 1e-10
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = 100
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = 100
+	}
+	return o
+}
+
+// Result reports the solver outcome.
+type Result struct {
+	// X is the final iterate.
+	X linalg.Vector
+	// Objective is f(X).
+	Objective float64
+	// GapBound is the final duality-gap bound m/t.
+	GapBound float64
+	// OuterIters and NewtonIters count barrier and Newton steps taken.
+	OuterIters, NewtonIters int
+	// Converged reports whether GapBound ≤ Tol was reached.
+	Converged bool
+}
+
+// Minimize runs the barrier method from the strictly feasible point x0.
+func Minimize(p Problem, x0 linalg.Vector, opts Options) (Result, error) {
+	if p.N <= 0 || p.Objective == nil || p.Gradient == nil {
+		return Result{}, fmt.Errorf("%w: need N>0, Objective, Gradient", ErrBadProblem)
+	}
+	if len(x0) != p.N {
+		return Result{}, fmt.Errorf("%w: x0 has %d entries, want %d", ErrDimension, len(x0), p.N)
+	}
+	for i, c := range p.Constraints {
+		if c.Value == nil || c.Gradient == nil {
+			return Result{}, fmt.Errorf("%w: constraint %d lacks Value/Gradient", ErrBadProblem, i)
+		}
+		if v := c.Value(x0); v >= 0 || math.IsNaN(v) {
+			return Result{}, fmt.Errorf("%w: constraint %d value %g", ErrInfeasibleStart, i, v)
+		}
+	}
+	opts = opts.withDefaults()
+
+	x := x0.Clone()
+	m := float64(len(p.Constraints))
+	t := opts.T0
+	res := Result{}
+
+	grad := linalg.NewVector(p.N)
+	cgrad := linalg.NewVector(p.N)
+	hess := linalg.NewMatrix(p.N, p.N)
+
+	for outer := 0; outer < opts.MaxOuter; outer++ {
+		res.OuterIters++
+
+		// Inner Newton loop on φ_t.
+		stagnant := 0
+		for inner := 0; inner < opts.MaxNewton; inner++ {
+			phi, ok := evalBarrier(p, x, t, grad, cgrad, hess)
+			if !ok {
+				return res, fmt.Errorf("convexopt: barrier undefined at interior point (bug in caller's derivatives?)")
+			}
+
+			step, err := newtonStep(hess, grad)
+			if err != nil {
+				return res, fmt.Errorf("convexopt: newton system: %w", err)
+			}
+			lambda2, err := grad.Dot(step)
+			if err != nil {
+				return res, err
+			}
+			lambda2 = -lambda2 // step = -H⁻¹∇φ ⇒ ∇φᵀstep = -λ²
+			if lambda2/2 <= opts.NewtonTol {
+				break
+			}
+			if math.IsNaN(lambda2) {
+				return res, fmt.Errorf("convexopt: newton decrement is NaN")
+			}
+			res.NewtonIters++
+
+			// Backtracking line search keeping strict feasibility.
+			const alpha, beta = 0.25, 0.5
+			s := 1.0
+			improved := false
+			achieved := 0.0
+			for ls := 0; ls < 60; ls++ {
+				cand := x.Clone()
+				if err := cand.AXPY(s, step); err != nil {
+					return res, err
+				}
+				if !strictlyFeasible(p, cand) {
+					s *= beta
+					continue
+				}
+				candPhi := barrierValue(p, cand, t)
+				if math.IsNaN(candPhi) || candPhi > phi-alpha*s*lambda2 {
+					s *= beta
+					continue
+				}
+				x = cand
+				improved = true
+				achieved = phi - candPhi
+				break
+			}
+			if !improved {
+				// Newton direction exhausted at this precision; accept the
+				// current centering point.
+				break
+			}
+			// Consecutive negligible decreases mean the centering has hit
+			// float64 resolution; further iterations cannot help.
+			if achieved <= 1e-10*(1+math.Abs(phi)) {
+				stagnant++
+				if stagnant >= 3 {
+					break
+				}
+			} else {
+				stagnant = 0
+			}
+		}
+
+		res.GapBound = m / t
+		if m == 0 || res.GapBound <= opts.Tol {
+			res.Converged = true
+			break
+		}
+		t *= opts.Mu
+	}
+
+	res.X = x
+	res.Objective = p.Objective(x)
+	if m == 0 {
+		res.GapBound = 0
+	}
+	return res, nil
+}
+
+// evalBarrier computes φ_t(x) and fills grad/hess. Returns ok=false when a
+// log argument is non-positive.
+func evalBarrier(p Problem, x linalg.Vector, t float64, grad, cgrad linalg.Vector, hess *linalg.Matrix) (float64, bool) {
+	n := p.N
+	for i := range grad {
+		grad[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			hess.Set(i, j, 0)
+		}
+	}
+
+	phi := t * p.Objective(x)
+	p.Gradient(x, grad)
+	for i := range grad {
+		grad[i] *= t
+	}
+	if p.Hessian != nil {
+		scaled := linalg.NewMatrix(n, n)
+		p.Hessian(x, scaled)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				hess.Add(i, j, t*scaled.At(i, j))
+			}
+		}
+	}
+
+	for _, c := range p.Constraints {
+		g := c.Value(x)
+		if g >= 0 || math.IsNaN(g) {
+			return 0, false
+		}
+		phi -= math.Log(-g)
+
+		for i := range cgrad {
+			cgrad[i] = 0
+		}
+		c.Gradient(x, cgrad)
+
+		// ∇φ += ∇g/(−g);  ∇²φ += ∇g∇gᵀ/g² − ∇²g/g.
+		inv := 1 / (-g)
+		for i := 0; i < n; i++ {
+			grad[i] += cgrad[i] * inv
+		}
+		for i := 0; i < n; i++ {
+			if cgrad[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				hess.Add(i, j, cgrad[i]*cgrad[j]*inv*inv)
+			}
+		}
+		if c.Hessian != nil {
+			ch := linalg.NewMatrix(n, n)
+			c.Hessian(x, ch)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					hess.Add(i, j, ch.At(i, j)*inv)
+				}
+			}
+		}
+	}
+	return phi, true
+}
+
+// barrierValue computes φ_t(x) only; NaN when infeasible.
+func barrierValue(p Problem, x linalg.Vector, t float64) float64 {
+	phi := t * p.Objective(x)
+	for _, c := range p.Constraints {
+		g := c.Value(x)
+		if g >= 0 || math.IsNaN(g) {
+			return math.NaN()
+		}
+		phi -= math.Log(-g)
+	}
+	return phi
+}
+
+func strictlyFeasible(p Problem, x linalg.Vector) bool {
+	for _, c := range p.Constraints {
+		if g := c.Value(x); g >= 0 || math.IsNaN(g) {
+			return false
+		}
+	}
+	return true
+}
+
+// newtonStep solves H·step = −grad, adding a diagonal ridge when H is not
+// numerically positive definite. The ridge scales with the largest diagonal
+// entry: near-active constraints contribute rank-one barrier terms many
+// orders of magnitude above the rest of the Hessian, and only a
+// proportionate ridge restores numerical rank.
+func newtonStep(h *linalg.Matrix, grad linalg.Vector) (linalg.Vector, error) {
+	rhs := grad.Scale(-1)
+	maxDiag := 1.0
+	for i := 0; i < h.Rows(); i++ {
+		if d := math.Abs(h.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	ridge := 0.0
+	for attempt := 0; attempt < 16; attempt++ {
+		trial := h.Clone()
+		if ridge > 0 {
+			for i := 0; i < trial.Rows(); i++ {
+				trial.Add(i, i, ridge)
+			}
+		}
+		step, err := trial.SolveCholesky(rhs)
+		if err == nil {
+			return step, nil
+		}
+		if ridge == 0 {
+			ridge = 1e-14 * maxDiag
+		} else {
+			ridge *= 100
+		}
+	}
+	// Last resort: LU on a strongly ridged system (gradient-like step).
+	trial := h.Clone()
+	for i := 0; i < trial.Rows(); i++ {
+		trial.Add(i, i, maxDiag)
+	}
+	return trial.SolveLU(rhs)
+}
+
+// KKTResiduals reports stationarity and complementary-slackness residuals
+// at x for diagnostics: the max-norm of ∇f + Σ λ_i ∇g_i with
+// λ_i = 1/(−t·g_i), and the largest |λ_i·g_i| = 1/t.
+func KKTResiduals(p Problem, x linalg.Vector, t float64) (stationarity, complementarity float64, err error) {
+	if len(x) != p.N {
+		return 0, 0, fmt.Errorf("%w: x has %d entries, want %d", ErrDimension, len(x), p.N)
+	}
+	grad := linalg.NewVector(p.N)
+	p.Gradient(x, grad)
+	cgrad := linalg.NewVector(p.N)
+	for _, c := range p.Constraints {
+		g := c.Value(x)
+		if g >= 0 {
+			return 0, 0, ErrInfeasibleStart
+		}
+		lambda := 1 / (-t * g)
+		for i := range cgrad {
+			cgrad[i] = 0
+		}
+		c.Gradient(x, cgrad)
+		for i := range grad {
+			grad[i] += lambda * cgrad[i]
+		}
+		if cs := math.Abs(lambda * g); cs > complementarity {
+			complementarity = cs
+		}
+	}
+	return grad.NormInf(), complementarity, nil
+}

@@ -1,0 +1,268 @@
+package convexopt
+
+import (
+	"math"
+	"testing"
+
+	"arbloop/internal/linalg"
+)
+
+// quadratic1D: minimize (x−3)² s.t. x ≤ 10, x ≥ −10 → x* = 3.
+func quadratic1D() Problem {
+	return Problem{
+		N:         1,
+		Objective: func(x linalg.Vector) float64 { return (x[0] - 3) * (x[0] - 3) },
+		Gradient:  func(x linalg.Vector, g linalg.Vector) { g[0] = 2 * (x[0] - 3) },
+		Hessian:   func(x linalg.Vector, h *linalg.Matrix) { h.Add(0, 0, 2) },
+		Constraints: []Constraint{
+			{
+				Value:    func(x linalg.Vector) float64 { return x[0] - 10 },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[0] = 1 },
+			},
+			{
+				Value:    func(x linalg.Vector) float64 { return -10 - x[0] },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[0] = -1 },
+			},
+		},
+	}
+}
+
+func TestMinimizeQuadraticInterior(t *testing.T) {
+	res, err := Minimize(quadratic1D(), linalg.Vector{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("not converged")
+	}
+	if math.Abs(res.X[0]-3) > 1e-6 {
+		t.Errorf("x* = %g, want 3", res.X[0])
+	}
+	if math.Abs(res.Objective) > 1e-6 {
+		t.Errorf("f* = %g, want 0", res.Objective)
+	}
+}
+
+func TestMinimizeActiveConstraint(t *testing.T) {
+	// minimize (x−3)² s.t. x ≤ 1 → x* = 1, f* = 4.
+	p := Problem{
+		N:         1,
+		Objective: func(x linalg.Vector) float64 { return (x[0] - 3) * (x[0] - 3) },
+		Gradient:  func(x linalg.Vector, g linalg.Vector) { g[0] = 2 * (x[0] - 3) },
+		Hessian:   func(x linalg.Vector, h *linalg.Matrix) { h.Add(0, 0, 2) },
+		Constraints: []Constraint{
+			{
+				Value:    func(x linalg.Vector) float64 { return x[0] - 1 },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[0] = 1 },
+			},
+		},
+	}
+	res, err := Minimize(p, linalg.Vector{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-5 {
+		t.Errorf("x* = %g, want 1 (active constraint)", res.X[0])
+	}
+	if math.Abs(res.Objective-4) > 1e-4 {
+		t.Errorf("f* = %g, want 4", res.Objective)
+	}
+}
+
+func TestMinimizeMultiDimQP(t *testing.T) {
+	// minimize (x−1)² + 2(y−2)² + xy/10 over the box [−5,5]².
+	// Unconstrained optimum solves: 2(x−1) + y/10 = 0; 4(y−2) + x/10 = 0.
+	p := Problem{
+		N: 2,
+		Objective: func(v linalg.Vector) float64 {
+			x, y := v[0], v[1]
+			return (x-1)*(x-1) + 2*(y-2)*(y-2) + x*y/10
+		},
+		Gradient: func(v linalg.Vector, g linalg.Vector) {
+			x, y := v[0], v[1]
+			g[0] = 2*(x-1) + y/10
+			g[1] = 4*(y-2) + x/10
+		},
+		Hessian: func(v linalg.Vector, h *linalg.Matrix) {
+			h.Add(0, 0, 2)
+			h.Add(1, 1, 4)
+			h.Add(0, 1, 0.1)
+			h.Add(1, 0, 0.1)
+		},
+		Constraints: box2D(5),
+	}
+	res, err := Minimize(p, linalg.Vector{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve the 2×2 stationarity system exactly.
+	a, _ := linalg.NewMatrixFromRows([][]float64{{2, 0.1}, {0.1, 4}})
+	want, err := a.SolveLU(linalg.Vector{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-6 {
+			t.Errorf("x*[%d] = %g, want %g", i, res.X[i], want[i])
+		}
+	}
+}
+
+func box2D(b float64) []Constraint {
+	cs := make([]Constraint, 0, 4)
+	for dim := 0; dim < 2; dim++ {
+		dim := dim
+		cs = append(cs,
+			Constraint{
+				Value:    func(x linalg.Vector) float64 { return x[dim] - b },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[dim] = 1 },
+			},
+			Constraint{
+				Value:    func(x linalg.Vector) float64 { return -b - x[dim] },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[dim] = -1 },
+			},
+		)
+	}
+	return cs
+}
+
+func TestMinimizeNonlinearConstraint(t *testing.T) {
+	// minimize x + y s.t. x² + y² ≤ 2 → x* = y* = −1, f* = −2.
+	p := Problem{
+		N:         2,
+		Objective: func(v linalg.Vector) float64 { return v[0] + v[1] },
+		Gradient:  func(v linalg.Vector, g linalg.Vector) { g[0], g[1] = 1, 1 },
+		Constraints: []Constraint{
+			{
+				Value:    func(v linalg.Vector) float64 { return v[0]*v[0] + v[1]*v[1] - 2 },
+				Gradient: func(v linalg.Vector, g linalg.Vector) { g[0], g[1] = 2*v[0], 2*v[1] },
+				Hessian: func(v linalg.Vector, h *linalg.Matrix) {
+					h.Add(0, 0, 2)
+					h.Add(1, 1, 2)
+				},
+			},
+		},
+	}
+	res, err := Minimize(p, linalg.Vector{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]+1) > 1e-4 || math.Abs(res.X[1]+1) > 1e-4 {
+		t.Errorf("x* = %v, want (−1, −1)", res.X)
+	}
+	if math.Abs(res.Objective+2) > 1e-4 {
+		t.Errorf("f* = %g, want −2", res.Objective)
+	}
+}
+
+func TestMinimizeUnconstrained(t *testing.T) {
+	p := Problem{
+		N:         1,
+		Objective: func(x linalg.Vector) float64 { return math.Cosh(x[0] - 2) },
+		Gradient:  func(x linalg.Vector, g linalg.Vector) { g[0] = math.Sinh(x[0] - 2) },
+		Hessian:   func(x linalg.Vector, h *linalg.Matrix) { h.Add(0, 0, math.Cosh(x[0]-2)) },
+	}
+	res, err := Minimize(p, linalg.Vector{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 {
+		t.Errorf("x* = %g, want 2", res.X[0])
+	}
+	if res.GapBound != 0 {
+		t.Errorf("GapBound = %g, want 0 for unconstrained", res.GapBound)
+	}
+}
+
+func TestMinimizeValidation(t *testing.T) {
+	p := quadratic1D()
+
+	if _, err := Minimize(p, linalg.Vector{0, 0}, Options{}); err == nil {
+		t.Error("wrong x0 dimension: want error")
+	}
+	if _, err := Minimize(p, linalg.Vector{50}, Options{}); err == nil {
+		t.Error("infeasible start: want error")
+	}
+	if _, err := Minimize(Problem{N: 0}, nil, Options{}); err == nil {
+		t.Error("empty problem: want error")
+	}
+	bad := quadratic1D()
+	bad.Constraints = append(bad.Constraints, Constraint{})
+	if _, err := Minimize(bad, linalg.Vector{0}, Options{}); err == nil {
+		t.Error("constraint without Value: want error")
+	}
+}
+
+func TestMinimizeBoundaryOptimum(t *testing.T) {
+	// minimize x s.t. x ≥ 0 → optimum exactly on the boundary; the barrier
+	// method approaches it to within the gap bound.
+	p := Problem{
+		N:         1,
+		Objective: func(x linalg.Vector) float64 { return x[0] },
+		Gradient:  func(x linalg.Vector, g linalg.Vector) { g[0] = 1 },
+		Constraints: []Constraint{
+			{
+				Value:    func(x linalg.Vector) float64 { return -x[0] },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[0] = -1 },
+			},
+		},
+	}
+	res, err := Minimize(p, linalg.Vector{1}, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] < 0 || res.X[0] > 1e-8 {
+		t.Errorf("x* = %g, want within 1e-8 of boundary 0", res.X[0])
+	}
+}
+
+func TestKKTResiduals(t *testing.T) {
+	p := quadratic1D()
+	res, err := Minimize(p, linalg.Vector{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the (interior) optimum the multipliers are tiny and stationarity
+	// nearly holds with plain ∇f.
+	stat, compl, err := KKTResiduals(p, res.X, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat > 1e-4 {
+		t.Errorf("stationarity residual = %g", stat)
+	}
+	if compl > 1e-8 {
+		t.Errorf("complementarity residual = %g", compl)
+	}
+	if _, _, err := KKTResiduals(p, linalg.Vector{0, 0}, 1); err == nil {
+		t.Error("dimension mismatch: want error")
+	}
+	if _, _, err := KKTResiduals(p, linalg.Vector{11}, 1); err == nil {
+		t.Error("infeasible point: want error")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Tol <= 0 || o.T0 <= 0 || o.Mu <= 1 || o.MaxNewton <= 0 || o.MaxOuter <= 0 || o.NewtonTol <= 0 {
+		t.Errorf("defaults not filled: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{Tol: 1e-3, Mu: 5}.withDefaults()
+	if o2.Tol != 1e-3 || o2.Mu != 5 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestMinimizeTracksIterationCounts(t *testing.T) {
+	res, err := Minimize(quadratic1D(), linalg.Vector{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OuterIters <= 0 {
+		t.Error("OuterIters not tracked")
+	}
+	if res.NewtonIters <= 0 {
+		t.Error("NewtonIters not tracked")
+	}
+}

@@ -1,0 +1,100 @@
+package convexopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"arbloop/internal/linalg"
+)
+
+// ErrInfeasible reports that Phase I could not find a strictly feasible
+// point (the problem's interior is empty or numerically unreachable).
+var ErrInfeasible = errors.New("convexopt: problem is infeasible")
+
+// FindFeasible runs the standard Phase-I program
+//
+//	minimize    s
+//	subject to  g_i(x) ≤ s
+//
+// from an arbitrary start x0, and returns a strictly feasible point for
+// the original constraints (all g_i(x) < 0) when one exists. The
+// augmented start (x0, s0) with s0 > max_i g_i(x0) is strictly feasible
+// for the Phase-I program by construction, so Minimize always applies.
+func FindFeasible(p Problem, x0 linalg.Vector, opts Options) (linalg.Vector, error) {
+	if len(x0) != p.N {
+		return nil, fmt.Errorf("%w: x0 has %d entries, want %d", ErrDimension, len(x0), p.N)
+	}
+	if len(p.Constraints) == 0 {
+		return x0.Clone(), nil
+	}
+
+	// s0 strictly above the worst violation (and above zero so the start
+	// is interior even when x0 already satisfies everything).
+	worst := math.Inf(-1)
+	for _, c := range p.Constraints {
+		g := c.Value(x0)
+		if math.IsNaN(g) {
+			return nil, fmt.Errorf("convexopt: constraint undefined at x0")
+		}
+		if g > worst {
+			worst = g
+		}
+	}
+	s0 := worst + 1 + 0.1*math.Abs(worst)
+
+	n := p.N
+	aug := Problem{
+		N:         n + 1,
+		Objective: func(z linalg.Vector) float64 { return z[n] },
+		Gradient: func(z linalg.Vector, g linalg.Vector) {
+			g[n] = 1
+		},
+	}
+	for i := range p.Constraints {
+		c := p.Constraints[i]
+		aug.Constraints = append(aug.Constraints, Constraint{
+			Value: func(z linalg.Vector) float64 {
+				return c.Value(z[:n]) - z[n]
+			},
+			Gradient: func(z linalg.Vector, g linalg.Vector) {
+				// The solver pre-zeroes g; write the x-part then the s-part.
+				c.Gradient(z[:n], g[:n])
+				g[n] += -1
+			},
+			Hessian: func(z linalg.Vector, h *linalg.Matrix) {
+				if c.Hessian == nil {
+					return
+				}
+				sub := linalg.NewMatrix(n, n)
+				c.Hessian(z[:n], sub)
+				for r := 0; r < n; r++ {
+					for col := 0; col < n; col++ {
+						h.Add(r, col, sub.At(r, col))
+					}
+				}
+			},
+		})
+	}
+
+	z0 := make(linalg.Vector, n+1)
+	copy(z0, x0)
+	z0[n] = s0
+
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-8
+	}
+	res, err := Minimize(aug, z0, opts)
+	if err != nil {
+		return nil, fmt.Errorf("convexopt: phase I: %w", err)
+	}
+	x := res.X[:n].Clone()
+	// Strict feasibility check of the x-part against the true constraints.
+	for i, c := range p.Constraints {
+		if g := c.Value(x); g >= 0 || math.IsNaN(g) {
+			return nil, fmt.Errorf("%w: constraint %d at %g after phase I (s* = %g)",
+				ErrInfeasible, i, g, res.X[n])
+		}
+	}
+	return x, nil
+}

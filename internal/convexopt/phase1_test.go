@@ -1,0 +1,121 @@
+package convexopt
+
+import (
+	"errors"
+	"testing"
+
+	"arbloop/internal/linalg"
+)
+
+func TestFindFeasibleBox(t *testing.T) {
+	// Feasible set: 2 ≤ x ≤ 5; start far outside.
+	p := Problem{
+		N:         1,
+		Objective: func(x linalg.Vector) float64 { return 0 },
+		Gradient:  func(x linalg.Vector, g linalg.Vector) {},
+		Constraints: []Constraint{
+			{
+				Value:    func(x linalg.Vector) float64 { return 2 - x[0] },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[0] = -1 },
+			},
+			{
+				Value:    func(x linalg.Vector) float64 { return x[0] - 5 },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[0] = 1 },
+			},
+		},
+	}
+	x, err := FindFeasible(p, linalg.Vector{100}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] <= 2 || x[0] >= 5 {
+		t.Errorf("phase I returned %g outside (2, 5)", x[0])
+	}
+}
+
+func TestFindFeasibleNonlinear(t *testing.T) {
+	// Feasible set: unit disk intersected with x+y ≥ 1 (non-empty interior).
+	p := Problem{
+		N:         2,
+		Objective: func(x linalg.Vector) float64 { return 0 },
+		Gradient:  func(x linalg.Vector, g linalg.Vector) {},
+		Constraints: []Constraint{
+			{
+				Value:    func(v linalg.Vector) float64 { return v[0]*v[0] + v[1]*v[1] - 1 },
+				Gradient: func(v linalg.Vector, g linalg.Vector) { g[0], g[1] = 2*v[0], 2*v[1] },
+				Hessian: func(v linalg.Vector, h *linalg.Matrix) {
+					h.Add(0, 0, 2)
+					h.Add(1, 1, 2)
+				},
+			},
+			{
+				Value:    func(v linalg.Vector) float64 { return 1 - v[0] - v[1] },
+				Gradient: func(v linalg.Vector, g linalg.Vector) { g[0], g[1] = -1, -1 },
+			},
+		},
+	}
+	x, err := FindFeasible(p, linalg.Vector{-3, 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0]*x[0]+x[1]*x[1] >= 1 || x[0]+x[1] <= 1 {
+		t.Errorf("phase I point %v not strictly feasible", x)
+	}
+}
+
+func TestFindFeasibleInfeasibleProblem(t *testing.T) {
+	// x ≤ −1 and x ≥ 1 simultaneously: empty set.
+	p := Problem{
+		N:         1,
+		Objective: func(x linalg.Vector) float64 { return 0 },
+		Gradient:  func(x linalg.Vector, g linalg.Vector) {},
+		Constraints: []Constraint{
+			{
+				Value:    func(x linalg.Vector) float64 { return x[0] + 1 },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[0] = 1 },
+			},
+			{
+				Value:    func(x linalg.Vector) float64 { return 1 - x[0] },
+				Gradient: func(x linalg.Vector, g linalg.Vector) { g[0] = -1 },
+			},
+		},
+	}
+	if _, err := FindFeasible(p, linalg.Vector{0}, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("infeasible problem error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestFindFeasibleUnconstrained(t *testing.T) {
+	p := Problem{
+		N:         2,
+		Objective: func(x linalg.Vector) float64 { return 0 },
+		Gradient:  func(x linalg.Vector, g linalg.Vector) {},
+	}
+	x, err := FindFeasible(p, linalg.Vector{3, 4}, Options{})
+	if err != nil || x[0] != 3 || x[1] != 4 {
+		t.Errorf("unconstrained phase I = %v, %v", x, err)
+	}
+}
+
+func TestFindFeasibleDimensionMismatch(t *testing.T) {
+	p := quadratic1D()
+	if _, err := FindFeasible(p, linalg.Vector{1, 2}, Options{}); err == nil {
+		t.Error("dimension mismatch: want error")
+	}
+}
+
+func TestFindFeasibleFeedsMinimize(t *testing.T) {
+	// End-to-end: phase I from an infeasible start, then phase II.
+	p := quadratic1D()
+	x0, err := FindFeasible(p, linalg.Vector{50}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(p, x0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.X[0] - 3; d > 1e-5 || d < -1e-5 {
+		t.Errorf("phase II optimum = %g, want 3", res.X[0])
+	}
+}

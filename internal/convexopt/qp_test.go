@@ -1,0 +1,104 @@
+package convexopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"arbloop/internal/linalg"
+)
+
+// TestRandomQPMatchesLinearSolve checks the barrier solver against the
+// analytic optimum of random strictly convex quadratic programs whose
+// box constraints are inactive: minimize ½xᵀQx − bᵀx over a huge box has
+// the unique solution Qx = b, computable by LU.
+func TestRandomQPMatchesLinearSolve(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+
+		// Q = MᵀM + n·I (SPD), b random.
+		m := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		q, err := m.Transpose().Mul(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			q.Add(i, i, float64(n))
+		}
+		b := make(linalg.Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 5
+		}
+
+		want, err := q.SolveLU(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		prob := Problem{
+			N: n,
+			Objective: func(x linalg.Vector) float64 {
+				qx, err := q.MulVec(x)
+				if err != nil {
+					return math.NaN()
+				}
+				xQx, err := x.Dot(qx)
+				if err != nil {
+					return math.NaN()
+				}
+				bx, err := b.Dot(x)
+				if err != nil {
+					return math.NaN()
+				}
+				return 0.5*xQx - bx
+			},
+			Gradient: func(x linalg.Vector, g linalg.Vector) {
+				qx, err := q.MulVec(x)
+				if err != nil {
+					return
+				}
+				for i := range g {
+					g[i] = qx[i] - b[i]
+				}
+			},
+			Hessian: func(x linalg.Vector, h *linalg.Matrix) {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						h.Add(i, j, q.At(i, j))
+					}
+				}
+			},
+		}
+		// Large box keeps the constraints inactive but exercised.
+		const box = 1e4
+		for dim := 0; dim < n; dim++ {
+			dim := dim
+			prob.Constraints = append(prob.Constraints,
+				Constraint{
+					Value:    func(x linalg.Vector) float64 { return x[dim] - box },
+					Gradient: func(x linalg.Vector, g linalg.Vector) { g[dim] += 1 },
+				},
+				Constraint{
+					Value:    func(x linalg.Vector) float64 { return -box - x[dim] },
+					Gradient: func(x linalg.Vector, g linalg.Vector) { g[dim] += -1 },
+				},
+			)
+		}
+
+		res, err := Minimize(prob, linalg.NewVector(n), Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range want {
+			if math.Abs(res.X[i]-want[i]) > 1e-5*(1+math.Abs(want[i])) {
+				t.Errorf("seed %d: x[%d] = %.8g, want %.8g", seed, i, res.X[i], want[i])
+			}
+		}
+	}
+}

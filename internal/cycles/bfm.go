@@ -1,0 +1,136 @@
+package cycles
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"arbloop/internal/graph"
+)
+
+// BellmanFordMoore searches the directed multigraph for a negative cycle
+// under the weights w(u→v) = −log(γ·r_v/r_u), i.e. an arbitrage loop
+// (Zhou et al., S&P'21 use this detector). It runs the Bellman–Ford–Moore
+// relaxation from a virtual source connected to every node (dist ≡ 0), and
+// on detecting a relaxable edge after |V|−1 passes walks the predecessor
+// chain to extract one cycle.
+//
+// The returned loop is anchored at its smallest node index and validated.
+// When no arbitrage loop exists it returns ErrNoNegCycle.
+func BellmanFordMoore(g *graph.Graph) (Directed, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return Directed{}, fmt.Errorf("%w: empty graph", ErrNoNegCycle)
+	}
+
+	type arc struct {
+		from, to, pool int
+		w              float64
+	}
+	arcs := make([]arc, 0, 2*g.NumEdges())
+	for _, e := range g.Edges() {
+		pool := g.Pool(e.PoolIndex)
+		pu, err := pool.SpotPrice(g.Node(e.U))
+		if err != nil {
+			return Directed{}, err
+		}
+		pv, err := pool.SpotPrice(g.Node(e.V))
+		if err != nil {
+			return Directed{}, err
+		}
+		arcs = append(arcs,
+			arc{from: e.U, to: e.V, pool: e.PoolIndex, w: -math.Log(pu)},
+			arc{from: e.V, to: e.U, pool: e.PoolIndex, w: -math.Log(pv)},
+		)
+	}
+
+	dist := make([]float64, n) // virtual source: all zero
+	predNode := make([]int, n)
+	predPool := make([]int, n)
+	for i := range predNode {
+		predNode[i] = -1
+		predPool[i] = -1
+	}
+
+	relaxAll := func() (changedNode int) {
+		changedNode = -1
+		for _, a := range arcs {
+			if nd := dist[a.from] + a.w; nd < dist[a.to]-1e-15 {
+				dist[a.to] = nd
+				predNode[a.to] = a.from
+				predPool[a.to] = a.pool
+				changedNode = a.to
+			}
+		}
+		return changedNode
+	}
+
+	for pass := 0; pass < n-1; pass++ {
+		if relaxAll() == -1 {
+			return Directed{}, ErrNoNegCycle
+		}
+	}
+	witness := relaxAll()
+	if witness == -1 {
+		return Directed{}, ErrNoNegCycle
+	}
+
+	// The witness is reachable from a negative cycle; walking n predecessor
+	// steps is guaranteed to land inside the cycle.
+	v := witness
+	for i := 0; i < n; i++ {
+		v = predNode[v]
+	}
+	// Extract the cycle by following predecessors until v repeats.
+	var revNodes, revPools []int
+	u := v
+	for {
+		revNodes = append(revNodes, u)
+		revPools = append(revPools, predPool[u])
+		u = predNode[u]
+		if u == v {
+			break
+		}
+	}
+	// revNodes is in reverse traversal order (each node preceded by its
+	// predecessor); reverse to get the forward loop.
+	k := len(revNodes)
+	nodes := make([]int, k)
+	pools := make([]int, k)
+	for i := 0; i < k; i++ {
+		nodes[i] = revNodes[k-1-i]
+	}
+	// predPool[revNodes[i]] is the pool from predNode into revNodes[i];
+	// forward hop j goes nodes[j] → nodes[j+1] via the pool recorded at
+	// nodes[j+1].
+	for j := 0; j < k; j++ {
+		pools[j] = predPool[nodes[(j+1)%k]]
+	}
+
+	// Anchor at the smallest node index.
+	minAt := 0
+	for i, nd := range nodes {
+		if nd < nodes[minAt] {
+			minAt = i
+		}
+	}
+	d := Directed{Nodes: nodes, Pools: pools}.Rotate(minAt)
+	if err := Validate(g, d); err != nil {
+		return Directed{}, fmt.Errorf("cycles: extracted cycle invalid: %w", err)
+	}
+	return d, nil
+}
+
+// HasArbitrage reports whether any arbitrage loop exists, via a cheap
+// Bellman–Ford–Moore feasibility run.
+func HasArbitrage(g *graph.Graph) (bool, error) {
+	_, err := BellmanFordMoore(g)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, ErrNoNegCycle):
+		return false, nil
+	default:
+		return false, err
+	}
+}

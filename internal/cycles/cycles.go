@@ -1,0 +1,268 @@
+// Package cycles implements the loop-detection substrates the paper's
+// related work uses on token exchange graphs:
+//
+//   - Enumerate: bounded-length DFS enumeration of undirected simple cycles
+//     with canonical deduplication (each cycle reported once, up to
+//     rotation and reflection). This is the workhorse behind the paper's
+//     "traverse all token loops with 3 (or 4) tokens" step (§VI).
+//   - Johnson: Johnson's elementary-circuit algorithm on the directed
+//     multigraph induced by the pools (two arcs per pool), as used by
+//     McLaughlin et al. for historic arbitrage mining.
+//   - BellmanFordMoore: negative-cycle detection over −log(price) weights,
+//     as used by Zhou et al. for just-in-time arbitrage discovery.
+//
+// A cycle becomes an *arbitrage loop* when the product of fee-adjusted spot
+// prices along one of its two orientations exceeds 1; ArbitrageLoops
+// performs that filtering.
+package cycles
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"arbloop/internal/graph"
+)
+
+// Errors returned by the enumerators.
+var (
+	ErrBadLength  = errors.New("cycles: invalid length bounds")
+	ErrTooMany    = errors.New("cycles: circuit limit exceeded")
+	ErrNoNegCycle = errors.New("cycles: no negative cycle")
+)
+
+// Cycle is an undirected simple cycle in canonical form: Nodes[0] is the
+// smallest node index, Nodes[1] < Nodes[len-1] (for length ≥ 3), and
+// Pools[i] connects Nodes[i] with Nodes[(i+1)%len].
+type Cycle struct {
+	Nodes []int
+	Pools []int
+}
+
+// Len returns the number of hops (= number of pools = number of tokens).
+func (c Cycle) Len() int { return len(c.Nodes) }
+
+// Directed is a directed traversal of a cycle: hop i swaps the input token
+// Nodes[i] for Nodes[(i+1)%len] through pool Pools[i].
+type Directed struct {
+	Nodes []int
+	Pools []int
+}
+
+// Len returns the number of hops.
+func (d Directed) Len() int { return len(d.Nodes) }
+
+// Forward returns the directed traversal following the cycle's stored
+// order.
+func (c Cycle) Forward() Directed {
+	nodes := make([]int, len(c.Nodes))
+	pools := make([]int, len(c.Pools))
+	copy(nodes, c.Nodes)
+	copy(pools, c.Pools)
+	return Directed{Nodes: nodes, Pools: pools}
+}
+
+// Reverse returns the opposite orientation of the cycle, anchored at the
+// same first node.
+func (c Cycle) Reverse() Directed {
+	k := len(c.Nodes)
+	nodes := make([]int, k)
+	pools := make([]int, k)
+	nodes[0] = c.Nodes[0]
+	for i := 1; i < k; i++ {
+		nodes[i] = c.Nodes[k-i]
+	}
+	for i := 0; i < k; i++ {
+		pools[i] = c.Pools[(k-1-i)%k]
+	}
+	return Directed{Nodes: nodes, Pools: pools}
+}
+
+// Rotate returns the directed loop re-anchored to start at hop offset.
+// Rotations of an arbitrage loop are the different start tokens the
+// MaxMax strategy evaluates.
+func (d Directed) Rotate(offset int) Directed {
+	k := len(d.Nodes)
+	offset = ((offset % k) + k) % k
+	nodes := make([]int, k)
+	pools := make([]int, k)
+	for i := 0; i < k; i++ {
+		nodes[i] = d.Nodes[(i+offset)%k]
+		pools[i] = d.Pools[(i+offset)%k]
+	}
+	return Directed{Nodes: nodes, Pools: pools}
+}
+
+// Enumerate lists all undirected simple cycles with length in
+// [minLen, maxLen], each exactly once in canonical form. Cycles of length 2
+// (two distinct pools between the same token pair) are supported when
+// minLen ≤ 2. limit caps the number of cycles returned (0 = unlimited);
+// exceeding it returns ErrTooMany.
+func Enumerate(g *graph.Graph, minLen, maxLen, limit int) ([]Cycle, error) {
+	if minLen < 2 || maxLen < minLen {
+		return nil, fmt.Errorf("%w: [%d, %d]", ErrBadLength, minLen, maxLen)
+	}
+	n := g.NumNodes()
+	var out []Cycle
+
+	path := make([]int, 0, maxLen)      // node sequence, path[0] = start
+	pathPools := make([]int, 0, maxLen) // pathPools[i] connects path[i], path[i+1]
+	onPath := make([]bool, n)
+
+	var dfs func(start, u int) error
+	dfs = func(start, u int) error {
+		for _, adj := range g.Adjacent(u) {
+			v := adj.Neighbor
+			if v == start && len(path) >= minLen {
+				k := len(path)
+				if k == 2 {
+					// Two-pool loop: the closing pool must be distinct, and
+					// requiring ascending pool order dedups the reflection.
+					if adj.PoolIndex <= pathPools[0] {
+						continue
+					}
+				} else if path[1] > path[k-1] {
+					// Reflection canon: keep the orientation whose second
+					// node has the smaller index.
+					continue
+				}
+				nodes := make([]int, k)
+				copy(nodes, path)
+				pools := make([]int, k)
+				copy(pools, pathPools)
+				pools[k-1] = adj.PoolIndex
+				out = append(out, Cycle{Nodes: nodes, Pools: pools})
+				if limit > 0 && len(out) > limit {
+					return fmt.Errorf("%w: more than %d", ErrTooMany, limit)
+				}
+				continue
+			}
+			if v > start && !onPath[v] && len(path) < maxLen {
+				onPath[v] = true
+				path = append(path, v)
+				pathPools = append(pathPools, 0)
+				pathPools[len(path)-2] = adj.PoolIndex
+				if err := dfs(start, v); err != nil {
+					return err
+				}
+				pathPools = pathPools[:len(pathPools)-1]
+				path = path[:len(path)-1]
+				onPath[v] = false
+			}
+		}
+		return nil
+	}
+
+	for start := 0; start < n; start++ {
+		onPath[start] = true
+		path = append(path[:0], start)
+		pathPools = pathPools[:0]
+		if err := dfs(start, start); err != nil {
+			return nil, err
+		}
+		onPath[start] = false
+	}
+
+	sortCycles(out)
+	return out, nil
+}
+
+func sortCycles(cs []Cycle) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if len(a.Nodes) != len(b.Nodes) {
+			return len(a.Nodes) < len(b.Nodes)
+		}
+		for k := range a.Nodes {
+			if a.Nodes[k] != b.Nodes[k] {
+				return a.Nodes[k] < b.Nodes[k]
+			}
+		}
+		for k := range a.Pools {
+			if a.Pools[k] != b.Pools[k] {
+				return a.Pools[k] < b.Pools[k]
+			}
+		}
+		return false
+	})
+}
+
+// PriceProduct returns the product of fee-adjusted spot prices along the
+// directed loop: Π γ·r_out/r_in. The loop is an arbitrage loop when the
+// product exceeds 1 (paper §III).
+func PriceProduct(g *graph.Graph, d Directed) (float64, error) {
+	prod := 1.0
+	for i := 0; i < d.Len(); i++ {
+		pool := g.Pool(d.Pools[i])
+		p, err := pool.SpotPrice(g.Node(d.Nodes[i]))
+		if err != nil {
+			return 0, fmt.Errorf("hop %d: %w", i, err)
+		}
+		prod *= p
+	}
+	return prod, nil
+}
+
+// LogPriceSum returns Σ log(p) along the loop; positive for arbitrage
+// loops.
+func LogPriceSum(g *graph.Graph, d Directed) (float64, error) {
+	prod, err := PriceProduct(g, d)
+	if err != nil {
+		return 0, err
+	}
+	return math.Log(prod), nil
+}
+
+// ArbitrageLoops filters cycles down to profitable directed orientations.
+// For each undirected cycle both orientations are tested; at most one can
+// be profitable (the two orientations' price products multiply to
+// γ^{2k} Π(r_j/r_i · r_i/r_j) = γ^{2k} < 1 for any positive fee).
+func ArbitrageLoops(g *graph.Graph, cs []Cycle) ([]Directed, error) {
+	out := make([]Directed, 0, len(cs))
+	for _, c := range cs {
+		for _, d := range []Directed{c.Forward(), c.Reverse()} {
+			prod, err := PriceProduct(g, d)
+			if err != nil {
+				return nil, err
+			}
+			if prod > 1 {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Validate checks structural consistency of a directed loop against the
+// graph: nodes distinct, pools distinct, and each pool connecting its
+// consecutive node pair.
+func Validate(g *graph.Graph, d Directed) error {
+	k := d.Len()
+	if k < 2 {
+		return fmt.Errorf("%w: length %d", ErrBadLength, k)
+	}
+	if len(d.Pools) != k {
+		return fmt.Errorf("cycles: %d nodes but %d pools", k, len(d.Pools))
+	}
+	seenNode := make(map[int]bool, k)
+	seenPool := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		u, v := d.Nodes[i], d.Nodes[(i+1)%k]
+		if seenNode[u] {
+			return fmt.Errorf("cycles: node %d repeated", u)
+		}
+		seenNode[u] = true
+		if seenPool[d.Pools[i]] {
+			return fmt.Errorf("cycles: pool %d repeated", d.Pools[i])
+		}
+		seenPool[d.Pools[i]] = true
+		pool := g.Pool(d.Pools[i])
+		tu, tv := g.Node(u), g.Node(v)
+		if !(pool.Token0 == tu && pool.Token1 == tv) && !(pool.Token0 == tv && pool.Token1 == tu) {
+			return fmt.Errorf("cycles: pool %d does not connect %s-%s", d.Pools[i], tu, tv)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,474 @@
+package cycles
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/graph"
+)
+
+// paperGraph is the Section V example: X→Y→Z→X profitable.
+func paperGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	pools := []*amm.Pool{
+		amm.MustNewPool("p0", "X", "Y", 100, 200, 0.003),
+		amm.MustNewPool("p1", "Y", "Z", 300, 200, 0.003),
+		amm.MustNewPool("p2", "Z", "X", 200, 400, 0.003),
+	}
+	g, err := graph.Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// randomGraph builds a connected random pool graph for property tests.
+func randomGraph(tb testing.TB, rng *rand.Rand, nodes, pools int) *graph.Graph {
+	tb.Helper()
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("T%02d", i)
+	}
+	ps := make([]*amm.Pool, 0, pools)
+	// Spanning chain keeps the graph connected.
+	for i := 1; i < nodes && len(ps) < pools; i++ {
+		ps = append(ps, amm.MustNewPool(
+			fmt.Sprintf("p%d", len(ps)), names[i-1], names[i],
+			rng.Float64()*1000+50, rng.Float64()*1000+50, 0.003))
+	}
+	for len(ps) < pools {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a == b {
+			continue
+		}
+		ps = append(ps, amm.MustNewPool(
+			fmt.Sprintf("p%d", len(ps)), names[a], names[b],
+			rng.Float64()*1000+50, rng.Float64()*1000+50, 0.003))
+	}
+	g, err := graph.Build(ps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func TestEnumerateTriangle(t *testing.T) {
+	g := paperGraph(t)
+	cs, err := Enumerate(g, 3, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("triangle cycles = %d, want 1", len(cs))
+	}
+	c := cs[0]
+	if c.Len() != 3 {
+		t.Errorf("cycle length = %d, want 3", c.Len())
+	}
+	if err := Validate(g, c.Forward()); err != nil {
+		t.Errorf("forward invalid: %v", err)
+	}
+	if err := Validate(g, c.Reverse()); err != nil {
+		t.Errorf("reverse invalid: %v", err)
+	}
+}
+
+func TestEnumerateBadBounds(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := Enumerate(g, 1, 3, 0); err == nil {
+		t.Error("minLen 1: want error")
+	}
+	if _, err := Enumerate(g, 4, 3, 0); err == nil {
+		t.Error("maxLen < minLen: want error")
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(t, rng, 10, 25)
+	_, err := Enumerate(g, 3, 5, 1)
+	if err == nil {
+		return // graph may genuinely have ≤ 1 cycle; re-check below
+	}
+	if !errors.Is(err, ErrTooMany) {
+		t.Errorf("error = %v, want ErrTooMany", err)
+	}
+}
+
+func TestEnumerateTwoPoolLoops(t *testing.T) {
+	pools := []*amm.Pool{
+		amm.MustNewPool("a", "X", "Y", 100, 200, 0.003),
+		amm.MustNewPool("b", "X", "Y", 300, 100, 0.003),
+	}
+	g, err := graph.Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Enumerate(g, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("2-pool cycles = %d, want 1", len(cs))
+	}
+	if cs[0].Pools[0] == cs[0].Pools[1] {
+		t.Error("2-cycle reuses a pool")
+	}
+	// The reserve ratios differ wildly, so one orientation must be an
+	// arbitrage loop.
+	loops, err := ArbitrageLoops(g, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 {
+		t.Errorf("arbitrage loops = %d, want 1", len(loops))
+	}
+}
+
+func TestEnumerateCompleteGraphCounts(t *testing.T) {
+	// K4: C(4,3) = 4 triangles and 3 distinct 4-cycles.
+	var pools []*amm.Pool
+	names := []string{"A", "B", "C", "D"}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			pools = append(pools, amm.MustNewPool(
+				fmt.Sprintf("p%d%d", i, j), names[i], names[j], 100, 100, 0.003))
+		}
+	}
+	g, err := graph.Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := Enumerate(g, 3, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c3) != 4 {
+		t.Errorf("K4 triangles = %d, want 4", len(c3))
+	}
+	c4, err := Enumerate(g, 4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c4) != 3 {
+		t.Errorf("K4 4-cycles = %d, want 3", len(c4))
+	}
+	both, err := Enumerate(g, 3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != 7 {
+		t.Errorf("K4 cycles length 3-4 = %d, want 7", len(both))
+	}
+}
+
+func TestEnumerateCanonicalForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomGraph(t, rng, 9, 18)
+	cs, err := Enumerate(g, 3, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, c := range cs {
+		if err := Validate(g, c.Forward()); err != nil {
+			t.Fatalf("invalid cycle %v: %v", c, err)
+		}
+		for _, n := range c.Nodes[1:] {
+			if n <= c.Nodes[0] {
+				t.Errorf("cycle %v: anchor not minimal", c)
+			}
+		}
+		if c.Len() >= 3 && c.Nodes[1] > c.Nodes[c.Len()-1] {
+			t.Errorf("cycle %v: reflection not canonical", c)
+		}
+		key := fmt.Sprint(c.Nodes, c.Pools)
+		if seen[key] {
+			t.Errorf("duplicate cycle %v", c)
+		}
+		seen[key] = true
+	}
+}
+
+func TestRotatePreservesLoop(t *testing.T) {
+	g := paperGraph(t)
+	cs, err := Enumerate(g, 3, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cs[0].Forward()
+	for off := -3; off <= 6; off++ {
+		r := d.Rotate(off)
+		if err := Validate(g, r); err != nil {
+			t.Errorf("Rotate(%d) invalid: %v", off, err)
+		}
+		p0, err := PriceProduct(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := PriceProduct(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p0-p1) > 1e-12*p0 {
+			t.Errorf("Rotate(%d) changes price product: %g vs %g", off, p0, p1)
+		}
+	}
+}
+
+func TestPriceProductPaperExample(t *testing.T) {
+	g := paperGraph(t)
+	cs, err := Enumerate(g, 3, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fee-free product is (200/100)(200/300)(400/200) = 8/3; with fee γ³·8/3.
+	want := math.Pow(0.997, 3) * 8.0 / 3.0
+	var found bool
+	for _, d := range []Directed{cs[0].Forward(), cs[0].Reverse()} {
+		p, err := PriceProduct(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-want) < 1e-12*want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no orientation has price product %g", want)
+	}
+}
+
+func TestArbitrageLoopsAtMostOneOrientation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(t, rng, 8, 16)
+		cs, err := Enumerate(g, 3, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cs {
+			pf, err := PriceProduct(g, c.Forward())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, err := PriceProduct(g, c.Reverse())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pf > 1 && pr > 1 {
+				t.Fatalf("both orientations profitable: %g, %g", pf, pr)
+			}
+			// Products multiply to exactly γ^{2k}.
+			wantProd := math.Pow(0.997, float64(2*c.Len()))
+			if math.Abs(pf*pr-wantProd) > 1e-9*wantProd {
+				t.Errorf("orientation product = %g, want γ^2k = %g", pf*pr, wantProd)
+			}
+		}
+	}
+}
+
+func TestLogPriceSumSign(t *testing.T) {
+	g := paperGraph(t)
+	cs, _ := Enumerate(g, 3, 3, 0)
+	loops, err := ArbitrageLoops(g, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 {
+		t.Fatalf("arbitrage loops = %d, want 1", len(loops))
+	}
+	s, err := LogPriceSum(g, loops[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Errorf("log price sum = %g, want > 0", s)
+	}
+}
+
+func TestValidateRejectsBadLoops(t *testing.T) {
+	g := paperGraph(t)
+	tests := []struct {
+		name string
+		d    Directed
+	}{
+		{name: "too short", d: Directed{Nodes: []int{0}, Pools: []int{0}}},
+		{name: "mismatched lengths", d: Directed{Nodes: []int{0, 1, 2}, Pools: []int{0, 1}}},
+		{name: "repeated node", d: Directed{Nodes: []int{0, 1, 1}, Pools: []int{0, 1, 2}}},
+		{name: "repeated pool", d: Directed{Nodes: []int{0, 1, 2}, Pools: []int{0, 0, 2}}},
+		{name: "wrong pool", d: Directed{Nodes: []int{0, 1, 2}, Pools: []int{1, 0, 2}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := Validate(g, tt.d); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestJohnsonMatchesEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(t, rng, 7, 14)
+		for _, maxLen := range []int{3, 4, 7} {
+			cs, err := Enumerate(g, 2, maxLen, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			js, err := Johnson(g, maxLen, true, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every undirected cycle has exactly two directed traversals.
+			if len(js) != 2*len(cs) {
+				t.Fatalf("maxLen %d: Johnson found %d circuits, Enumerate %d cycles (want 2×)",
+					maxLen, len(js), len(cs))
+			}
+			// Cross-check as sets of canonical keys.
+			keys := make(map[string]int)
+			for _, c := range cs {
+				keys[directedKey(c.Forward())]++
+				keys[directedKey(c.Reverse())]++
+			}
+			for _, d := range js {
+				if err := Validate(g, d); err != nil {
+					t.Fatalf("johnson circuit invalid: %v", err)
+				}
+				keys[directedKey(d)]--
+			}
+			for k, v := range keys {
+				if v != 0 {
+					t.Fatalf("circuit multiset mismatch at %s: %d", k, v)
+				}
+			}
+		}
+	}
+}
+
+func directedKey(d Directed) string {
+	// Anchor at minimal node for comparison.
+	minAt := 0
+	for i, n := range d.Nodes {
+		if n < d.Nodes[minAt] {
+			minAt = i
+		}
+	}
+	r := d.Rotate(minAt)
+	return fmt.Sprint(r.Nodes, r.Pools)
+}
+
+func TestJohnsonSamePoolBacktrack(t *testing.T) {
+	pools := []*amm.Pool{amm.MustNewPool("a", "X", "Y", 100, 200, 0.003)}
+	g, err := graph.Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Johnson(g, 0, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with) != 1 {
+		t.Errorf("with backtrack circuits = %d, want 1 (X→Y→X)", len(with))
+	}
+	without, err := Johnson(g, 0, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(without) != 0 {
+		t.Errorf("without backtrack circuits = %d, want 0", len(without))
+	}
+}
+
+func TestJohnsonLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(t, rng, 8, 20)
+	if _, err := Johnson(g, 0, true, 1); err == nil {
+		t.Skip("graph happens to have ≤1 circuit")
+	} else if !errors.Is(err, ErrTooMany) {
+		t.Errorf("error = %v, want ErrTooMany", err)
+	}
+}
+
+func TestJohnsonNegativeMaxLen(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := Johnson(g, -1, true, 0); err == nil {
+		t.Error("negative maxLen: want error")
+	}
+}
+
+func TestBellmanFordMooreFindsPaperLoop(t *testing.T) {
+	g := paperGraph(t)
+	d, err := BellmanFordMoore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PriceProduct(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 1 {
+		t.Errorf("extracted loop price product = %g, want > 1", p)
+	}
+}
+
+func TestBellmanFordMooreNoArbitrage(t *testing.T) {
+	// Perfectly consistent reserve ratios + fees ⇒ no arbitrage.
+	pools := []*amm.Pool{
+		amm.MustNewPool("p0", "X", "Y", 100, 200, 0.003), // 1 X = 2 Y
+		amm.MustNewPool("p1", "Y", "Z", 200, 100, 0.003), // 2 Y = 1 Z
+		amm.MustNewPool("p2", "Z", "X", 100, 100, 0.003), // 1 Z = 1 X
+	}
+	g, err := graph.Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BellmanFordMoore(g); !errors.Is(err, ErrNoNegCycle) {
+		t.Errorf("error = %v, want ErrNoNegCycle", err)
+	}
+	has, err := HasArbitrage(g)
+	if err != nil || has {
+		t.Errorf("HasArbitrage = %v, %v; want false", has, err)
+	}
+}
+
+func TestBellmanFordMooreEmptyGraph(t *testing.T) {
+	g, err := graph.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BellmanFordMoore(g); !errors.Is(err, ErrNoNegCycle) {
+		t.Errorf("empty graph error = %v, want ErrNoNegCycle", err)
+	}
+}
+
+// Property: BFM agrees with brute-force enumeration on whether arbitrage
+// exists (on graphs small enough to enumerate fully).
+func TestBFMAgreesWithEnumerationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(t, rng, 6, 9)
+		cs, err := Enumerate(g, 2, 6, 0)
+		if err != nil {
+			return false
+		}
+		loops, err := ArbitrageLoops(g, cs)
+		if err != nil {
+			return false
+		}
+		has, err := HasArbitrage(g)
+		if err != nil {
+			return false
+		}
+		return has == (len(loops) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package cycles
+
+import (
+	"fmt"
+
+	"arbloop/internal/graph"
+)
+
+// Johnson enumerates the elementary circuits of the directed multigraph
+// induced by the pools (each pool contributes one arc per direction),
+// using Johnson's algorithm (blocked sets with unblock lists).
+//
+// Options:
+//   - maxLen bounds circuit length; 0 means unbounded. Depth pruning makes
+//     the blocked-set heuristic unsafe, so when maxLen > 0 vertices touched
+//     by a pruned branch are unblocked conservatively; results stay exact
+//     at the cost of some re-exploration.
+//   - excludeSamePoolBacktrack drops the length-2 circuits that traverse a
+//     single pool forth and back — never profitable under a positive fee
+//     and excluded by the paper's loop definition.
+//   - limit caps the number of circuits (0 = unlimited); exceeding it
+//     returns ErrTooMany.
+//
+// Every returned circuit is anchored at its smallest node index.
+func Johnson(g *graph.Graph, maxLen int, excludeSamePoolBacktrack bool, limit int) ([]Directed, error) {
+	if maxLen < 0 {
+		return nil, fmt.Errorf("%w: maxLen %d", ErrBadLength, maxLen)
+	}
+	n := g.NumNodes()
+	var out []Directed
+
+	blocked := make([]bool, n)
+	blist := make([][]int, n) // b-lists: unblocking dependencies
+	path := make([]int, 0, 8)
+	pathPools := make([]int, 0, 8)
+
+	var unblock func(v int)
+	unblock = func(v int) {
+		blocked[v] = false
+		for _, w := range blist[v] {
+			if blocked[w] {
+				unblock(w)
+			}
+		}
+		blist[v] = blist[v][:0]
+	}
+
+	var circuit func(start, v int) (bool, bool, error)
+	// circuit returns (foundCircuit, pruned, err).
+	circuit = func(start, v int) (bool, bool, error) {
+		found := false
+		pruned := false
+		path = append(path, v)
+		blocked[v] = true
+
+		for _, adj := range g.Adjacent(v) {
+			w := adj.Neighbor
+			if w < start {
+				continue // subgraph induced on vertices ≥ start
+			}
+			if w == start {
+				k := len(path)
+				if k == 2 && excludeSamePoolBacktrack && adj.PoolIndex == pathPools[0] {
+					continue
+				}
+				if maxLen > 0 && k > maxLen {
+					continue
+				}
+				nodes := make([]int, k)
+				copy(nodes, path)
+				pools := make([]int, k)
+				copy(pools, pathPools)
+				pools[k-1] = adj.PoolIndex
+				out = append(out, Directed{Nodes: nodes, Pools: pools})
+				if limit > 0 && len(out) > limit {
+					return false, false, fmt.Errorf("%w: more than %d", ErrTooMany, limit)
+				}
+				found = true
+				continue
+			}
+			if !blocked[w] {
+				if maxLen > 0 && len(path) >= maxLen {
+					pruned = true
+					continue
+				}
+				pathPools = append(pathPools, adj.PoolIndex)
+				f, p, err := circuit(start, w)
+				pathPools = pathPools[:len(pathPools)-1]
+				if err != nil {
+					return false, false, err
+				}
+				found = found || f
+				pruned = pruned || p
+			}
+		}
+
+		if found || pruned {
+			// Unblock on success, and also when pruning may have hidden a
+			// circuit (keeps the bounded variant exact).
+			unblock(v)
+		} else {
+			for _, adj := range g.Adjacent(v) {
+				w := adj.Neighbor
+				if w < start {
+					continue
+				}
+				already := false
+				for _, x := range blist[w] {
+					if x == v {
+						already = true
+						break
+					}
+				}
+				if !already {
+					blist[w] = append(blist[w], v)
+				}
+			}
+		}
+
+		path = path[:len(path)-1]
+		return found, pruned, nil
+	}
+
+	for start := 0; start < n; start++ {
+		for i := range blocked {
+			blocked[i] = false
+			blist[i] = blist[i][:0]
+		}
+		path = path[:0]
+		pathPools = pathPools[:0]
+		if _, _, err := circuit(start, start); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtGapSweepShape(t *testing.T) {
+	rows, err := ExtGapSweep(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var anyGap bool
+	for _, r := range rows {
+		if r.Gap < -1e-9 {
+			t.Errorf("skew %.2f: negative gap %g", r.Skew, r.Gap)
+		}
+		if r.Convex < r.MaxMax-1e-6*(1+r.MaxMax) {
+			t.Errorf("skew %.2f: Convex %.4f < MaxMax %.4f", r.Skew, r.Convex, r.MaxMax)
+		}
+		if r.Gap > 1e-3 {
+			anyGap = true
+		}
+	}
+	// The Section V family has a strict gap at the base price (0.56$), so
+	// the sweep must expose it somewhere.
+	if !anyGap {
+		t.Error("no skew produced a visible gap; the Section V example has one")
+	}
+	if _, err := ExtGapSweep(1); err == nil {
+		t.Error("1 point: want error")
+	}
+}
+
+func TestExtGapRandomStudy(t *testing.T) {
+	study, err := ExtGapRandom(60, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Summary.N != 60 {
+		t.Fatalf("summary n = %d", study.Summary.N)
+	}
+	if study.Summary.Min < 0 {
+		t.Errorf("negative relative gap %g", study.Summary.Min)
+	}
+	if study.Summary.Max > 1 {
+		t.Errorf("relative gap above 1: %g", study.Summary.Max)
+	}
+	// The paper's empirical finding: gaps are usually tiny; random loops
+	// should mostly show near-zero gaps with occasional positive ones.
+	if study.Summary.P50 > 0.2 {
+		t.Errorf("median relative gap %.3f unexpectedly large", study.Summary.P50)
+	}
+	if _, err := ExtGapRandom(1, 1); err == nil {
+		t.Error("1 trial: want error")
+	}
+}
+
+func TestExtRiskyDominatesSafe(t *testing.T) {
+	res := quickPipeline(t, 3, 30)
+	rows, err := ExtRisky(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(res.Loops) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var shorted int
+	for _, r := range rows {
+		if r.Risky < r.Safe-1e-6*(1+r.Safe) {
+			t.Errorf("%s: risky %.4f < safe %.4f", r.Loop, r.Risky, r.Safe)
+		}
+		if r.Shorted {
+			shorted++
+		}
+	}
+	t.Logf("risky strategy shorts tokens on %d/%d loops", shorted, len(rows))
+}
+
+func TestExtBotDecayConverges(t *testing.T) {
+	rows, err := ExtBotDecay(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].LoopsLeft < 50 {
+		t.Errorf("first block loops = %d, want many", rows[0].LoopsLeft)
+	}
+	if rows[0].RealizedUSD <= 0 {
+		t.Error("first block realized nothing")
+	}
+	// Cumulative profit is non-decreasing; final block realizes less
+	// than the first (market converging toward consistency).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CumulativeUSD < rows[i-1].CumulativeUSD-1e-9 {
+			t.Errorf("cumulative decreased at block %d", i)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.RealizedUSD > rows[0].RealizedUSD {
+		t.Errorf("no decay: first %.2f$, last %.2f$", rows[0].RealizedUSD, last.RealizedUSD)
+	}
+	// Loops remaining should shrink as mispricings are consumed.
+	if last.LoopsLeft >= rows[0].LoopsLeft {
+		t.Errorf("loops did not shrink: %d → %d", rows[0].LoopsLeft, last.LoopsLeft)
+	}
+	if math.IsNaN(last.CumulativeUSD) || last.CumulativeUSD <= 0 {
+		t.Errorf("cumulative = %g", last.CumulativeUSD)
+	}
+	if _, err := ExtBotDecay(0, 1); err == nil {
+		t.Error("0 blocks: want error")
+	}
+}
+
+func TestExtSteadyStatePositiveExtraction(t *testing.T) {
+	rows, err := ExtSteadyState(14, 10, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// With continuous noise flow the tail blocks keep extracting profit,
+	// unlike the pure-decay experiment.
+	tail := 0.0
+	for _, r := range rows[7:] {
+		tail += r.RealizedUSD
+	}
+	if tail <= 0 {
+		t.Errorf("no steady-state extraction in later blocks (tail %.4f$)", tail)
+	}
+	// Loops never die out.
+	last := rows[len(rows)-1]
+	if last.LoopsLeft == 0 {
+		t.Error("noise flow should keep regenerating loops")
+	}
+	if _, err := ExtSteadyState(0, 1, 0.01, 1); err == nil {
+		t.Error("0 blocks: want error")
+	}
+	if _, err := ExtSteadyState(1, 1, 0.9, 1); err == nil {
+		t.Error("noiseFrac ≥ 0.5: want error")
+	}
+}

@@ -1,0 +1,113 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation. Each harness returns typed rows that cmd/figures renders as
+// CSV + ASCII charts and that bench_test.go wraps as benchmarks; tests in
+// this package assert the paper's qualitative findings (who wins, by how
+// much, where points sit relative to the 45° line).
+//
+// Index (see DESIGN.md §4 for the full mapping):
+//
+//	Fig. 1   profit curve vs input, optimum at F'(Δ)=1      → Fig1
+//	Fig. 2   per-start monetized profit vs P_x + MaxMax     → Fig2
+//	Fig. 3   MaxMax vs ConvexOptimization vs P_x            → Fig3
+//	Fig. 4   net-token composition of Convex vs P_x         → Fig4
+//	Fig. 5   empirical: Traditional vs MaxMax (len 3)       → Fig5
+//	Fig. 6   empirical: MaxPrice vs MaxMax (len 3)          → Fig6
+//	Fig. 7   empirical: Convex vs MaxMax (len 3)            → Fig7
+//	Fig. 8   empirical: net-token vectors MaxMax vs Convex  → Fig8
+//	Fig. 9   empirical: Traditional vs Convex (len 4)       → Fig9
+//	Fig. 10  empirical: MaxMax vs Convex (len 4)            → Fig10
+//	T1       Section V worked example                       → TableT1
+//	T2       §VI graph statistics                           → TableT2
+//	T3       §VII runtime vs loop length                    → TableT3
+package experiments
+
+import (
+	"fmt"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/cycles"
+	"arbloop/internal/graph"
+	"arbloop/internal/strategy"
+)
+
+// PaperExampleLoop builds the Section V example: pools (x,y)=(100,200),
+// (y,z)=(300,200), (z,x)=(200,400), λ=0.003, in the order X→Y→Z→X.
+func PaperExampleLoop() (*strategy.Loop, error) {
+	p1, err := amm.NewPool("p1", "X", "Y", 100, 200, amm.DefaultFee)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := amm.NewPool("p2", "Y", "Z", 300, 200, amm.DefaultFee)
+	if err != nil {
+		return nil, err
+	}
+	p3, err := amm.NewPool("p3", "Z", "X", 200, 400, amm.DefaultFee)
+	if err != nil {
+		return nil, err
+	}
+	return strategy.NewLoop([]strategy.Hop{
+		{Pool: p1, TokenIn: "X"},
+		{Pool: p2, TokenIn: "Y"},
+		{Pool: p3, TokenIn: "Z"},
+	})
+}
+
+// PaperExamplePrices returns the Section V CEX prices
+// (P_x, P_y, P_z) = (2, 10.2, 20) $.
+func PaperExamplePrices() strategy.PriceMap {
+	return strategy.PriceMap{"X": 2, "Y": 10.2, "Z": 20}
+}
+
+// LoopFromDirected converts a detected directed cycle into a strategy
+// loop, resolving pools and token keys through the graph.
+func LoopFromDirected(g *graph.Graph, d cycles.Directed) (*strategy.Loop, error) {
+	hops := make([]strategy.Hop, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		hops[i] = strategy.Hop{
+			Pool:    g.Pool(d.Pools[i]),
+			TokenIn: g.Node(d.Nodes[i]),
+		}
+	}
+	l, err := strategy.NewLoop(hops)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: directed cycle %v: %w", d, err)
+	}
+	return l, nil
+}
+
+// SyntheticLoop builds a profitable loop of the requested length for the
+// runtime table (T3): consistent prices around the ring with one strongly
+// mispriced pool so the loop always clears the fee hurdle.
+func SyntheticLoop(length int) (*strategy.Loop, strategy.PriceMap, error) {
+	if length < 2 {
+		return nil, nil, fmt.Errorf("experiments: loop length %d too short", length)
+	}
+	hops := make([]strategy.Hop, length)
+	prices := make(strategy.PriceMap, length)
+	for i := 0; i < length; i++ {
+		tok := fmt.Sprintf("T%02d", i)
+		next := fmt.Sprintf("T%02d", (i+1)%length)
+		r0, r1 := 1000.0, 1000.0
+		if i == 0 {
+			r1 = 1100 // 10% mispricing powers the arbitrage
+		}
+		pool, err := amm.NewPool(fmt.Sprintf("p%02d", i), tok, next, r0, r1, amm.DefaultFee)
+		if err != nil {
+			return nil, nil, err
+		}
+		hops[i] = strategy.Hop{Pool: pool, TokenIn: tok}
+		prices[tok] = 1 + float64(i)*0.1
+	}
+	l, err := strategy.NewLoop(hops)
+	if err != nil {
+		return nil, nil, err
+	}
+	profitable, err := l.Profitable()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !profitable {
+		return nil, nil, fmt.Errorf("experiments: synthetic loop of length %d not profitable", length)
+	}
+	return l, prices, nil
+}

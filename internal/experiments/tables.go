@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"arbloop/internal/cycles"
+	"arbloop/internal/market"
+	"arbloop/internal/strategy"
+)
+
+// T1Start is one per-start row of the Section V example.
+type T1Start struct {
+	Start     string
+	Input     float64
+	Profit    float64 // in start-token units
+	Monetized float64 // USD
+}
+
+// T1Result reproduces every scalar of the Section V worked example.
+type T1Result struct {
+	Starts          []T1Start
+	MaxMaxStart     string
+	MaxMaxMonetized float64
+	ConvexMonetized float64
+	ConvexInputs    []float64
+	ConvexOutputs   []float64
+	ConvexNet       map[string]float64
+}
+
+// TableT1 recomputes the Section V example end to end. Paper values:
+// starts (27.0→16.8 X, 31.5→19.7 Y, 16.4→10.3 Z); monetized (33.7,
+// 201.1, 205.6); MaxMax 205.6 from Z; Convex 206.1 with plan
+// 31.3 X→47.6 Y, 42.6 Y→24.8 Z, 17.1 Z→31.3 X and profit ≈ 5 Y + 7.7 Z.
+func TableT1() (T1Result, error) {
+	loop, err := PaperExampleLoop()
+	if err != nil {
+		return T1Result{}, err
+	}
+	prices := PaperExamplePrices()
+
+	var out T1Result
+	all, err := strategy.TraditionalAll(loop, prices)
+	if err != nil {
+		return T1Result{}, err
+	}
+	for _, r := range all {
+		out.Starts = append(out.Starts, T1Start{
+			Start:     r.StartToken,
+			Input:     r.Input,
+			Profit:    r.NetTokens[r.StartToken],
+			Monetized: r.Monetized,
+		})
+	}
+	mm, err := strategy.MaxMax(loop, prices)
+	if err != nil {
+		return T1Result{}, err
+	}
+	out.MaxMaxStart = mm.StartToken
+	out.MaxMaxMonetized = mm.Monetized
+
+	cv, err := strategy.Convex(loop, prices, strategy.ConvexOptions{})
+	if err != nil {
+		return T1Result{}, err
+	}
+	out.ConvexMonetized = cv.Monetized
+	out.ConvexInputs = cv.Plan.Inputs
+	out.ConvexOutputs = cv.Plan.Outputs
+	out.ConvexNet = cv.NetTokens
+	return out, nil
+}
+
+// T2Result reports the §VI graph statistics.
+type T2Result struct {
+	Tokens        int
+	Pools         int
+	CyclesLen3    int
+	ArbLoopsLen3  int
+	CyclesLen4    int
+	ArbLoopsLen4  int
+	TotalTVLUSD   float64
+	FilteredByTVL int
+}
+
+// TableT2 generates the default snapshot, applies the paper's filters,
+// and counts loops. Paper values: 51 tokens, 208 pools, 123 arbitrage
+// loops of length 3.
+func TableT2(cfg market.GeneratorConfig) (T2Result, error) {
+	snap, err := market.Generate(cfg)
+	if err != nil {
+		return T2Result{}, err
+	}
+	filtered := snap.FilterPools(30_000, 100)
+	g, err := filtered.BuildGraph()
+	if err != nil {
+		return T2Result{}, err
+	}
+	var out T2Result
+	out.Tokens = g.NumNodes()
+	out.Pools = g.NumEdges()
+	out.FilteredByTVL = len(snap.Pools) - len(filtered.Pools)
+	out.TotalTVLUSD = filtered.Stats().TotalTVL
+
+	c3, err := cycles.Enumerate(g, 3, 3, 0)
+	if err != nil {
+		return T2Result{}, err
+	}
+	a3, err := cycles.ArbitrageLoops(g, c3)
+	if err != nil {
+		return T2Result{}, err
+	}
+	out.CyclesLen3 = len(c3)
+	out.ArbLoopsLen3 = len(a3)
+
+	c4, err := cycles.Enumerate(g, 4, 4, 0)
+	if err != nil {
+		return T2Result{}, err
+	}
+	a4, err := cycles.ArbitrageLoops(g, c4)
+	if err != nil {
+		return T2Result{}, err
+	}
+	out.CyclesLen4 = len(c4)
+	out.ArbLoopsLen4 = len(a4)
+	return out, nil
+}
+
+// T3Row is the measured runtime of each strategy at one loop length.
+type T3Row struct {
+	Length int
+	// MaxMaxClosed uses the closed-form optimum per start.
+	MaxMaxClosed time.Duration
+	// MaxMaxBisect solves F'(Δ)=1 by bisection per start, the method the
+	// paper describes (§III).
+	MaxMaxBisect time.Duration
+	// Convex is the barrier-method solve of problem (8).
+	Convex time.Duration
+}
+
+// TableT3 measures strategy runtime across loop lengths (paper §VII: for
+// a loop of length 10 MaxMax needs milliseconds while a generic convex
+// solve needs seconds; our hand-rolled solver is faster in absolute terms
+// but the relative growth must reproduce).
+func TableT3(lengths []int, repeats int) ([]T3Row, error) {
+	if len(lengths) == 0 {
+		lengths = []int{3, 4, 5, 6, 8, 10, 12}
+	}
+	if repeats <= 0 {
+		repeats = 5
+	}
+	rows := make([]T3Row, 0, len(lengths))
+	for _, n := range lengths {
+		loop, prices, err := SyntheticLoop(n)
+		if err != nil {
+			return nil, err
+		}
+		row := T3Row{Length: n}
+
+		start := time.Now()
+		for r := 0; r < repeats; r++ {
+			if _, err := strategy.MaxMax(loop, prices); err != nil {
+				return nil, err
+			}
+		}
+		row.MaxMaxClosed = time.Since(start) / time.Duration(repeats)
+
+		start = time.Now()
+		for r := 0; r < repeats; r++ {
+			for off := 0; off < n; off++ {
+				if _, err := strategy.OptimalInputBisection(loop.Rotate(off)); err != nil {
+					return nil, fmt.Errorf("experiments: bisection len %d: %w", n, err)
+				}
+			}
+		}
+		row.MaxMaxBisect = time.Since(start) / time.Duration(repeats)
+
+		start = time.Now()
+		for r := 0; r < repeats; r++ {
+			if _, err := strategy.Convex(loop, prices, strategy.ConvexOptions{}); err != nil {
+				return nil, fmt.Errorf("experiments: convex len %d: %w", n, err)
+			}
+		}
+		row.Convex = time.Since(start) / time.Duration(repeats)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"testing"
+
+	"arbloop/internal/amm"
+)
+
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	pools := []*amm.Pool{
+		amm.MustNewPool("p0", "X", "Y", 100, 200, 0.003),
+		amm.MustNewPool("p1", "Y", "Z", 300, 200, 0.003),
+		amm.MustNewPool("p2", "X", "Z", 400, 200, 0.003),
+	}
+	g, err := Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildBasic(t *testing.T) {
+	g := triangle(t)
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	// Nodes are sorted lexicographically: X, Y, Z.
+	want := []string{"X", "Y", "Z"}
+	for i, w := range want {
+		if g.Node(i) != w {
+			t.Errorf("Node(%d) = %q, want %q", i, g.Node(i), w)
+		}
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 3 || nodes[0] != "X" {
+		t.Errorf("Nodes() = %v", nodes)
+	}
+}
+
+func TestBuildRejectsNil(t *testing.T) {
+	if _, err := Build([]*amm.Pool{nil}); err == nil {
+		t.Error("nil pool: want error")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	g, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if comps := g.ConnectedComponents(); len(comps) != 0 {
+		t.Errorf("empty graph components = %v", comps)
+	}
+}
+
+func TestNodeIndex(t *testing.T) {
+	g := triangle(t)
+	i, err := g.NodeIndex("Y")
+	if err != nil || i != 1 {
+		t.Errorf("NodeIndex(Y) = %d, %v", i, err)
+	}
+	if _, err := g.NodeIndex("W"); err == nil {
+		t.Error("unknown token: want error")
+	}
+}
+
+func TestAdjacencyAndDegree(t *testing.T) {
+	g := triangle(t)
+	ix, _ := g.NodeIndex("X")
+	if g.Degree(ix) != 2 {
+		t.Errorf("Degree(X) = %d, want 2", g.Degree(ix))
+	}
+	neighbors := make(map[int]bool)
+	for _, a := range g.Adjacent(ix) {
+		neighbors[a.Neighbor] = true
+		pool := g.Pool(a.PoolIndex)
+		if !pool.Has("X") {
+			t.Errorf("adjacent pool %s lacks X", pool)
+		}
+	}
+	iy, _ := g.NodeIndex("Y")
+	iz, _ := g.NodeIndex("Z")
+	if !neighbors[iy] || !neighbors[iz] {
+		t.Errorf("X neighbors = %v, want {Y, Z}", neighbors)
+	}
+}
+
+func TestMultiEdges(t *testing.T) {
+	pools := []*amm.Pool{
+		amm.MustNewPool("a", "X", "Y", 100, 200, 0.003),
+		amm.MustNewPool("b", "X", "Y", 150, 250, 0.003),
+	}
+	g, err := Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Errorf("multi-edge graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	between, err := g.PoolsBetween("X", "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(between) != 2 {
+		t.Errorf("PoolsBetween = %v, want 2 pools", between)
+	}
+	if _, err := g.PoolsBetween("X", "W"); err == nil {
+		t.Error("unknown token: want error")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	pools := []*amm.Pool{
+		amm.MustNewPool("a", "A", "B", 1, 1, 0),
+		amm.MustNewPool("b", "B", "C", 1, 1, 0),
+		amm.MustNewPool("c", "D", "E", 1, 1, 0),
+	}
+	g, err := Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Errorf("component sizes = %d, %d; want 3, 2 (largest first)", len(comps[0]), len(comps[1]))
+	}
+}
+
+func TestAccessorCopiesAreIndependent(t *testing.T) {
+	g := triangle(t)
+	pools := g.Pools()
+	pools[0] = nil
+	if g.Pool(0) == nil {
+		t.Error("Pools() exposes internal slice")
+	}
+	edges := g.Edges()
+	edges[0].PoolIndex = 99
+	if g.Edges()[0].PoolIndex == 99 {
+		t.Error("Edges() exposes internal slice")
+	}
+	nodes := g.Nodes()
+	nodes[0] = "mutated"
+	if g.Node(0) == "mutated" {
+		t.Error("Nodes() exposes internal slice")
+	}
+}
+
+func TestEdgeEndpointsMatchPoolTokens(t *testing.T) {
+	g := triangle(t)
+	for _, e := range g.Edges() {
+		p := g.Pool(e.PoolIndex)
+		if g.Node(e.U) != p.Token0 || g.Node(e.V) != p.Token1 {
+			t.Errorf("edge %v endpoints do not match pool %s", e, p)
+		}
+	}
+}

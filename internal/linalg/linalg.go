@@ -1,0 +1,408 @@
+// Package linalg implements the small dense linear algebra kernel used by
+// the convex optimizer: vectors, matrices, Cholesky and LU factorizations,
+// and triangular solves. Problem sizes in this library are tiny (a handful
+// of variables per arbitrage loop), so the implementations favour clarity
+// and numerical robustness over blocking or SIMD.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Errors returned by factorizations and solves.
+var (
+	ErrDimensionMismatch   = errors.New("linalg: dimension mismatch")
+	ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+	ErrSingular            = errors.New("linalg: matrix is singular")
+)
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// Sub returns v − w.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// Scale returns s·v.
+func (v Vector) Scale(s float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// AXPY computes v ← v + s·w in place.
+func (v Vector) AXPY(s float64, w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	for i := range v {
+		v[i] += s * w[i]
+	}
+	return nil
+}
+
+// Dot returns vᵀw.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm with overflow-safe scaling.
+func (v Vector) Norm2() float64 {
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the max-abs norm.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix from row slices.
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty rows", ErrDimensionMismatch)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimensionMismatch, i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add assigns m[i,j] += v.
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// MulVec returns m·v.
+func (m *Matrix) MulVec(v Vector) (Vector, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("%w: %d×%d times %d", ErrDimensionMismatch, m.rows, m.cols, len(v))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("%w: %d×%d times %d×%d", ErrDimensionMismatch, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.Add(i, j, a*b.At(k, j))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%12.6g", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// Cholesky computes the lower-triangular L with L·Lᵀ = m for a symmetric
+// positive definite m. Only the lower triangle of m is read.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("%w: %d×%d not square", ErrDimensionMismatch, m.rows, m.cols)
+	}
+	n := m.rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d)
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves m·x = b via Cholesky (m symmetric positive definite).
+func (m *Matrix) SolveCholesky(b Vector) (Vector, error) {
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	y, err := l.ForwardSolve(b)
+	if err != nil {
+		return nil, err
+	}
+	return l.Transpose().BackwardSolve(y)
+}
+
+// ForwardSolve solves L·y = b for lower-triangular L.
+func (m *Matrix) ForwardSolve(b Vector) (Vector, error) {
+	if m.rows != m.cols || m.rows != len(b) {
+		return nil, fmt.Errorf("%w: %d×%d with rhs %d", ErrDimensionMismatch, m.rows, m.cols, len(b))
+	}
+	n := m.rows
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= m.At(i, j) * y[j]
+		}
+		d := m.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrSingular, i)
+		}
+		y[i] = s / d
+	}
+	return y, nil
+}
+
+// BackwardSolve solves U·x = b for upper-triangular U.
+func (m *Matrix) BackwardSolve(b Vector) (Vector, error) {
+	if m.rows != m.cols || m.rows != len(b) {
+		return nil, fmt.Errorf("%w: %d×%d with rhs %d", ErrDimensionMismatch, m.rows, m.cols, len(b))
+	}
+	n := m.rows
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		d := m.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrSingular, i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LU computes a partially pivoted LU factorization. It returns the combined
+// LU matrix (unit lower triangle implicit) and the permutation.
+func (m *Matrix) LU() (*Matrix, []int, error) {
+	if m.rows != m.cols {
+		return nil, nil, fmt.Errorf("%w: %d×%d not square", ErrDimensionMismatch, m.rows, m.cols)
+	}
+	n := m.rows
+	lu := m.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, nil, fmt.Errorf("%w: column %d", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a, b := lu.At(k, j), lu.At(p, j)
+				lu.Set(k, j, b)
+				lu.Set(p, j, a)
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivot
+			lu.Set(i, k, f)
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -f*lu.At(k, j))
+			}
+		}
+	}
+	return lu, perm, nil
+}
+
+// SolveLU solves m·x = b via LU with partial pivoting. Works for any
+// non-singular square m.
+func (m *Matrix) SolveLU(b Vector) (Vector, error) {
+	if m.rows != len(b) {
+		return nil, fmt.Errorf("%w: %d×%d with rhs %d", ErrDimensionMismatch, m.rows, m.cols, len(b))
+	}
+	lu, perm, err := m.LU()
+	if err != nil {
+		return nil, err
+	}
+	n := m.rows
+	// Apply permutation to rhs.
+	pb := make(Vector, n)
+	for i, p := range perm {
+		pb[i] = b[p]
+	}
+	// Forward solve with implicit unit diagonal.
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := pb[i]
+		for j := 0; j < i; j++ {
+			s -= lu.At(i, j) * y[j]
+		}
+		y[i] = s
+	}
+	// Backward solve.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu.At(i, j) * x[j]
+		}
+		x[i] = s / lu.At(i, i)
+	}
+	return x, nil
+}

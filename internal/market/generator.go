@@ -1,0 +1,225 @@
+package market
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"arbloop/internal/token"
+)
+
+// GeneratorConfig tunes the synthetic snapshot generator. Zero values
+// select the paper-calibrated defaults (DefaultGeneratorConfig).
+type GeneratorConfig struct {
+	// Seed drives the deterministic RNG.
+	Seed int64
+	// Tokens is the number of tokens (paper: 51).
+	Tokens int
+	// Pools is the number of liquidity pools (paper: 208).
+	Pools int
+	// Hubs is the number of hub tokens (WETH/stable-coin analogues) that
+	// most pools connect through; DEX graphs are strongly hub-biased,
+	// which is what produces enough triangles for the paper's 123
+	// arbitrage loops.
+	Hubs int
+	// HubBias is the probability that a pool endpoint is a hub.
+	HubBias float64
+	// MispricingSigma is the standard deviation of the log-normal noise
+	// applied to pool reserve ratios relative to true prices. Larger
+	// values create more and deeper arbitrage loops. Zero selects the
+	// paper-calibrated default; pass a negative value for a perfectly
+	// consistent market (no arbitrage net of fees).
+	MispricingSigma float64
+	// CEXNoiseSigma perturbs CEX prices away from true prices. Zero
+	// selects the default; negative disables the noise.
+	CEXNoiseSigma float64
+	// MinTVL and MaxTVL bound the per-pool TVL in USD (log-uniform).
+	MinTVL, MaxTVL float64
+	// MinPrice and MaxPrice bound true token prices in USD (log-uniform).
+	MinPrice, MaxPrice float64
+	// Fee is the pool fee λ.
+	Fee float64
+}
+
+// DefaultGeneratorConfig reproduces the paper's §VI graph statistics.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{
+		Seed:            20230901,
+		Tokens:          51,
+		Pools:           208,
+		Hubs:            5,
+		HubBias:         0.28,
+		MispricingSigma: 0.0134,
+		CEXNoiseSigma:   0.004,
+		MinTVL:          30_000,
+		MaxTVL:          3_000_000,
+		MinPrice:        0.02,
+		MaxPrice:        90,
+		Fee:             0.003,
+	}
+}
+
+func (c GeneratorConfig) withDefaults() GeneratorConfig {
+	d := DefaultGeneratorConfig()
+	if c.Tokens <= 0 {
+		c.Tokens = d.Tokens
+	}
+	if c.Pools <= 0 {
+		c.Pools = d.Pools
+	}
+	if c.Hubs <= 0 {
+		c.Hubs = d.Hubs
+	}
+	if c.HubBias <= 0 {
+		c.HubBias = d.HubBias
+	}
+	switch {
+	case c.MispricingSigma == 0:
+		c.MispricingSigma = d.MispricingSigma
+	case c.MispricingSigma < 0:
+		c.MispricingSigma = 0
+	}
+	switch {
+	case c.CEXNoiseSigma == 0:
+		c.CEXNoiseSigma = d.CEXNoiseSigma
+	case c.CEXNoiseSigma < 0:
+		c.CEXNoiseSigma = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.MinTVL <= 0 {
+		c.MinTVL = d.MinTVL
+	}
+	if c.MaxTVL <= c.MinTVL {
+		c.MaxTVL = math.Max(d.MaxTVL, 2*c.MinTVL)
+	}
+	if c.MinPrice <= 0 {
+		c.MinPrice = d.MinPrice
+	}
+	if c.MaxPrice <= c.MinPrice {
+		c.MaxPrice = math.Max(d.MaxPrice, 2*c.MinPrice)
+	}
+	if c.Fee <= 0 {
+		c.Fee = d.Fee
+	}
+	return c
+}
+
+// Generate builds a deterministic synthetic snapshot. The same config
+// always produces the same snapshot.
+func Generate(cfg GeneratorConfig) (*Snapshot, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Hubs >= cfg.Tokens {
+		return nil, fmt.Errorf("market: hubs (%d) must be fewer than tokens (%d)", cfg.Hubs, cfg.Tokens)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Tokens with true prices. Hubs get the realistic heavyweights.
+	symbols := make([]string, cfg.Tokens)
+	truePrice := make(map[string]float64, cfg.Tokens)
+	tokens := make([]token.Token, 0, cfg.Tokens)
+	hubSymbols := []string{"WETH", "USDC", "USDT", "DAI", "WBTC"}
+	hubPrices := []float64{1650, 1, 1, 1, 26_000}
+	logLo, logHi := math.Log(cfg.MinPrice), math.Log(cfg.MaxPrice)
+	for i := 0; i < cfg.Tokens; i++ {
+		var sym string
+		var price float64
+		if i < cfg.Hubs && i < len(hubSymbols) {
+			sym = hubSymbols[i]
+			price = hubPrices[i]
+		} else {
+			sym = fmt.Sprintf("TK%02d", i)
+			price = math.Exp(logLo + rng.Float64()*(logHi-logLo))
+		}
+		symbols[i] = sym
+		truePrice[sym] = price
+		tokens = append(tokens, token.Token{
+			Addr:     token.AddressFromSeq(uint64(i + 1)),
+			Symbol:   sym,
+			Name:     "Synthetic " + sym,
+			Decimals: 18,
+		})
+	}
+
+	pickEndpoint := func() int {
+		if rng.Float64() < cfg.HubBias {
+			return rng.Intn(cfg.Hubs)
+		}
+		return cfg.Hubs + rng.Intn(cfg.Tokens-cfg.Hubs)
+	}
+
+	// Pools: spanning structure first (every non-hub connects to a hub so
+	// the graph is connected), then hub-biased random pairs. At most one
+	// pool per unordered pair is enforced for the first pass; extra pools
+	// between popular pairs (multi-edges) are allowed afterwards, as on
+	// the real DEX (e.g. multiple WETH/USDC pools).
+	type pairKey struct{ a, b int }
+	norm := func(a, b int) pairKey {
+		if a > b {
+			a, b = b, a
+		}
+		return pairKey{a, b}
+	}
+	paired := make(map[pairKey]int)
+	pools := make([]PoolRecord, 0, cfg.Pools)
+
+	addPool := func(a, b int) {
+		symA, symB := symbols[a], symbols[b]
+		// Log-uniform TVL split evenly across both sides, with the floor
+		// lifted so both reserves clear 100 units under the price draw.
+		tvl := math.Exp(math.Log(cfg.MinTVL) + rng.Float64()*(math.Log(cfg.MaxTVL)-math.Log(cfg.MinTVL)))
+		minSide := 110 * math.Max(truePrice[symA], truePrice[symB])
+		if tvl < 2*minSide {
+			tvl = 2 * minSide
+		}
+		// Reserve ratio = true price ratio × log-normal mispricing.
+		mis := math.Exp(rng.NormFloat64() * cfg.MispricingSigma)
+		reserveA := tvl / 2 / truePrice[symA] * mis
+		reserveB := tvl / 2 / truePrice[symB]
+		pools = append(pools, PoolRecord{
+			ID:       fmt.Sprintf("pool-%04d", len(pools)),
+			Token0:   symA,
+			Token1:   symB,
+			Reserve0: reserveA,
+			Reserve1: reserveB,
+			Fee:      cfg.Fee,
+		})
+		paired[norm(a, b)]++
+	}
+
+	for i := cfg.Hubs; i < cfg.Tokens && len(pools) < cfg.Pools; i++ {
+		addPool(i, rng.Intn(cfg.Hubs))
+	}
+	for guard := 0; len(pools) < cfg.Pools && guard < cfg.Pools*200; guard++ {
+		a, b := pickEndpoint(), pickEndpoint()
+		if a == b {
+			continue
+		}
+		// Allow multi-edges only between hub pairs, mirroring reality.
+		if paired[norm(a, b)] > 0 && !(a < cfg.Hubs && b < cfg.Hubs) {
+			continue
+		}
+		addPool(a, b)
+	}
+	if len(pools) < cfg.Pools {
+		return nil, fmt.Errorf("market: could only place %d of %d pools", len(pools), cfg.Pools)
+	}
+
+	// CEX prices: true price with small noise.
+	prices := make(map[string]float64, cfg.Tokens)
+	for _, sym := range symbols {
+		prices[sym] = truePrice[sym] * math.Exp(rng.NormFloat64()*cfg.CEXNoiseSigma)
+	}
+
+	s := &Snapshot{
+		Name:      fmt.Sprintf("synthetic-seed%d", cfg.Seed),
+		Tokens:    tokens,
+		Pools:     pools,
+		PricesUSD: prices,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("market: generated snapshot invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,293 @@
+package market
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"arbloop/internal/cycles"
+	"arbloop/internal/token"
+)
+
+func tinySnapshot() *Snapshot {
+	return &Snapshot{
+		Name: "tiny",
+		Tokens: []token.Token{
+			{Addr: token.AddressFromSeq(1), Symbol: "X", Decimals: 18},
+			{Addr: token.AddressFromSeq(2), Symbol: "Y", Decimals: 18},
+			{Addr: token.AddressFromSeq(3), Symbol: "Z", Decimals: 18},
+		},
+		Pools: []PoolRecord{
+			{ID: "p0", Token0: "X", Token1: "Y", Reserve0: 100, Reserve1: 200, Fee: 0.003},
+			{ID: "p1", Token0: "Y", Token1: "Z", Reserve0: 300, Reserve1: 200, Fee: 0.003},
+			{ID: "p2", Token0: "Z", Token1: "X", Reserve0: 200, Reserve1: 400, Fee: 0.003},
+		},
+		PricesUSD: map[string]float64{"X": 2, "Y": 10.2, "Z": 20},
+	}
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	if err := tinySnapshot().Validate(); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	tests := []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{name: "unknown pool token", mutate: func(s *Snapshot) { s.Pools[0].Token0 = "W" }},
+		{name: "identical pool tokens", mutate: func(s *Snapshot) { s.Pools[0].Token1 = "X" }},
+		{name: "zero reserve", mutate: func(s *Snapshot) { s.Pools[0].Reserve0 = 0 }},
+		{name: "bad fee", mutate: func(s *Snapshot) { s.Pools[0].Fee = 1.5 }},
+		{name: "missing price", mutate: func(s *Snapshot) { delete(s.PricesUSD, "Z") }},
+		{name: "price for unknown token", mutate: func(s *Snapshot) { s.PricesUSD["W"] = 1 }},
+		{name: "duplicate symbol", mutate: func(s *Snapshot) { s.Tokens[1].Symbol = "X" }},
+		{name: "empty symbol", mutate: func(s *Snapshot) { s.Tokens[0].Symbol = "" }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := tinySnapshot()
+			tt.mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestSnapshotTVLAndStats(t *testing.T) {
+	s := tinySnapshot()
+	// p0: 100·2 + 200·10.2 = 2240.
+	if got := s.TVL(s.Pools[0]); math.Abs(got-2240) > 1e-9 {
+		t.Errorf("TVL(p0) = %g, want 2240", got)
+	}
+	st := s.Stats()
+	if st.Tokens != 3 || st.Pools != 3 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.TotalTVL <= 0 || st.MedianTVL <= 0 {
+		t.Errorf("Stats TVL fields: %+v", st)
+	}
+	empty := &Snapshot{Name: "empty"}
+	if st := empty.Stats(); st.MedianTVL != 0 {
+		t.Errorf("empty stats median = %g", st.MedianTVL)
+	}
+}
+
+func TestFilterPools(t *testing.T) {
+	s := tinySnapshot()
+	// p0 TVL = 2240, p1 = 300·10.2 + 200·20 = 7060, p2 = 200·20 + 400·2 = 4800.
+	f := s.FilterPools(4000, 0)
+	if len(f.Pools) != 2 {
+		t.Fatalf("filtered pools = %d, want 2", len(f.Pools))
+	}
+	// Token X appears in p2, Y in p1, Z in both: all three kept.
+	if len(f.Tokens) != 3 {
+		t.Errorf("filtered tokens = %d, want 3", len(f.Tokens))
+	}
+	// Min reserve filter: p0 has reserve0=100; floor of 150 drops it.
+	f2 := s.FilterPools(0, 150)
+	for _, p := range f2.Pools {
+		if p.Reserve0 < 150 || p.Reserve1 < 150 {
+			t.Errorf("pool %s kept with reserve below floor", p.ID)
+		}
+	}
+	// Filtering everything also drops all tokens.
+	f3 := s.FilterPools(1e12, 0)
+	if len(f3.Pools) != 0 || len(f3.Tokens) != 0 {
+		t.Errorf("total filter left %d pools, %d tokens", len(f3.Pools), len(f3.Tokens))
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	s := tinySnapshot()
+	g, err := s.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Errorf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	s.Pools[0].Reserve0 = -1
+	if _, err := s.BuildGraph(); err == nil {
+		t.Error("bad pool: want error")
+	}
+}
+
+func TestSnapshotRegistry(t *testing.T) {
+	s := tinySnapshot()
+	r, err := s.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Errorf("registry len = %d", r.Len())
+	}
+	if _, err := r.BySymbol("X"); err != nil {
+		t.Errorf("BySymbol(X): %v", err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := tinySnapshot()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || len(back.Pools) != len(s.Pools) || len(back.Tokens) != len(s.Tokens) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if back.PricesUSD["Y"] != 10.2 {
+		t.Errorf("price Y = %g", back.PricesUSD["Y"])
+	}
+}
+
+func TestLoadRejectsBadJSON(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON: want error")
+	}
+	if _, err := Load(strings.NewReader(`{"name":"x","pools":[{"id":"p","token0":"A","token1":"B","reserve0":1,"reserve1":1,"fee":0}]}`)); err == nil {
+		t.Error("snapshot with unknown tokens: want error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GeneratorConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GeneratorConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pools) != len(b.Pools) {
+		t.Fatalf("pool counts differ: %d vs %d", len(a.Pools), len(b.Pools))
+	}
+	for i := range a.Pools {
+		if a.Pools[i] != b.Pools[i] {
+			t.Fatalf("pool %d differs between runs", i)
+		}
+	}
+	c, err := Generate(GeneratorConfig{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Pools {
+		if a.Pools[i] != c.Pools[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical snapshots")
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	if _, err := Generate(GeneratorConfig{Tokens: 4, Hubs: 5}); err == nil {
+		t.Error("hubs ≥ tokens: want error")
+	}
+}
+
+// TestEmpiricalT2 checks the paper's §VI graph statistics under the
+// default configuration: 51 tokens, 208 pools surviving the $30k TVL and
+// 100-unit reserve filters, and 123 arbitrage loops of length 3.
+func TestEmpiricalT2(t *testing.T) {
+	snap, err := Generate(DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := snap.FilterPools(30_000, 100)
+	g, err := filtered.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 51 {
+		t.Errorf("tokens = %d, paper reports 51", g.NumNodes())
+	}
+	if g.NumEdges() != 208 {
+		t.Errorf("pools = %d, paper reports 208", g.NumEdges())
+	}
+	cs, err := cycles.Enumerate(g, 3, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, err := cycles.ArbitrageLoops(g, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 123 {
+		t.Errorf("length-3 arbitrage loops = %d, paper reports 123", len(loops))
+	}
+}
+
+func TestGeneratedPoolsSurviveFilters(t *testing.T) {
+	snap, err := Generate(DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range snap.Pools {
+		if snap.TVL(p) < 30_000*0.99 {
+			t.Errorf("pool %s TVL %.0f below the floor", p.ID, snap.TVL(p))
+		}
+		if p.Reserve0 < 100 || p.Reserve1 < 100 {
+			t.Errorf("pool %s reserves (%.1f, %.1f) below 100", p.ID, p.Reserve0, p.Reserve1)
+		}
+	}
+}
+
+func TestGeneratedGraphConnected(t *testing.T) {
+	snap, err := Generate(DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := snap.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 1 {
+		t.Errorf("components = %d, want 1 (connected)", len(comps))
+	}
+}
+
+func TestGenerateNoMispricingMeansNoArbitrage(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.MispricingSigma = -1 // negative means "exactly zero noise"
+	cfg.CEXNoiseSigma = -1
+	snap, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := snap.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	has, err := cycles.HasArbitrage(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if has {
+		t.Error("perfectly consistent market must have no arbitrage net of fees")
+	}
+}
+
+func TestGenerateCustomSizes(t *testing.T) {
+	cfg := GeneratorConfig{Seed: 3, Tokens: 12, Pools: 30, Hubs: 2}
+	snap, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Tokens) != 12 || len(snap.Pools) != 30 {
+		t.Errorf("generated %d tokens, %d pools", len(snap.Tokens), len(snap.Pools))
+	}
+	if err := snap.Validate(); err != nil {
+		t.Errorf("custom snapshot invalid: %v", err)
+	}
+}

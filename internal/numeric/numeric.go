@@ -1,0 +1,249 @@
+// Package numeric provides the one-dimensional numerical routines the
+// arbitrage strategies rely on: bisection and Brent root finding, ternary
+// and golden-section maximization of unimodal functions, Newton iteration,
+// and central-difference derivatives.
+//
+// The paper computes the optimal input of a loop by solving
+// dΔout/dΔin = 1 with bisection (§III). Package strategy uses the
+// closed-form Möbius optimum as primary and these routines as
+// cross-checking and ablation baselines.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the solvers.
+var (
+	ErrBracketSign    = errors.New("numeric: root not bracketed (f(a), f(b) must differ in sign)")
+	ErrMaxIterations  = errors.New("numeric: maximum iterations exceeded")
+	ErrInvalidRange   = errors.New("numeric: invalid interval")
+	ErrDerivativeZero = errors.New("numeric: derivative vanished")
+)
+
+// DefaultTol is the default absolute tolerance of the solvers.
+const DefaultTol = 1e-12
+
+// DefaultMaxIter bounds iteration counts; generous for bisection on
+// float64 (2^-1074 is reached in ~1100 halvings).
+const DefaultMaxIter = 200
+
+// Bisect finds a root of f in [a, b] with |b−a| ≤ tol at exit. f(a) and
+// f(b) must have opposite signs (one may be zero).
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrInvalidRange, a, b)
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrBracketSign, a, fa, b, fb)
+	}
+	for i := 0; i < 2000; i++ {
+		m := a + (b-a)/2
+		if b-a <= tol || m == a || m == b {
+			return m, nil
+		}
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). Typically converges in far fewer
+// evaluations than bisection.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrInvalidRange, a, b)
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrBracketSign, a, fa, b, fb)
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < DefaultMaxIter*4; i++ {
+		if fb == 0 || math.Abs(b-a) <= tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// MaximizeTernary maximizes a unimodal f on [a, b] by ternary search,
+// returning the maximizer (interval shrunk below tol).
+func MaximizeTernary(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrInvalidRange, a, b)
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	for i := 0; i < 2000 && b-a > tol; i++ {
+		m1 := a + (b-a)/3
+		m2 := b - (b-a)/3
+		if f(m1) < f(m2) {
+			a = m1
+		} else {
+			b = m2
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// invPhi is 1/φ, the golden-section step ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// MaximizeGolden maximizes a unimodal f on [a, b] by golden-section search.
+// It uses one function evaluation per iteration (vs two for ternary).
+func MaximizeGolden(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrInvalidRange, a, b)
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 2000 && b-a > tol; i++ {
+		if f1 < f2 {
+			a = x1
+			x1, f1 = x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b = x2
+			x2, f2 = x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// Newton iterates x ← x − f(x)/f'(x) from x0 until |f(x)| ≤ tol.
+func Newton(f, fprime func(float64) float64, x0, tol float64, maxIter int) (float64, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		fx := f(x)
+		if math.Abs(fx) <= tol {
+			return x, nil
+		}
+		d := fprime(x)
+		if d == 0 || math.IsNaN(d) {
+			return 0, fmt.Errorf("%w at x=%g", ErrDerivativeZero, x)
+		}
+		x -= fx / d
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("numeric: newton diverged at iteration %d", i)
+		}
+	}
+	return 0, ErrMaxIterations
+}
+
+// Derivative approximates f'(x) with a central difference using a
+// curvature-balanced step.
+func Derivative(f func(float64) float64, x float64) float64 {
+	h := 1e-6 * (math.Abs(x) + 1)
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// SecondDerivative approximates f”(x) with a central difference.
+func SecondDerivative(f func(float64) float64, x float64) float64 {
+	h := 1e-4 * (math.Abs(x) + 1)
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// ExpandBracketUp grows b geometrically from start until f(b) < 0 or the
+// limit is hit, returning a bracket [0, b] for a function that starts
+// positive and eventually goes negative (e.g. marginal profit). Returns an
+// error when no sign change is found below limit.
+func ExpandBracketUp(f func(float64) float64, start, limit float64) (float64, error) {
+	if start <= 0 || limit <= start {
+		return 0, fmt.Errorf("%w: start %g, limit %g", ErrInvalidRange, start, limit)
+	}
+	b := start
+	for b <= limit {
+		if f(b) < 0 {
+			return b, nil
+		}
+		b *= 2
+	}
+	return 0, fmt.Errorf("%w: no sign change below %g", ErrBracketSign, limit)
+}

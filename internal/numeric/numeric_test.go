@@ -1,0 +1,247 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectKnownRoots(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{name: "linear", f: func(x float64) float64 { return x - 3 }, a: 0, b: 10, want: 3},
+		{name: "quadratic", f: func(x float64) float64 { return x*x - 2 }, a: 0, b: 2, want: math.Sqrt2},
+		{name: "cosine", f: math.Cos, a: 0, b: 3, want: math.Pi / 2},
+		{name: "root at endpoint a", f: func(x float64) float64 { return x }, a: 0, b: 1, want: 0},
+		{name: "root at endpoint b", f: func(x float64) float64 { return x - 1 }, a: 0, b: 1, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Bisect(tt.f, tt.a, tt.b, 1e-12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("Bisect = %.15g, want %.15g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBisectErrors(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, 1e-9); err == nil {
+		t.Error("no sign change: want error")
+	}
+	if _, err := Bisect(math.Cos, 3, 0, 1e-9); err == nil {
+		t.Error("reversed interval: want error")
+	}
+	if _, err := Bisect(math.Cos, math.NaN(), 1, 1e-9); err == nil {
+		t.Error("NaN endpoint: want error")
+	}
+}
+
+func TestBisectDefaultTolerance(t *testing.T) {
+	got, err := Bisect(func(x float64) float64 { return x - 1 }, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("Bisect with default tol = %g", got)
+	}
+}
+
+func TestBrentMatchesBisect(t *testing.T) {
+	fns := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+	}{
+		{name: "cubic", f: func(x float64) float64 { return x*x*x - x - 2 }, a: 1, b: 2},
+		{name: "exp", f: func(x float64) float64 { return math.Exp(x) - 5 }, a: 0, b: 3},
+		{name: "steep", f: func(x float64) float64 { return math.Tanh(50 * (x - 0.3)) }, a: 0, b: 1},
+	}
+	for _, tt := range fns {
+		t.Run(tt.name, func(t *testing.T) {
+			rb, err := Bisect(tt.f, tt.a, tt.b, 1e-13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr, err := Brent(tt.f, tt.a, tt.b, 1e-13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(rb-rr) > 1e-7 {
+				t.Errorf("Brent %.12g vs Bisect %.12g", rr, rb)
+			}
+		})
+	}
+}
+
+func TestBrentErrors(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 }, 0, 1, 1e-9); err == nil {
+		t.Error("no sign change: want error")
+	}
+	if _, err := Brent(math.Cos, 2, 1, 1e-9); err == nil {
+		t.Error("reversed interval: want error")
+	}
+}
+
+func TestBrentEndpointRoots(t *testing.T) {
+	got, err := Brent(func(x float64) float64 { return x }, 0, 1, 1e-12)
+	if err != nil || got != 0 {
+		t.Errorf("Brent endpoint root = %g, %v", got, err)
+	}
+}
+
+func TestMaximizeTernaryAndGolden(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{name: "parabola", f: func(x float64) float64 { return -(x - 2) * (x - 2) }, a: 0, b: 10, want: 2},
+		{name: "sin", f: math.Sin, a: 0, b: math.Pi, want: math.Pi / 2},
+		{name: "profit-like", f: func(x float64) float64 {
+			return 100 * x / (50 + x) * 0.9 * 2 / (1 + 0.01*x) * 0.5 * 0.997 * 3 / (1 + 0.002*x) / 3 * 2 * 0.9 * x / x * 1 / (1 + 0.001*x) * 1
+		}, a: 0.001, b: 100, want: -1}, // only checks no error and bounds
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			xt, err := MaximizeTernary(tt.f, tt.a, tt.b, 1e-10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xg, err := MaximizeGolden(tt.f, tt.a, tt.b, 1e-10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if xt < tt.a || xt > tt.b || xg < tt.a || xg > tt.b {
+				t.Fatalf("maximizers out of range: %g, %g", xt, xg)
+			}
+			if tt.want >= 0 {
+				if math.Abs(xt-tt.want) > 1e-6 {
+					t.Errorf("ternary max = %g, want %g", xt, tt.want)
+				}
+				if math.Abs(xg-tt.want) > 1e-6 {
+					t.Errorf("golden max = %g, want %g", xg, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestMaximizeErrors(t *testing.T) {
+	if _, err := MaximizeTernary(math.Sin, 1, 0, 1e-9); err == nil {
+		t.Error("ternary reversed interval: want error")
+	}
+	if _, err := MaximizeGolden(math.Sin, 1, 0, 1e-9); err == nil {
+		t.Error("golden reversed interval: want error")
+	}
+}
+
+// Property: ternary and golden agree on random concave parabolas.
+func TestMaximizersAgreeProperty(t *testing.T) {
+	f := func(cu, wu uint16) bool {
+		c := float64(cu%1000)/100 + 0.5 // peak in (0.5, 10.5)
+		w := float64(wu%50)/10 + 0.1
+		fn := func(x float64) float64 { return -w * (x - c) * (x - c) }
+		xt, err1 := MaximizeTernary(fn, 0, 20, 1e-10)
+		xg, err2 := MaximizeGolden(fn, 0, 20, 1e-10)
+		return err1 == nil && err2 == nil && math.Abs(xt-c) < 1e-5 && math.Abs(xg-c) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewton(t *testing.T) {
+	got, err := Newton(
+		func(x float64) float64 { return x*x - 2 },
+		func(x float64) float64 { return 2 * x },
+		1, 1e-14, 100,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("Newton = %.15g, want √2", got)
+	}
+}
+
+func TestNewtonZeroDerivative(t *testing.T) {
+	_, err := Newton(
+		func(x float64) float64 { return x*x + 1 },
+		func(x float64) float64 { return 2 * x },
+		0, 1e-12, 50,
+	)
+	if err == nil {
+		t.Error("zero derivative at start: want error")
+	}
+}
+
+func TestNewtonMaxIterations(t *testing.T) {
+	// No root: x² + 1 with nonzero start keeps oscillating/diverging.
+	_, err := Newton(
+		func(x float64) float64 { return x*x + 1 },
+		func(x float64) float64 { return 2 * x },
+		0.7, 1e-12, 25,
+	)
+	if err == nil {
+		t.Error("rootless function: want error")
+	}
+}
+
+func TestDerivativeAccuracy(t *testing.T) {
+	tests := []struct {
+		name  string
+		f     func(float64) float64
+		deriv func(float64) float64
+		at    float64
+	}{
+		{name: "square", f: func(x float64) float64 { return x * x }, deriv: func(x float64) float64 { return 2 * x }, at: 3},
+		{name: "exp", f: math.Exp, deriv: math.Exp, at: 1},
+		{name: "sin", f: math.Sin, deriv: math.Cos, at: 0.7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Derivative(tt.f, tt.at)
+			want := tt.deriv(tt.at)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Errorf("Derivative = %g, want %g", got, want)
+			}
+		})
+	}
+}
+
+func TestSecondDerivativeAccuracy(t *testing.T) {
+	got := SecondDerivative(func(x float64) float64 { return x * x * x }, 2)
+	if math.Abs(got-12) > 1e-3 {
+		t.Errorf("SecondDerivative(x³)(2) = %g, want 12", got)
+	}
+}
+
+func TestExpandBracketUp(t *testing.T) {
+	// Marginal-profit-like function: positive then negative past x = 40.
+	f := func(x float64) float64 { return 40 - x }
+	b, err := ExpandBracketUp(f, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(b) >= 0 {
+		t.Errorf("ExpandBracketUp returned b=%g with f(b)=%g ≥ 0", b, f(b))
+	}
+	if _, err := ExpandBracketUp(func(x float64) float64 { return 1 }, 1, 1e6); err == nil {
+		t.Error("always-positive function: want error")
+	}
+	if _, err := ExpandBracketUp(f, 0, 10); err == nil {
+		t.Error("non-positive start: want error")
+	}
+	if _, err := ExpandBracketUp(f, 5, 4); err == nil {
+		t.Error("limit below start: want error")
+	}
+}

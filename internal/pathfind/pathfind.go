@@ -1,0 +1,229 @@
+// Package pathfind implements order routing over the token exchange
+// graph: finding the path (and the optimal split across parallel paths)
+// that maximizes the output of a swap from one token to another. This is
+// the "global order routing" capability of the paper's related work
+// (Danos et al., FC'21 [8]); the paper contrasts its loop-profit problem
+// against this routing problem, and the bot uses routing to value
+// inventory.
+//
+// Every simple path composes into a single Möbius map (package amm), so:
+//
+//   - BestRoute enumerates simple paths up to a hop bound and evaluates
+//     each exactly;
+//   - OptimalSplit distributes an input across parallel routes by
+//     water-filling: at the optimum every funded route has the same
+//     marginal output F'_k(x_k) = λ, and x_k(λ) is closed-form, so a
+//     single bisection on λ solves the concave program.
+package pathfind
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/graph"
+)
+
+// Errors returned by the router.
+var (
+	ErrNoRoute   = errors.New("pathfind: no route")
+	ErrBadAmount = errors.New("pathfind: amount must be positive")
+	ErrBadHops   = errors.New("pathfind: maxHops must be ≥ 1")
+)
+
+// Route is one candidate path with its evaluation.
+type Route struct {
+	// Tokens is the token sequence (len = hops + 1, Tokens[0] = from).
+	Tokens []string
+	// Pools holds the pool index per hop.
+	Pools []int
+	// Map is the composed Möbius map of the whole path.
+	Map amm.Mobius
+	// AmountOut is the exact output for the probe input.
+	AmountOut float64
+}
+
+// Hops returns the number of swaps on the route.
+func (r Route) Hops() int { return len(r.Pools) }
+
+// AllRoutes enumerates every simple path from one token to another with
+// at most maxHops swaps, each evaluated at amountIn. Routes are sorted by
+// descending output.
+func AllRoutes(g *graph.Graph, from, to string, amountIn float64, maxHops int) ([]Route, error) {
+	if amountIn <= 0 || math.IsNaN(amountIn) {
+		return nil, fmt.Errorf("%w: %g", ErrBadAmount, amountIn)
+	}
+	if maxHops < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHops, maxHops)
+	}
+	src, err := g.NodeIndex(from)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := g.NodeIndex(to)
+	if err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return nil, fmt.Errorf("pathfind: from and to are both %q", from)
+	}
+
+	var routes []Route
+	visited := make([]bool, g.NumNodes())
+	pathNodes := []int{src}
+	var pathPools []int
+
+	var dfs func(u int)
+	dfs = func(u int) {
+		for _, adj := range g.Adjacent(u) {
+			v := adj.Neighbor
+			if v == dst {
+				nodes := append(append([]int(nil), pathNodes...), v)
+				pools := append(append([]int(nil), pathPools...), adj.PoolIndex)
+				if r, ok := evalRoute(g, nodes, pools, amountIn); ok {
+					routes = append(routes, r)
+				}
+				continue
+			}
+			if !visited[v] && len(pathPools)+1 < maxHops {
+				visited[v] = true
+				pathNodes = append(pathNodes, v)
+				pathPools = append(pathPools, adj.PoolIndex)
+				dfs(v)
+				pathPools = pathPools[:len(pathPools)-1]
+				pathNodes = pathNodes[:len(pathNodes)-1]
+				visited[v] = false
+			}
+		}
+	}
+	visited[src] = true
+	dfs(src)
+
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("%w: %s → %s within %d hops", ErrNoRoute, from, to, maxHops)
+	}
+	sort.Slice(routes, func(i, j int) bool { return routes[i].AmountOut > routes[j].AmountOut })
+	return routes, nil
+}
+
+func evalRoute(g *graph.Graph, nodes, pools []int, amountIn float64) (Route, bool) {
+	m := amm.Identity()
+	tokens := make([]string, len(nodes))
+	for i, n := range nodes {
+		tokens[i] = g.Node(n)
+	}
+	for i, pi := range pools {
+		hm, err := g.Pool(pi).Mobius(tokens[i])
+		if err != nil {
+			return Route{}, false
+		}
+		m = m.Compose(hm)
+	}
+	return Route{
+		Tokens:    tokens,
+		Pools:     pools,
+		Map:       m,
+		AmountOut: m.Eval(amountIn),
+	}, true
+}
+
+// BestRoute returns the single path maximizing the output of amountIn.
+func BestRoute(g *graph.Graph, from, to string, amountIn float64, maxHops int) (Route, error) {
+	routes, err := AllRoutes(g, from, to, amountIn, maxHops)
+	if err != nil {
+		return Route{}, err
+	}
+	return routes[0], nil
+}
+
+// Split is the outcome of distributing an input over parallel routes.
+type Split struct {
+	// Amounts aligns with the input routes; zero entries are unused
+	// routes.
+	Amounts []float64
+	// TotalOut is Σ F_k(Amounts[k]).
+	TotalOut float64
+}
+
+// OptimalSplit distributes amountIn across the given routes to maximize
+// the total output. At the optimum every funded route k has equal
+// marginal output F'_k(x_k) = λ and unfunded routes have F'_k(0) ≤ λ;
+// inverting F'_k(x) = A_k·B_k/(B_k + C_k·x)² = λ gives
+// x_k(λ) = (√(A_k·B_k/λ) − B_k)/C_k clamped at 0, and Σ x_k(λ) is
+// strictly decreasing, so bisection on λ solves the program exactly.
+func OptimalSplit(routes []amm.Mobius, amountIn float64) (Split, error) {
+	if amountIn <= 0 || math.IsNaN(amountIn) {
+		return Split{}, fmt.Errorf("%w: %g", ErrBadAmount, amountIn)
+	}
+	if len(routes) == 0 {
+		return Split{}, ErrNoRoute
+	}
+
+	xAt := func(lambda float64) []float64 {
+		xs := make([]float64, len(routes))
+		for k, m := range routes {
+			if m.C <= 0 {
+				continue
+			}
+			x := (math.Sqrt(m.A*m.B/lambda) - m.B) / m.C
+			if x > 0 {
+				xs[k] = x
+			}
+		}
+		return xs
+	}
+	sum := func(lambda float64) float64 {
+		s := 0.0
+		for _, x := range xAt(lambda) {
+			s += x
+		}
+		return s
+	}
+
+	// Bracket λ: at λ = max_k F'_k(0) nothing is funded (sum = 0); shrink
+	// λ until the demanded total exceeds amountIn.
+	hi := 0.0
+	for _, m := range routes {
+		if d := m.Deriv(0); d > hi {
+			hi = d
+		}
+	}
+	if hi <= 0 {
+		return Split{}, fmt.Errorf("pathfind: routes have zero marginal output")
+	}
+	lo := hi
+	for sum(lo) < amountIn {
+		lo /= 2
+		if lo < 1e-300 {
+			return Split{}, fmt.Errorf("pathfind: cannot allocate %g across routes", amountIn)
+		}
+	}
+	// Bisect λ ∈ [lo, hi] with sum(lo) ≥ amountIn ≥ sum(hi).
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if sum(mid) >= amountIn {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	xs := xAt(lo)
+	// Normalize rounding drift onto the funded routes.
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	if total > 0 {
+		f := amountIn / total
+		for k := range xs {
+			xs[k] *= f
+		}
+	}
+	out := 0.0
+	for k, m := range routes {
+		out += m.Eval(xs[k])
+	}
+	return Split{Amounts: xs, TotalOut: out}, nil
+}

@@ -1,0 +1,263 @@
+package pathfind
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/graph"
+	"arbloop/internal/market"
+	"arbloop/internal/numeric"
+)
+
+// diamond builds a graph with two A→C routes: direct (one pool) and via B
+// (two pools). The direct pool is small, so large trades route via B.
+func diamond(t *testing.T) *graph.Graph {
+	t.Helper()
+	pools := []*amm.Pool{
+		amm.MustNewPool("direct", "A", "C", 50, 100, 0.003),
+		amm.MustNewPool("ab", "A", "B", 1_000, 2_000, 0.003),
+		amm.MustNewPool("bc", "B", "C", 2_000, 4_000, 0.003),
+	}
+	g, err := graph.Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAllRoutesFindsBoth(t *testing.T) {
+	g := diamond(t)
+	routes, err := AllRoutes(g, "A", "C", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 2 {
+		t.Fatalf("routes = %d, want 2", len(routes))
+	}
+	// Sorted by output descending.
+	if routes[0].AmountOut < routes[1].AmountOut {
+		t.Error("routes not sorted by output")
+	}
+	for _, r := range routes {
+		if r.Tokens[0] != "A" || r.Tokens[len(r.Tokens)-1] != "C" {
+			t.Errorf("route endpoints: %v", r.Tokens)
+		}
+		if r.Hops() != len(r.Tokens)-1 {
+			t.Errorf("hops %d vs tokens %d", r.Hops(), len(r.Tokens))
+		}
+	}
+}
+
+func TestBestRouteSwitchesWithSize(t *testing.T) {
+	g := diamond(t)
+	// Tiny trade: the direct pool's spot price (2.0) beats the two-hop
+	// route (2·2 = 4 before fees? No — ab gives 2 B per A, bc gives 2 C
+	// per B → 4 C per A, so the indirect route's spot is better).
+	small, err := BestRoute(g, "A", "C", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Hops() != 2 {
+		t.Errorf("small trade best route hops = %d, want 2 (better spot)", small.Hops())
+	}
+	// The direct pool is tiny: huge trades should still prefer the deep
+	// indirect route.
+	large, err := BestRoute(g, "A", "C", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Hops() != 2 {
+		t.Errorf("large trade best route hops = %d, want 2 (depth)", large.Hops())
+	}
+	// With maxHops = 1 only the direct pool qualifies.
+	direct, err := BestRoute(g, "A", "C", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Hops() != 1 {
+		t.Errorf("maxHops=1 route hops = %d", direct.Hops())
+	}
+}
+
+func TestAllRoutesErrors(t *testing.T) {
+	g := diamond(t)
+	if _, err := AllRoutes(g, "A", "C", -1, 3); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("bad amount error = %v", err)
+	}
+	if _, err := AllRoutes(g, "A", "C", 1, 0); !errors.Is(err, ErrBadHops) {
+		t.Errorf("bad hops error = %v", err)
+	}
+	if _, err := AllRoutes(g, "A", "Z", 1, 3); err == nil {
+		t.Error("unknown token: want error")
+	}
+	if _, err := AllRoutes(g, "A", "A", 1, 3); err == nil {
+		t.Error("from == to: want error")
+	}
+	// Disconnected target.
+	pools := []*amm.Pool{
+		amm.MustNewPool("p", "A", "B", 10, 10, 0),
+		amm.MustNewPool("q", "C", "D", 10, 10, 0),
+	}
+	g2, err := graph.Build(pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllRoutes(g2, "A", "C", 1, 4); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("disconnected error = %v", err)
+	}
+}
+
+func TestRouteEvaluationMatchesSequentialSwaps(t *testing.T) {
+	g := diamond(t)
+	routes, err := AllRoutes(g, "A", "C", 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range routes {
+		amt := 25.0
+		for i, pi := range r.Pools {
+			out, err := g.Pool(pi).AmountOut(r.Tokens[i], amt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			amt = out
+		}
+		if math.Abs(amt-r.AmountOut) > 1e-9*(1+amt) {
+			t.Errorf("route %v: composed %g vs sequential %g", r.Tokens, r.AmountOut, amt)
+		}
+	}
+}
+
+func TestOptimalSplitTwoRoutes(t *testing.T) {
+	g := diamond(t)
+	routes, err := AllRoutes(g, "A", "C", 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := []amm.Mobius{routes[0].Map, routes[1].Map}
+	split, err := OptimalSplit(maps, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := split.Amounts[0] + split.Amounts[1]
+	if math.Abs(sum-100) > 1e-6 {
+		t.Errorf("split amounts sum to %g, want 100", sum)
+	}
+	// The split must beat the best single route.
+	if split.TotalOut < routes[0].AmountOut-1e-9 {
+		t.Errorf("split output %g below best single route %g", split.TotalOut, routes[0].AmountOut)
+	}
+	// Marginal outputs equal on funded routes (water-filling optimality).
+	if split.Amounts[0] > 1e-9 && split.Amounts[1] > 1e-9 {
+		d0 := maps[0].Deriv(split.Amounts[0])
+		d1 := maps[1].Deriv(split.Amounts[1])
+		if math.Abs(d0-d1) > 1e-6*(d0+d1) {
+			t.Errorf("marginals differ: %g vs %g", d0, d1)
+		}
+	}
+}
+
+// TestOptimalSplitMatchesGoldenSection cross-checks the water-filling
+// solution against direct numeric maximization on two routes.
+func TestOptimalSplitMatchesGoldenSection(t *testing.T) {
+	m1 := amm.Mobius{A: 0.997 * 400, B: 200, C: 0.997}
+	m2 := amm.Mobius{A: 0.997 * 900, B: 600, C: 0.997}
+	const total = 150.0
+
+	split, err := OptimalSplit([]amm.Mobius{m1, m2}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xStar, err := numeric.MaximizeGolden(func(x float64) float64 {
+		return m1.Eval(x) + m2.Eval(total-x)
+	}, 0, total, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m1.Eval(xStar) + m2.Eval(total-xStar)
+	if math.Abs(split.TotalOut-want) > 1e-6*(1+want) {
+		t.Errorf("water-filling %g vs golden-section %g", split.TotalOut, want)
+	}
+	if math.Abs(split.Amounts[0]-xStar) > 1e-4*(1+xStar) {
+		t.Errorf("allocation %g vs %g", split.Amounts[0], xStar)
+	}
+}
+
+func TestOptimalSplitSkipsDominatedRoute(t *testing.T) {
+	// Route 2's marginal at zero is below route 1's marginal at the full
+	// allocation: everything goes to route 1.
+	m1 := amm.Mobius{A: 0.997 * 1e6, B: 1e5, C: 0.997} // spot ≈ 9.97
+	m2 := amm.Mobius{A: 0.997 * 10, B: 1e5, C: 0.997}  // spot ≈ 1e-4
+	split, err := OptimalSplit([]amm.Mobius{m1, m2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Amounts[1] > 1e-9 {
+		t.Errorf("dominated route funded with %g", split.Amounts[1])
+	}
+	if math.Abs(split.Amounts[0]-5) > 1e-6 {
+		t.Errorf("route 1 allocation = %g, want 5", split.Amounts[0])
+	}
+}
+
+func TestOptimalSplitErrors(t *testing.T) {
+	if _, err := OptimalSplit(nil, 10); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("no routes error = %v", err)
+	}
+	if _, err := OptimalSplit([]amm.Mobius{{A: 1, B: 1, C: 1}}, 0); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("zero amount error = %v", err)
+	}
+}
+
+// Property: on the calibrated market, splitting across the top-3 routes
+// never yields less than the best single route.
+func TestOptimalSplitDominatesSingleRouteProperty(t *testing.T) {
+	snap, err := market.Generate(market.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := snap.FilterPools(30_000, 100).BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	nodes := g.Nodes()
+	checked := 0
+	for trial := 0; trial < 60 && checked < 20; trial++ {
+		from := nodes[rng.Intn(len(nodes))]
+		to := nodes[rng.Intn(len(nodes))]
+		if from == to {
+			continue
+		}
+		amount := rng.Float64()*100 + 1
+		routes, err := AllRoutes(g, from, to, amount, 3)
+		if err != nil {
+			continue
+		}
+		if len(routes) < 2 {
+			continue
+		}
+		k := 3
+		if len(routes) < k {
+			k = len(routes)
+		}
+		maps := make([]amm.Mobius, k)
+		for i := 0; i < k; i++ {
+			maps[i] = routes[i].Map
+		}
+		split, err := OptimalSplit(maps, amount)
+		if err != nil {
+			t.Fatalf("%s→%s: %v", from, to, err)
+		}
+		if split.TotalOut < routes[0].AmountOut*(1-1e-9) {
+			t.Errorf("%s→%s: split %g < single %g", from, to, split.TotalOut, routes[0].AmountOut)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no multi-route token pairs found")
+	}
+}

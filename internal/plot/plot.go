@@ -1,0 +1,238 @@
+// Package plot renders experiment series as CSV files and quick ASCII
+// charts. The benchmark harness regenerates every figure of the paper as
+// data (CSV) plus a terminal-friendly preview (ASCII), since a Go library
+// with no dependencies cannot produce the paper's matplotlib graphics.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the renderers.
+var (
+	ErrNoData   = errors.New("plot: no data")
+	ErrBadShape = errors.New("plot: rows and header lengths disagree")
+)
+
+// WriteCSV writes a header and float rows in RFC-4180 style (no quoting
+// needed for numeric data).
+func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	if len(header) == 0 {
+		return ErrNoData
+	}
+	if _, err := io.WriteString(w, strings.Join(header, ",")+"\n"); err != nil {
+		return fmt.Errorf("plot: write header: %w", err)
+	}
+	var b strings.Builder
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("%w: row %d has %d cells, header %d", ErrBadShape, i, len(row), len(header))
+		}
+		b.Reset()
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(v, 'g', 10, 64))
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return fmt.Errorf("plot: write row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Point is one (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Series is a named point set rendered with a single marker rune.
+type Series struct {
+	Name   string
+	Marker rune
+	Points []Point
+}
+
+// Chart is an ASCII scatter/line chart. Width and Height are the plot
+// area in characters (defaults 72×20).
+type Chart struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	Series         []Series
+}
+
+// Add appends a series built from parallel x/y slices. Mismatched or
+// empty input is an error.
+func (c *Chart) Add(name string, marker rune, xs, ys []float64) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("%w: %d xs, %d ys", ErrBadShape, len(xs), len(ys))
+	}
+	pts := make([]Point, len(xs))
+	for i := range xs {
+		pts[i] = Point{X: xs[i], Y: ys[i]}
+	}
+	c.Series = append(c.Series, Series{Name: name, Marker: marker, Points: pts})
+	return nil
+}
+
+// Render draws the chart. Non-finite points are skipped; an all-empty
+// chart returns ErrNoData.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if !finite(p.X) || !finite(p.Y) {
+				continue
+			}
+			n++
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if n == 0 {
+		return ErrNoData
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '•'
+		}
+		for _, p := range s.Points {
+			if !finite(p.X) || !finite(p.Y) {
+				continue
+			}
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((p.Y-minY)/(maxY-minY)*float64(height-1)))
+			grid[row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yHi := fmt.Sprintf("%.4g", maxY)
+	yLo := fmt.Sprintf("%.4g", minY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for i, rowRunes := range grid {
+		label := strings.Repeat(" ", pad)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(rowRunes))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmt.Sprintf("%.4g", maxX)), fmt.Sprintf("%.4g", minX), fmt.Sprintf("%.4g", maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '•'
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, s.Name)
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("plot: render: %w", err)
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Table renders a simple aligned text table (used for the paper's scalar
+// results, T1–T3).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with column alignment.
+func (t *Table) Render(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return ErrNoData
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("%w: row has %d cells, want %d", ErrBadShape, len(row), len(t.Columns))
+		}
+		for i, cell := range row {
+			if l := len([]rune(cell)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("plot: render table: %w", err)
+	}
+	return nil
+}

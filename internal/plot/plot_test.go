@@ -1,0 +1,160 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"x", "y"}, [][]float64{{1, 2}, {3.5, -4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n3.5,-4\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty header error = %v", err)
+	}
+	if err := WriteCSV(&b, []string{"x"}, [][]float64{{1, 2}}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("ragged row error = %v", err)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	var c Chart
+	c.Title = "test chart"
+	c.XLabel = "in"
+	c.YLabel = "out"
+	if err := c.Add("line", '*', []float64{0, 1, 2, 3}, []float64{0, 1, 4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("flat", 'o', []float64{0, 3}, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"test chart", "*", "o", "line", "flat", "x: in   y: out"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartRenderEmptyErrors(t *testing.T) {
+	var c Chart
+	var b strings.Builder
+	if err := c.Render(&b); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty chart error = %v", err)
+	}
+	// All-NaN series also counts as empty.
+	if err := c.Add("nan", 'x', []float64{math.NaN()}, []float64{math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Render(&b); !errors.Is(err, ErrNoData) {
+		t.Errorf("NaN-only chart error = %v", err)
+	}
+}
+
+func TestChartAddValidation(t *testing.T) {
+	var c Chart
+	if err := c.Add("bad", 'x', []float64{1}, []float64{1, 2}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("mismatched lengths error = %v", err)
+	}
+	if err := c.Add("empty", 'x', nil, nil); !errors.Is(err, ErrBadShape) {
+		t.Errorf("empty series error = %v", err)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	var c Chart
+	if err := c.Add("point", '#', []float64{2}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("single point render: %v", err)
+	}
+	if !strings.Contains(b.String(), "#") {
+		t.Error("marker missing from degenerate chart")
+	}
+}
+
+func TestChartDefaultMarker(t *testing.T) {
+	var c Chart
+	if err := c.Add("default", 0, []float64{0, 1}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "•") {
+		t.Error("default marker not used")
+	}
+}
+
+func TestChartCustomSize(t *testing.T) {
+	c := Chart{Width: 10, Height: 4}
+	if err := c.Add("s", '+', []float64{0, 1}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	// 4 grid rows + axis + x-range + legend.
+	gridRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridRows++
+		}
+	}
+	if gridRows != 4 {
+		t.Errorf("grid rows = %d, want 4:\n%s", gridRows, b.String())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "T1",
+		Columns: []string{"start", "input", "profit"},
+	}
+	tbl.AddRow("X", "27.0", "16.8")
+	tbl.AddRow("Y", "31.5", "19.7")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T1", "start", "27.0", "19.7", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	var b strings.Builder
+	empty := Table{}
+	if err := empty.Render(&b); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty table error = %v", err)
+	}
+	bad := Table{Columns: []string{"a", "b"}}
+	bad.AddRow("only one")
+	if err := bad.Render(&b); !errors.Is(err, ErrBadShape) {
+		t.Errorf("ragged table error = %v", err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package stats provides the summary statistics the experiment harnesses
+// report: moments, quantiles, histograms, and correlation. Inputs are
+// never mutated; quantile functions sort a copy.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator).
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("%w: need ≥ 2 samples", ErrEmpty)
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Min returns the smallest element.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation
+// between order statistics (type-7, the numpy default).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %g outside [0, 1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Summary bundles the descriptive statistics of one sample.
+type Summary struct {
+	N                       int
+	Mean, StdDev            float64
+	Min, P25, P50, P75, Max float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	var s Summary
+	var err error
+	s.N = len(xs)
+	if s.Mean, err = Mean(xs); err != nil {
+		return Summary{}, err
+	}
+	if len(xs) >= 2 {
+		if s.StdDev, err = StdDev(xs); err != nil {
+			return Summary{}, err
+		}
+	}
+	if s.Min, err = Min(xs); err != nil {
+		return Summary{}, err
+	}
+	if s.Max, err = Max(xs); err != nil {
+		return Summary{}, err
+	}
+	if s.P25, err = Quantile(xs, 0.25); err != nil {
+		return Summary{}, err
+	}
+	if s.P50, err = Quantile(xs, 0.5); err != nil {
+		return Summary{}, err
+	}
+	if s.P75, err = Quantile(xs, 0.75); err != nil {
+		return Summary{}, err
+	}
+	return s, nil
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g p25=%.4g p50=%.4g p75=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.P25, s.P50, s.P75, s.Max)
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("%w: need ≥ 2 samples", ErrEmpty)
+	}
+	mx, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	my, err := Mean(ys)
+	if err != nil {
+		return 0, err
+	}
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: zero variance sample")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Histogram counts samples into nbins equal-width bins over [min, max].
+// Returns bin edges (nbins+1) and counts (nbins).
+func Histogram(xs []float64, nbins int) (edges []float64, counts []int, err error) {
+	if len(xs) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	if nbins <= 0 {
+		return nil, nil, fmt.Errorf("stats: nbins %d must be positive", nbins)
+	}
+	lo, err := Min(xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	hi, err := Max(xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	edges = make([]float64, nbins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(nbins)
+	}
+	counts = make([]int, nbins)
+	for _, x := range xs {
+		idx := int(float64(nbins) * (x - lo) / (hi - lo))
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	return edges, counts, nil
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanKnown(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Errorf("Mean = %g, %v", got, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample variance with n−1: Σ(x−5)² = 32, 32/7.
+	if math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", v, 32.0/7)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || math.Abs(sd-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %g, %v", sd, err)
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Error("variance of single sample: want error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if m, err := Min(xs); err != nil || m != -1 {
+		t.Errorf("Min = %g, %v", m, err)
+	}
+	if m, err := Max(xs); err != nil || m != 7 {
+		t.Errorf("Max = %g, %v", m, err)
+	}
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 1},
+		{q: 1, want: 4},
+		{q: 0.5, want: 2.5},
+		{q: 0.25, want: 1.75},
+		{q: 0.75, want: 3.25},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil || math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, %v; want %g", tt.q, got, err, tt.want)
+		}
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("q < 0: want error")
+	}
+	if _, err := Quantile(xs, 1.1); err == nil {
+		t.Error("q > 1: want error")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	if got, err := Quantile([]float64{42}, 0.3); err != nil || got != 42 {
+		t.Errorf("single-sample quantile = %g, %v", got, err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Median(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	// Single sample: StdDev stays zero.
+	s1, err := Summarize([]float64{7})
+	if err != nil || s1.StdDev != 0 {
+		t.Errorf("single-sample summary = %+v, %v", s1, err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation = %g, %v", r, err)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil || math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %g, %v", r, err)
+	}
+	if _, err := Pearson(xs, ys[:2]); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance: want error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts, err := Histogram([]float64{0, 0.4, 0.6, 1.0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("shape: %v %v", edges, counts)
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("counts = %v, want [2 2]", counts)
+	}
+	if _, _, err := Histogram(nil, 2); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	if _, _, err := Histogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins: want error")
+	}
+	// Degenerate range (all equal) still bins everything.
+	_, counts, err = Histogram([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("degenerate histogram total = %d", total)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max; the
+// histogram conserves mass.
+func TestStatsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		lo, err1 := Min(xs)
+		hi, err2 := Max(xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		prev := lo
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			v, err := Quantile(xs, q)
+			if err != nil || v < prev-1e-12 || v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		_, counts, err := Histogram(xs, 7)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

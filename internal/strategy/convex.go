@@ -1,0 +1,254 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"arbloop/internal/convexopt"
+	"arbloop/internal/linalg"
+)
+
+// ConvexOptions tunes the ConvexOptimization strategy.
+type ConvexOptions struct {
+	// Solver options forwarded to the barrier method; zero values select
+	// solver defaults.
+	Solver convexopt.Options
+}
+
+// Convex solves the paper's problem (8) on the loop: maximize
+// Σ_t P_t·(net amount of token t) subject to the per-pool CPMM constraints
+// and per-token no-shorting constraints Δout ≥ Δin.
+//
+// Reduction (DESIGN.md §5): at the optimum every pool constraint is tight
+// (more output never hurts), so the decision variables shrink to the
+// per-hop inputs a ∈ R^n_+ with
+//
+//	maximize   Σ_i [ P_out(i)·F_i(a_i) − P_tok(i)·a_i ]
+//	subject to F_i(a_i) ≥ a_{(i+1) mod n}   (no shorting any token)
+//	           a_i ≥ 0
+//
+// The objective is concave (F_i concave, prices ≥ 0) and the constraints
+// convex, matching the paper's convexity claim. When the loop is not an
+// arbitrage loop the feasible set collapses to {0} (the §IV no-arbitrage
+// theorem), which the implementation returns directly without invoking the
+// solver.
+func Convex(l *Loop, prices PriceMap, opts ConvexOptions) (Result, error) {
+	if err := prices.Validate(l); err != nil {
+		return Result{}, err
+	}
+	n := l.Len()
+
+	profitable, err := l.Profitable()
+	if err != nil {
+		return Result{}, err
+	}
+	if !profitable {
+		// §IV: no arbitrage ⇒ the unique optimum is the zero plan.
+		plan := TradePlan{Inputs: make([]float64, n), Outputs: make([]float64, n)}
+		return Result{
+			Kind:      KindConvex,
+			Loop:      l,
+			Plan:      plan,
+			NetTokens: plan.NetTokens(l),
+			Monetized: 0,
+		}, nil
+	}
+
+	prob, err := convexProblem(l, prices)
+	if err != nil {
+		return Result{}, err
+	}
+	x0, err := warmStart(l, prices)
+	if err != nil {
+		return Result{}, err
+	}
+	solverOpts := opts.Solver
+	if solverOpts.MaxNewton == 0 {
+		solverOpts.MaxNewton = 300
+	}
+	res, err := convexopt.Minimize(prob, x0, solverOpts)
+	if err != nil {
+		return Result{}, fmt.Errorf("strategy: convex solve: %w", err)
+	}
+
+	plan := TradePlan{Inputs: make([]float64, n), Outputs: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a := res.X[i]
+		if a < 0 {
+			a = 0
+		}
+		out, err := l.Hop(i).Pool.AmountOut(l.tokens[i], a)
+		if err != nil {
+			return Result{}, fmt.Errorf("hop %d: %w", i, err)
+		}
+		plan.Inputs[i] = a
+		plan.Outputs[i] = out
+	}
+	net := plan.NetTokens(l)
+	// Clamp barrier slack: net amounts within solver tolerance of zero are
+	// zero (the true optimum satisfies no-shorting exactly).
+	for t, v := range net {
+		if math.Abs(v) < 1e-9 {
+			net[t] = 0
+		}
+	}
+	mon, err := Monetize(net, prices)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Kind:      KindConvex,
+		Loop:      l,
+		Plan:      plan,
+		NetTokens: net,
+		Monetized: mon,
+	}, nil
+}
+
+// convexProblem builds the reduced problem (8) for convexopt: variables
+// a_0…a_{n−1}, minimize the negated monetized profit.
+func convexProblem(l *Loop, prices PriceMap) (convexopt.Problem, error) {
+	n := l.Len()
+	// Per-hop data: output token price, input token price, and the pool
+	// curve oriented for the hop.
+	pOut := make([]float64, n)
+	pIn := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out, err := l.Hop(i).TokenOut()
+		if err != nil {
+			return convexopt.Problem{}, err
+		}
+		pOut[i] = prices[out]
+		pIn[i] = prices[l.tokens[i]]
+	}
+
+	amountOut := func(i int, a float64) float64 {
+		v, err := l.Hop(i).Pool.AmountOut(l.tokens[i], a)
+		if err != nil {
+			return math.NaN()
+		}
+		return v
+	}
+	dOut := func(i int, a float64) float64 {
+		v, err := l.Hop(i).Pool.DOutDIn(l.tokens[i], a)
+		if err != nil {
+			return math.NaN()
+		}
+		return v
+	}
+	d2Out := func(i int, a float64) float64 {
+		v, err := l.Hop(i).Pool.D2OutDIn2(l.tokens[i], a)
+		if err != nil {
+			return math.NaN()
+		}
+		return v
+	}
+
+	prob := convexopt.Problem{
+		N: n,
+		Objective: func(x linalg.Vector) float64 {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += pOut[i]*amountOut(i, x[i]) - pIn[i]*x[i]
+			}
+			return -s
+		},
+		Gradient: func(x linalg.Vector, g linalg.Vector) {
+			for i := 0; i < n; i++ {
+				g[i] = -(pOut[i]*dOut(i, x[i]) - pIn[i])
+			}
+		},
+		Hessian: func(x linalg.Vector, h *linalg.Matrix) {
+			for i := 0; i < n; i++ {
+				h.Add(i, i, -pOut[i]*d2Out(i, x[i]))
+			}
+		},
+	}
+
+	// Flow constraints: a_{(i+1)%n} − F_i(a_i) ≤ 0.
+	for i := 0; i < n; i++ {
+		i := i
+		next := (i + 1) % n
+		prob.Constraints = append(prob.Constraints, convexopt.Constraint{
+			Value: func(x linalg.Vector) float64 {
+				return x[next] - amountOut(i, x[i])
+			},
+			Gradient: func(x linalg.Vector, g linalg.Vector) {
+				g[next] += 1
+				g[i] += -dOut(i, x[i])
+			},
+			Hessian: func(x linalg.Vector, h *linalg.Matrix) {
+				h.Add(i, i, -d2Out(i, x[i]))
+			},
+		})
+	}
+	// Non-negativity: −a_i ≤ 0.
+	for i := 0; i < n; i++ {
+		i := i
+		prob.Constraints = append(prob.Constraints, convexopt.Constraint{
+			Value:    func(x linalg.Vector) float64 { return -x[i] },
+			Gradient: func(x linalg.Vector, g linalg.Vector) { g[i] += -1 },
+		})
+	}
+	return prob, nil
+}
+
+// warmStart builds a strictly feasible interior start from the MaxMax
+// plan: the best single-rotation plan is feasible for problem (8) with all
+// flows positive, and shrinking it uniformly by (1−η) makes every flow
+// constraint strictly slack because F is strictly concave with F(0) = 0
+// (F(c·a) > c·F(a) for 0 < c < 1). Starting next to the MaxMax optimum
+// keeps the central path short — the convex optimum is provably ≥ and
+// empirically near the MaxMax value (paper Fig. 7).
+func warmStart(l *Loop, prices PriceMap) (linalg.Vector, error) {
+	n := l.Len()
+	mm, err := MaxMax(l, prices)
+	if err != nil {
+		return nil, err
+	}
+	if mm.Input <= 0 {
+		return nil, fmt.Errorf("strategy: warm start requires a profitable loop (%s)", l)
+	}
+	// Map the rotated plan back onto the original hop indexing.
+	offset := -1
+	for i, t := range l.tokens {
+		if t == mm.StartToken {
+			offset = i
+			break
+		}
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStart, mm.StartToken)
+	}
+	base := make(linalg.Vector, n)
+	for i := 0; i < n; i++ {
+		base[(i+offset)%n] = mm.Plan.Inputs[i]
+	}
+
+	for _, eta := range []float64{0.05, 0.15, 0.4, 0.75} {
+		a := base.Scale(1 - eta)
+		if interiorFeasible(l, a) {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("strategy: failed to find interior point for %s", l)
+}
+
+// interiorFeasible reports strict feasibility of the flow vector for the
+// reduced problem (8).
+func interiorFeasible(l *Loop, a linalg.Vector) bool {
+	n := l.Len()
+	for i := 0; i < n; i++ {
+		if a[i] <= 0 {
+			return false
+		}
+		out, err := l.Hop(i).Pool.AmountOut(l.tokens[i], a[i])
+		if err != nil {
+			return false
+		}
+		if out <= a[(i+1)%n] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvexRisky solves the further relaxation the paper mentions but
+// declines to evaluate (§IV): drop the no-shorting constraints
+// Δout ≥ Δin entirely, keeping only a ≥ 0. The arbitrageur may then end
+// a round short of some tokens (borrowing them), which is risky but
+// bounds the monetized profit of any safe strategy from above.
+//
+// Without the flow constraints the problem decouples per hop:
+//
+//	max_a  P_out·F(a) − P_in·a,  a ≥ 0
+//
+// whose stationary point is closed-form: F'(a*) = P_in/P_out gives
+// a* = (√(γ·x·y·P_out/P_in) − x)/γ, clamped at 0 (with a* = 0 whenever
+// P_in = 0 would otherwise send the input to infinity — the hop is then
+// skipped because an unpriced input makes "profit" ill-defined).
+//
+// The result's NetTokens may be negative (short positions); Monetized is
+// the net dollar value, always ≥ the safe Convex result.
+func ConvexRisky(l *Loop, prices PriceMap) (Result, error) {
+	if err := prices.Validate(l); err != nil {
+		return Result{}, err
+	}
+	n := l.Len()
+	plan := TradePlan{Inputs: make([]float64, n), Outputs: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		hop := l.Hop(i)
+		outTok, err := hop.TokenOut()
+		if err != nil {
+			return Result{}, err
+		}
+		pIn, pOut := prices[l.tokens[i]], prices[outTok]
+		rin, rout, err := hop.Pool.Reserves(l.tokens[i])
+		if err != nil {
+			return Result{}, err
+		}
+		gamma := hop.Pool.Gamma()
+
+		var a float64
+		switch {
+		case pOut <= 0:
+			// Output worthless: any input is a pure loss.
+			a = 0
+		case pIn <= 0:
+			// Free input token would justify an unbounded position; treat
+			// as unusable rather than exploit an unpriced asset.
+			a = 0
+		default:
+			root := math.Sqrt(gamma * rin * rout * pOut / pIn)
+			a = (root - rin) / gamma
+			if a < 0 {
+				a = 0
+			}
+		}
+		out := 0.0
+		if a > 0 {
+			out, err = hop.Pool.AmountOut(l.tokens[i], a)
+			if err != nil {
+				return Result{}, fmt.Errorf("hop %d: %w", i, err)
+			}
+		}
+		plan.Inputs[i] = a
+		plan.Outputs[i] = out
+	}
+	net := plan.NetTokens(l)
+	mon, err := Monetize(net, prices)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Kind:      KindConvex,
+		Loop:      l,
+		Plan:      plan,
+		NetTokens: net,
+		Monetized: mon,
+	}, nil
+}

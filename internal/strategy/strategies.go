@@ -1,0 +1,236 @@
+package strategy
+
+import (
+	"fmt"
+
+	"arbloop/internal/numeric"
+)
+
+// Kind identifies a strategy.
+type Kind int
+
+// Strategy kinds.
+const (
+	KindTraditional Kind = iota + 1
+	KindMaxPrice
+	KindMaxMax
+	KindConvex
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTraditional:
+		return "Traditional"
+	case KindMaxPrice:
+		return "MaxPrice"
+	case KindMaxMax:
+		return "MaxMax"
+	case KindConvex:
+		return "ConvexOptimization"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Result is the outcome of running a strategy on a loop.
+type Result struct {
+	// Kind is the strategy that produced the result.
+	Kind Kind
+	// Loop is the loop the plan indexes (for single-start strategies it is
+	// the rotation anchored at StartToken).
+	Loop *Loop
+	// StartToken is the input token of single-start strategies; empty for
+	// ConvexOptimization, whose plan may net profit in several tokens.
+	StartToken string
+	// Input is the start-token input amount (single-start strategies).
+	Input float64
+	// Plan holds per-hop input/output amounts.
+	Plan TradePlan
+	// NetTokens is the net amount acquired per token.
+	NetTokens map[string]float64
+	// Monetized is Σ_t price(t)·net(t) in USD.
+	Monetized float64
+}
+
+// planFromInput walks the loop once with the given start input, threading
+// each hop's output into the next hop.
+func planFromInput(l *Loop, input float64) (TradePlan, error) {
+	n := l.Len()
+	tp := TradePlan{Inputs: make([]float64, n), Outputs: make([]float64, n)}
+	amt := input
+	for i := 0; i < n; i++ {
+		tp.Inputs[i] = amt
+		out, err := l.Hop(i).Pool.AmountOut(l.tokens[i], amt)
+		if err != nil {
+			return TradePlan{}, fmt.Errorf("hop %d: %w", i, err)
+		}
+		tp.Outputs[i] = out
+		amt = out
+	}
+	return tp, nil
+}
+
+// Traditional maximizes P_start·(Δout − Δin) for a fixed start token using
+// the closed-form Möbius optimum. This is the paper's "traditional
+// strategy" with the profit monetized post hoc.
+func Traditional(l *Loop, start string, prices PriceMap) (Result, error) {
+	if err := prices.Validate(l); err != nil {
+		return Result{}, err
+	}
+	rot, err := l.RotateToStart(start)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := rot.Mobius()
+	if err != nil {
+		return Result{}, err
+	}
+	input := m.OptimalInput()
+	plan, err := planFromInput(rot, input)
+	if err != nil {
+		return Result{}, err
+	}
+	net := plan.NetTokens(rot)
+	mon, err := Monetize(net, prices)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Kind:       KindTraditional,
+		Loop:       rot,
+		StartToken: start,
+		Input:      input,
+		Plan:       plan,
+		NetTokens:  net,
+		Monetized:  mon,
+	}, nil
+}
+
+// TraditionalAll runs Traditional from every token of the loop, in loop
+// order. Fig. 5 plots each of these against the MaxMax value.
+func TraditionalAll(l *Loop, prices PriceMap) ([]Result, error) {
+	out := make([]Result, 0, l.Len())
+	for _, tok := range l.tokens {
+		r, err := Traditional(l, tok, prices)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MaxPrice starts arbitrage from the loop token with the highest CEX
+// price (first such token on ties). The paper shows this heuristic is
+// unreliable (Figs. 2 and 6).
+func MaxPrice(l *Loop, prices PriceMap) (Result, error) {
+	if err := prices.Validate(l); err != nil {
+		return Result{}, err
+	}
+	best := l.tokens[0]
+	for _, t := range l.tokens[1:] {
+		if prices[t] > prices[best] {
+			best = t
+		}
+	}
+	r, err := Traditional(l, best, prices)
+	if err != nil {
+		return Result{}, err
+	}
+	r.Kind = KindMaxPrice
+	return r, nil
+}
+
+// MaxMax runs Traditional from every token and returns the rotation with
+// the largest monetized profit (paper eq. (6)). Ties keep the earliest
+// rotation, making the result deterministic.
+func MaxMax(l *Loop, prices PriceMap) (Result, error) {
+	all, err := TraditionalAll(l, prices)
+	if err != nil {
+		return Result{}, err
+	}
+	best := all[0]
+	for _, r := range all[1:] {
+		if r.Monetized > best.Monetized {
+			best = r
+		}
+	}
+	best.Kind = KindMaxMax
+	return best, nil
+}
+
+// optimalInputVariants are the ablation baselines for the single-start
+// optimum (DESIGN.md §4). All solve max_Δ (F(Δ) − Δ) on the anchored loop.
+
+// OptimalInputClosedForm returns Δ* = (√(AB) − B)/C from the composed
+// Möbius map.
+func OptimalInputClosedForm(l *Loop) (float64, error) {
+	m, err := l.Mobius()
+	if err != nil {
+		return 0, err
+	}
+	return m.OptimalInput(), nil
+}
+
+// OptimalInputBisection solves dΔout/dΔin = 1 by bisection, the method the
+// paper describes in §III.
+func OptimalInputBisection(l *Loop) (float64, error) {
+	m, err := l.Mobius()
+	if err != nil {
+		return 0, err
+	}
+	if !m.Profitable() {
+		return 0, nil
+	}
+	f := func(d float64) float64 { return m.Deriv(d) - 1 }
+	// Bracket: marginal profit is positive at 0 and negative for large Δ.
+	scale := m.B / m.C
+	hi, err := numeric.ExpandBracketUp(f, 1e-9*scale+1e-12, 1e12*scale+1)
+	if err != nil {
+		return 0, err
+	}
+	return numeric.Bisect(f, 0, hi, 1e-12*scale)
+}
+
+// OptimalInputGolden maximizes the profit F(Δ) − Δ directly with
+// golden-section search.
+func OptimalInputGolden(l *Loop) (float64, error) {
+	m, err := l.Mobius()
+	if err != nil {
+		return 0, err
+	}
+	if !m.Profitable() {
+		return 0, nil
+	}
+	scale := m.B / m.C
+	hi, err := numeric.ExpandBracketUp(func(d float64) float64 { return m.Deriv(d) - 1 }, 1e-9*scale+1e-12, 1e12*scale+1)
+	if err != nil {
+		return 0, err
+	}
+	return numeric.MaximizeGolden(m.ProfitAt, 0, hi, 1e-12*scale)
+}
+
+// VerifyNoArbEquivalence checks the paper's §IV theorem on a loop: when
+// the MaxMax strategy finds no profit, ConvexOptimization must find no
+// profit either (and vice versa — Convex ≥ MaxMax makes the converse
+// trivial). It returns an error when the theorem is violated beyond tol.
+func VerifyNoArbEquivalence(l *Loop, prices PriceMap, tol float64) error {
+	mm, err := MaxMax(l, prices)
+	if err != nil {
+		return err
+	}
+	cv, err := Convex(l, prices, ConvexOptions{})
+	if err != nil {
+		return err
+	}
+	if mm.Monetized <= tol && cv.Monetized > tol {
+		return fmt.Errorf("strategy: no-arb equivalence violated: MaxMax %.3g but Convex %.3g",
+			mm.Monetized, cv.Monetized)
+	}
+	if cv.Monetized+tol < mm.Monetized {
+		return fmt.Errorf("strategy: dominance violated: Convex %.3g < MaxMax %.3g",
+			cv.Monetized, mm.Monetized)
+	}
+	return nil
+}

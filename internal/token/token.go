@@ -1,0 +1,258 @@
+// Package token defines token identities and metadata used across the
+// arbitrage library: 20-byte addresses in the Ethereum style, symbols,
+// decimals, and a registry that maps between them.
+//
+// Tokens are the nodes of the exchange graph; liquidity pools (package amm)
+// are its edges. The registry is the single source of truth for token
+// metadata inside a market snapshot.
+package token
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// AddressLength is the byte length of a token address (Ethereum-style).
+const AddressLength = 20
+
+// Address identifies a token contract. The zero value is the zero address,
+// which is never a valid token.
+type Address [AddressLength]byte
+
+// ZeroAddress is the all-zero address; it is used as a sentinel for
+// "no token".
+var ZeroAddress Address
+
+// ErrInvalidAddress is returned when parsing a malformed address string.
+var ErrInvalidAddress = errors.New("token: invalid address")
+
+// ParseAddress parses a hex address with optional 0x prefix.
+func ParseAddress(s string) (Address, error) {
+	var a Address
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	if len(s) != 2*AddressLength {
+		return a, fmt.Errorf("%w: want %d hex chars, got %d", ErrInvalidAddress, 2*AddressLength, len(s))
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return a, fmt.Errorf("%w: %v", ErrInvalidAddress, err)
+	}
+	copy(a[:], raw)
+	return a, nil
+}
+
+// MustParseAddress is ParseAddress that panics on error. Use only in tests
+// and package-level tables with literal inputs.
+func MustParseAddress(s string) Address {
+	a, err := ParseAddress(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AddressFromSeq derives a deterministic, unique address from a sequence
+// number. Synthetic market generators use it to mint token identities.
+func AddressFromSeq(seq uint64) Address {
+	var a Address
+	for i := 0; i < 8; i++ {
+		a[AddressLength-1-i] = byte(seq >> (8 * i))
+	}
+	// Mark synthetic addresses so they are visually distinct from parsed ones.
+	a[0] = 0xA5
+	return a
+}
+
+// Hex returns the 0x-prefixed lowercase hex encoding.
+func (a Address) Hex() string {
+	return "0x" + hex.EncodeToString(a[:])
+}
+
+// String implements fmt.Stringer with a shortened form for logs.
+func (a Address) String() string {
+	h := hex.EncodeToString(a[:])
+	return "0x" + h[:6] + "…" + h[len(h)-4:]
+}
+
+// IsZero reports whether the address is the zero address.
+func (a Address) IsZero() bool { return a == ZeroAddress }
+
+// Cmp compares two addresses lexicographically, returning -1, 0, or +1.
+func (a Address) Cmp(b Address) int {
+	for i := 0; i < AddressLength; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether a sorts before b. Uniswap V2 orders the two tokens of
+// a pair by address; we preserve that convention.
+func (a Address) Less(b Address) bool { return a.Cmp(b) < 0 }
+
+// MarshalText implements encoding.TextMarshaler so addresses serialize as
+// hex strings in JSON documents.
+func (a Address) MarshalText() ([]byte, error) {
+	return []byte(a.Hex()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (a *Address) UnmarshalText(text []byte) error {
+	parsed, err := ParseAddress(string(text))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
+// Token is immutable token metadata.
+type Token struct {
+	// Addr uniquely identifies the token.
+	Addr Address `json:"address"`
+	// Symbol is the short human-readable ticker, e.g. "WETH". Symbols are
+	// not guaranteed unique on-chain; the registry enforces uniqueness for
+	// convenience of synthetic markets.
+	Symbol string `json:"symbol"`
+	// Name is the long human-readable name.
+	Name string `json:"name,omitempty"`
+	// Decimals is the number of base-10 decimals of the smallest unit
+	// (18 for most ERC-20 tokens).
+	Decimals uint8 `json:"decimals"`
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	if t.Symbol != "" {
+		return t.Symbol
+	}
+	return t.Addr.String()
+}
+
+// Wei converts a human-readable amount into the smallest integer unit,
+// truncating any fractional remainder below one wei.
+func (t Token) Wei(amount float64) *big.Int {
+	if amount <= 0 || math.IsNaN(amount) || math.IsInf(amount, 0) {
+		return new(big.Int)
+	}
+	f := new(big.Float).SetPrec(128).SetFloat64(amount)
+	scale := new(big.Float).SetPrec(128).SetInt(pow10(int(t.Decimals)))
+	f.Mul(f, scale)
+	out, _ := f.Int(nil)
+	return out
+}
+
+// FromWei converts an integer amount of smallest units to a float64 amount.
+// Precision loss is inherent to float64 and acceptable for analytics.
+func (t Token) FromWei(wei *big.Int) float64 {
+	if wei == nil || wei.Sign() == 0 {
+		return 0
+	}
+	f := new(big.Float).SetPrec(128).SetInt(wei)
+	scale := new(big.Float).SetPrec(128).SetInt(pow10(int(t.Decimals)))
+	f.Quo(f, scale)
+	out, _ := f.Float64()
+	return out
+}
+
+func pow10(n int) *big.Int {
+	return new(big.Int).Exp(big.NewInt(10), big.NewInt(int64(n)), nil)
+}
+
+// Registry is a concurrency-safe collection of tokens addressable by
+// address or symbol. The zero value is ready to use.
+type Registry struct {
+	mu       sync.RWMutex
+	byAddr   map[Address]Token
+	bySymbol map[string]Address
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byAddr:   make(map[Address]Token),
+		bySymbol: make(map[string]Address),
+	}
+}
+
+// Errors returned by Registry operations.
+var (
+	ErrDuplicateToken = errors.New("token: duplicate token")
+	ErrUnknownToken   = errors.New("token: unknown token")
+)
+
+// Register adds a token. It rejects zero addresses, duplicate addresses and
+// duplicate symbols.
+func (r *Registry) Register(t Token) error {
+	if t.Addr.IsZero() {
+		return fmt.Errorf("%w: zero address for %q", ErrInvalidAddress, t.Symbol)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byAddr == nil {
+		r.byAddr = make(map[Address]Token)
+		r.bySymbol = make(map[string]Address)
+	}
+	if _, ok := r.byAddr[t.Addr]; ok {
+		return fmt.Errorf("%w: address %s", ErrDuplicateToken, t.Addr)
+	}
+	if t.Symbol != "" {
+		if _, ok := r.bySymbol[t.Symbol]; ok {
+			return fmt.Errorf("%w: symbol %q", ErrDuplicateToken, t.Symbol)
+		}
+		r.bySymbol[t.Symbol] = t.Addr
+	}
+	r.byAddr[t.Addr] = t
+	return nil
+}
+
+// ByAddress looks a token up by address.
+func (r *Registry) ByAddress(a Address) (Token, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.byAddr[a]
+	if !ok {
+		return Token{}, fmt.Errorf("%w: %s", ErrUnknownToken, a)
+	}
+	return t, nil
+}
+
+// BySymbol looks a token up by symbol.
+func (r *Registry) BySymbol(sym string) (Token, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.bySymbol[sym]
+	if !ok {
+		return Token{}, fmt.Errorf("%w: symbol %q", ErrUnknownToken, sym)
+	}
+	return r.byAddr[a], nil
+}
+
+// Len returns the number of registered tokens.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byAddr)
+}
+
+// All returns all tokens sorted by address for deterministic iteration.
+func (r *Registry) All() []Token {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Token, 0, len(r.byAddr))
+	for _, t := range r.byAddr {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}

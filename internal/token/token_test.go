@@ -1,0 +1,266 @@
+package token
+
+import (
+	"encoding/json"
+	"math/big"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddress(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		wantErr bool
+	}{
+		{name: "with 0x", in: "0x00112233445566778899aabbccddeeff00112233"},
+		{name: "without 0x", in: "00112233445566778899aabbccddeeff00112233"},
+		{name: "uppercase", in: "0x00112233445566778899AABBCCDDEEFF00112233"},
+		{name: "whitespace trimmed", in: "  0x00112233445566778899aabbccddeeff00112233 "},
+		{name: "too short", in: "0x0011", wantErr: true},
+		{name: "too long", in: "0x00112233445566778899aabbccddeeff0011223344", wantErr: true},
+		{name: "bad hex", in: "0xzz112233445566778899aabbccddeeff00112233", wantErr: true},
+		{name: "empty", in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a, err := ParseAddress(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("ParseAddress(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			}
+			if err == nil && a.IsZero() {
+				t.Error("parsed address is zero")
+			}
+		})
+	}
+}
+
+func TestAddressHexRoundTrip(t *testing.T) {
+	f := func(seq uint64) bool {
+		a := AddressFromSeq(seq)
+		parsed, err := ParseAddress(a.Hex())
+		return err == nil && parsed == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddressFromSeqUnique(t *testing.T) {
+	seen := make(map[Address]bool)
+	for seq := uint64(0); seq < 10_000; seq++ {
+		a := AddressFromSeq(seq)
+		if seen[a] {
+			t.Fatalf("duplicate address for seq %d", seq)
+		}
+		seen[a] = true
+	}
+}
+
+func TestAddressOrdering(t *testing.T) {
+	a := MustParseAddress("0x0000000000000000000000000000000000000001")
+	b := MustParseAddress("0x0000000000000000000000000000000000000002")
+	if !a.Less(b) || b.Less(a) || a.Less(a) {
+		t.Error("Less() ordering broken")
+	}
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Error("Cmp() ordering broken")
+	}
+}
+
+func TestAddressJSON(t *testing.T) {
+	a := AddressFromSeq(42)
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `"0x`) {
+		t.Errorf("marshaled address = %s, want hex string", data)
+	}
+	var back Address
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != a {
+		t.Errorf("round trip: got %s, want %s", back, a)
+	}
+	if err := json.Unmarshal([]byte(`"nope"`), &back); err == nil {
+		t.Error("unmarshal bad address: want error")
+	}
+}
+
+func TestMustParseAddressPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAddress with bad input: want panic")
+		}
+	}()
+	MustParseAddress("bogus")
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Addr: AddressFromSeq(1), Symbol: "WETH", Decimals: 18}
+	if tok.String() != "WETH" {
+		t.Errorf("String() = %q, want WETH", tok.String())
+	}
+	tok.Symbol = ""
+	if !strings.HasPrefix(tok.String(), "0x") {
+		t.Errorf("String() without symbol = %q, want address form", tok.String())
+	}
+}
+
+func TestWeiConversions(t *testing.T) {
+	tok := Token{Addr: AddressFromSeq(1), Symbol: "T", Decimals: 18}
+	tests := []struct {
+		name   string
+		amount float64
+		want   string
+	}{
+		{name: "one", amount: 1, want: "1000000000000000000"},
+		{name: "half", amount: 0.5, want: "500000000000000000"},
+		{name: "zero", amount: 0, want: "0"},
+		{name: "negative clamps", amount: -3, want: "0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tok.Wei(tt.amount)
+			if got.String() != tt.want {
+				t.Errorf("Wei(%g) = %s, want %s", tt.amount, got, tt.want)
+			}
+		})
+	}
+	if got := tok.FromWei(nil); got != 0 {
+		t.Errorf("FromWei(nil) = %g, want 0", got)
+	}
+}
+
+func TestWeiRoundTripProperty(t *testing.T) {
+	tok := Token{Addr: AddressFromSeq(1), Symbol: "T", Decimals: 6}
+	f := func(u uint32) bool {
+		amount := float64(u) / 100
+		wei := tok.Wei(amount)
+		back := tok.FromWei(wei)
+		diff := amount - back
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-6*(1+amount)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromWeiLargeValue(t *testing.T) {
+	tok := Token{Addr: AddressFromSeq(1), Symbol: "T", Decimals: 18}
+	wei, ok := new(big.Int).SetString("123456789000000000000000000", 10)
+	if !ok {
+		t.Fatal("SetString failed")
+	}
+	if got := tok.FromWei(wei); got < 123456788.9 || got > 123456789.1 {
+		t.Errorf("FromWei = %g, want ≈ 1.23456789e8", got)
+	}
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	weth := Token{Addr: AddressFromSeq(1), Symbol: "WETH", Decimals: 18}
+	usdc := Token{Addr: AddressFromSeq(2), Symbol: "USDC", Decimals: 6}
+	if err := r.Register(weth); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(usdc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ByAddress(weth.Addr)
+	if err != nil || got.Symbol != "WETH" {
+		t.Errorf("ByAddress = %v, %v", got, err)
+	}
+	got, err = r.BySymbol("USDC")
+	if err != nil || got.Addr != usdc.Addr {
+		t.Errorf("BySymbol = %v, %v", got, err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndZero(t *testing.T) {
+	r := NewRegistry()
+	tok := Token{Addr: AddressFromSeq(1), Symbol: "A", Decimals: 18}
+	if err := r.Register(tok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(tok); err == nil {
+		t.Error("duplicate address: want error")
+	}
+	if err := r.Register(Token{Addr: AddressFromSeq(2), Symbol: "A"}); err == nil {
+		t.Error("duplicate symbol: want error")
+	}
+	if err := r.Register(Token{Symbol: "Z"}); err == nil {
+		t.Error("zero address: want error")
+	}
+}
+
+func TestRegistryUnknownLookups(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.ByAddress(AddressFromSeq(99)); err == nil {
+		t.Error("unknown address: want error")
+	}
+	if _, err := r.BySymbol("NOPE"); err == nil {
+		t.Error("unknown symbol: want error")
+	}
+}
+
+func TestRegistryAllSorted(t *testing.T) {
+	r := NewRegistry()
+	for seq := uint64(10); seq > 0; seq-- {
+		tok := Token{Addr: AddressFromSeq(seq), Symbol: string(rune('A' + seq)), Decimals: 18}
+		if err := r.Register(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := r.All()
+	if len(all) != 10 {
+		t.Fatalf("All() len = %d, want 10", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if !all[i-1].Addr.Less(all[i].Addr) {
+			t.Errorf("All() not sorted at %d", i)
+		}
+	}
+}
+
+func TestRegistryZeroValueUsable(t *testing.T) {
+	var r Registry
+	if err := r.Register(Token{Addr: AddressFromSeq(7), Symbol: "Z", Decimals: 18}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				seq := uint64(i*100 + j + 1)
+				//nolint:errcheck // uniqueness guaranteed by seq; race detector is the assertion
+				r.Register(Token{Addr: AddressFromSeq(seq), Decimals: 18})
+				r.Len()
+				r.All()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d, want 800", r.Len())
+	}
+}
