@@ -1,0 +1,31 @@
+# arbloop — build/test/vet/bench entry points.
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-go clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The scanner's concurrency contract is tested under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate BENCH_scan.json (loops/sec at parallelism 1 vs GOMAXPROCS).
+bench:
+	BENCH_JSON=1 $(GO) test -run TestWriteScanBenchJSON -count=1 -v .
+
+# Standard Go benchmarks for the scan hot path.
+bench-go:
+	$(GO) test -bench 'BenchmarkScan' -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -1,37 +1,51 @@
 // Package arbloop is the public API of the arbitrage-loop profit
 // maximization library, a faithful reproduction of "Profit Maximization
-// In Arbitrage Loops" (Zhang et al., ICDCS 2024).
+// In Arbitrage Loops" (Zhang et al., ICDCS 2024), grown into a
+// concurrent whole-market scanning engine.
 //
 // # Overview
 //
 // On constant-product AMMs (Uniswap V2 style), a loop of liquidity pools
 // X→Y→Z→X is an arbitrage loop when the product of fee-adjusted spot
 // prices along it exceeds 1. This library finds such loops and maximizes
-// the *monetized* profit — the net token amounts valued at CEX prices —
-// with the paper's four strategies:
+// the *monetized* profit — the net token amounts valued at CEX prices.
 //
-//   - Traditional: fix a start token, maximize P_t·(Δout − Δin). The
-//     loop composition is a closed-form Möbius map, so the optimum is
-//     Δ* = (√(AB) − B)/C.
-//   - MaxPrice: Traditional from the highest-priced loop token
-//     (shown unreliable by the paper).
-//   - MaxMax: Traditional from every token; take the best.
-//   - ConvexOptimization: the paper's problem (8), solved with a
-//     hand-rolled log-barrier interior-point method; provably ≥ MaxMax.
+// The API is organized around three abstractions:
+//
+//   - Strategy: a pluggable per-loop optimizer. The paper's strategies
+//     ship as implementations — TraditionalStrategy, MaxPriceStrategy,
+//     MaxMaxStrategy (closed-form Möbius optimum per start token),
+//     ConvexStrategy (the paper's problem (8), provably ≥ MaxMax), and
+//     ConvexRiskyStrategy (the §IV shorting-allowed relaxation). Custom
+//     strategies implement the two-method interface and may be added to
+//     the name registry with RegisterStrategy.
+//   - PoolSource / PriceSource: where pools and CEX prices come from.
+//     Snapshots (FromSnapshot), the chain simulator (FromChain), fixed
+//     pool lists (StaticPools), and every price Oracle satisfy them, so
+//     new backends plug in without touching the pipeline.
+//   - Scanner: a whole-market scan — detect arbitrage loops once, then
+//     fan per-loop optimization out over a bounded worker pool. Scan
+//     returns a ranked batch report; ScanStream delivers results as they
+//     complete. Both honor context cancellation and are safe for
+//     concurrent use.
 //
 // # Quick start
 //
-//	p1, _ := arbloop.NewPool("p1", "X", "Y", 100, 200, arbloop.DefaultFee)
-//	p2, _ := arbloop.NewPool("p2", "Y", "Z", 300, 200, arbloop.DefaultFee)
-//	p3, _ := arbloop.NewPool("p3", "Z", "X", 200, 400, arbloop.DefaultFee)
-//	loop, _ := arbloop.NewLoop([]arbloop.Hop{
-//		{Pool: p1, TokenIn: "X"},
-//		{Pool: p2, TokenIn: "Y"},
-//		{Pool: p3, TokenIn: "Z"},
-//	})
-//	prices := arbloop.PriceMap{"X": 2, "Y": 10.2, "Z": 20}
-//	best, _ := arbloop.MaxMax(loop, prices)
-//	fmt.Printf("start %s, profit %.1f$\n", best.StartToken, best.Monetized)
+//	snap, _ := arbloop.GenerateMarket(arbloop.DefaultGeneratorConfig())
+//	src := arbloop.FromSnapshot(snap.FilterPools(30_000, 100))
+//	sc, _ := arbloop.NewScanner(src, src,
+//		arbloop.WithStrategy(arbloop.MaxMaxStrategy{}),
+//		arbloop.WithParallelism(8),
+//		arbloop.WithTopK(10))
+//	report, _ := sc.Scan(context.Background())
+//	for _, r := range report.Results {
+//		fmt.Printf("%s → $%.2f from %s\n", r.Loop, r.Result.Monetized, r.Result.StartToken)
+//	}
+//
+// Single loops can still be optimized directly:
+//
+//	best, _ := arbloop.MaxMax(loop, prices)           // plain function
+//	best, _ = arbloop.MaxMaxStrategy{}.Optimize(ctx, loop, prices)
 //
 // See examples/ for runnable programs and internal/experiments for the
 // harnesses that regenerate every figure and table of the paper.
@@ -41,10 +55,11 @@ import (
 	"arbloop/internal/amm"
 	"arbloop/internal/cex"
 	"arbloop/internal/cycles"
-	"arbloop/internal/experiments"
 	"arbloop/internal/graph"
 	"arbloop/internal/market"
 	"arbloop/internal/pathfind"
+	"arbloop/internal/scan"
+	"arbloop/internal/source"
 	"arbloop/internal/strategy"
 )
 
@@ -61,7 +76,7 @@ type (
 	Mobius = amm.Mobius
 )
 
-// Strategy types.
+// Loop and strategy types.
 type (
 	// Hop is one swap of a loop.
 	Hop = strategy.Hop
@@ -69,22 +84,69 @@ type (
 	Loop = strategy.Loop
 	// PriceMap maps token keys to CEX USD prices.
 	PriceMap = strategy.PriceMap
-	// Result is a strategy outcome.
+	// Result is a strategy outcome; Result.Strategy names the producer.
 	Result = strategy.Result
 	// TradePlan is the per-hop flow of a result.
 	TradePlan = strategy.TradePlan
 	// ConvexOptions tunes the ConvexOptimization solver.
 	ConvexOptions = strategy.ConvexOptions
-	// Kind identifies a strategy.
-	Kind = strategy.Kind
 )
 
-// Strategy kinds.
+// Strategy is the pluggable per-loop optimizer interface. Implementations
+// must be safe for concurrent use; the Scanner calls one Strategy value
+// from many workers.
+type Strategy = strategy.Strategy
+
+// The paper's strategies as Strategy implementations.
+type (
+	// TraditionalStrategy fixes a start token (default: the loop anchor).
+	TraditionalStrategy = strategy.TraditionalStrategy
+	// MaxPriceStrategy starts from the highest-priced loop token.
+	MaxPriceStrategy = strategy.MaxPriceStrategy
+	// MaxMaxStrategy takes the best Traditional start (paper eq. 6).
+	MaxMaxStrategy = strategy.MaxMaxStrategy
+	// ConvexStrategy solves the paper's problem (8).
+	ConvexStrategy = strategy.ConvexStrategy
+	// ConvexRiskyStrategy solves the shorting-allowed relaxation (§IV).
+	ConvexRiskyStrategy = strategy.ConvexRiskyStrategy
+)
+
+// Canonical names of the built-in strategies (registry keys and
+// Result.Strategy values).
 const (
-	KindTraditional = strategy.KindTraditional
-	KindMaxPrice    = strategy.KindMaxPrice
-	KindMaxMax      = strategy.KindMaxMax
-	KindConvex      = strategy.KindConvex
+	StrategyTraditional = strategy.NameTraditional
+	StrategyMaxPrice    = strategy.NameMaxPrice
+	StrategyMaxMax      = strategy.NameMaxMax
+	StrategyConvex      = strategy.NameConvex
+	StrategyConvexRisky = strategy.NameConvexRisky
+)
+
+// Strategy registry.
+var (
+	// RegisterStrategy adds a custom strategy under its Name.
+	RegisterStrategy = strategy.Register
+	// LookupStrategy resolves a registered strategy by name.
+	LookupStrategy = strategy.Lookup
+	// StrategyNames lists registered strategy names, sorted.
+	StrategyNames = strategy.Names
+)
+
+// Data-source contracts and adapters.
+type (
+	// PoolSource supplies the current set of liquidity pools.
+	PoolSource = source.PoolSource
+	// PriceSource supplies USD prices for token symbols; every Oracle
+	// satisfies it.
+	PriceSource = source.PriceSource
+	// StaticPools is a fixed pool list satisfying PoolSource.
+	StaticPools = source.StaticPools
+)
+
+var (
+	// FromSnapshot wraps a market snapshot as a pool + price source.
+	FromSnapshot = source.FromSnapshot
+	// FromChain wraps chain-simulator state as a pool source.
+	FromChain = source.FromChain
 )
 
 // Market and detection types.
@@ -117,7 +179,9 @@ var (
 	NewLoop = strategy.NewLoop
 )
 
-// Strategies (the paper's contribution).
+// Single-loop strategy functions (the paper's contribution). The Strategy
+// implementations above wrap these for the Scanner; call them directly
+// when optimizing one known loop.
 var (
 	// Traditional maximizes profit from a fixed start token.
 	Traditional = strategy.Traditional
@@ -149,7 +213,7 @@ var (
 	// FindNegativeCycle runs Bellman–Ford–Moore arbitrage detection.
 	FindNegativeCycle = cycles.BellmanFordMoore
 	// LoopFromDirected converts a detected cycle into a Loop.
-	LoopFromDirected = experiments.LoopFromDirected
+	LoopFromDirected = scan.LoopFromDirected
 )
 
 // Market utilities.

@@ -48,8 +48,8 @@ func TestPaperExampleT1(t *testing.T) {
 	if math.Abs(cv.Monetized-206.1) > 0.5 {
 		t.Errorf("Convex = %.2f$, paper 206.1$", cv.Monetized)
 	}
-	if cv.Kind != arbloop.KindConvex || mm.Kind != arbloop.KindMaxMax {
-		t.Errorf("kinds = %v, %v", cv.Kind, mm.Kind)
+	if cv.Strategy != arbloop.StrategyConvex || mm.Strategy != arbloop.StrategyMaxMax {
+		t.Errorf("strategies = %q, %q", cv.Strategy, mm.Strategy)
 	}
 }
 

@@ -1,32 +1,32 @@
 // Command arbloop is the library's CLI: generate synthetic markets,
-// detect arbitrage loops, and compare the paper's four profit-maximization
-// strategies.
+// scan them for arbitrage loops with any registered strategy, and
+// compare the paper's four profit-maximization strategies.
 //
 // Usage:
 //
 //	arbloop gen      [-seed N] [-tokens N] [-pools N] [-o FILE]
+//	arbloop scan     [-snapshot FILE] [-len N] [-strategy NAME] [-parallel N] [-top N] [-min-profit X] [-stream]
 //	arbloop detect   [-snapshot FILE] [-len N] [-top N]
 //	arbloop optimize [-snapshot FILE] [-len N] [-loop N]
 //	arbloop execute  [-snapshot FILE] [-len N] [-loop N]
 //
 // Without -snapshot the paper-calibrated synthetic market is generated in
-// memory.
+// memory. `scan` is the production entry point: one detection pass, then
+// per-loop optimization fanned out over a worker pool; `detect` is the
+// same scan fixed to the MaxMax strategy for quick triage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
 	"os"
-	"sort"
+	"strings"
 
+	"arbloop"
 	"arbloop/internal/chain"
-	"arbloop/internal/cycles"
-	"arbloop/internal/experiments"
-	"arbloop/internal/graph"
-	"arbloop/internal/market"
 	"arbloop/internal/plot"
-	"arbloop/internal/strategy"
 )
 
 func main() {
@@ -44,6 +44,8 @@ func run(args []string) error {
 	switch args[0] {
 	case "gen":
 		return cmdGen(args[1:])
+	case "scan":
+		return cmdScan(args[1:])
 	case "detect":
 		return cmdDetect(args[1:])
 	case "optimize":
@@ -60,29 +62,31 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `arbloop — arbitrage-loop profit maximization (Zhang et al., ICDCS 2024)
+	fmt.Fprintf(os.Stderr, `arbloop — arbitrage-loop profit maximization (Zhang et al., ICDCS 2024)
 
 subcommands:
   gen       generate a synthetic market snapshot as JSON
-  detect    list arbitrage loops in a snapshot
+  scan      whole-market scan with any strategy (%s)
+  detect    list arbitrage loops in a snapshot (MaxMax triage scan)
   optimize  compare Traditional/MaxPrice/MaxMax/Convex on a loop
-  execute   run the best convex plan atomically on the chain simulator`)
+  execute   run the best plan atomically on the chain simulator
+`, strings.Join(arbloop.StrategyNames(), ", "))
 }
 
-func loadOrGenerate(path string, seed int64) (*market.Snapshot, error) {
+func loadOrGenerate(path string, seed int64) (*arbloop.Snapshot, error) {
 	if path == "" {
-		cfg := market.DefaultGeneratorConfig()
+		cfg := arbloop.DefaultGeneratorConfig()
 		if seed != 0 {
 			cfg.Seed = seed
 		}
-		return market.Generate(cfg)
+		return arbloop.GenerateMarket(cfg)
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("open snapshot: %w", err)
 	}
 	defer func() { _ = f.Close() }()
-	return market.Load(f)
+	return arbloop.LoadSnapshot(f)
 }
 
 func cmdGen(args []string) error {
@@ -94,7 +98,7 @@ func cmdGen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := market.DefaultGeneratorConfig()
+	cfg := arbloop.DefaultGeneratorConfig()
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -104,7 +108,7 @@ func cmdGen(args []string) error {
 	if *pools > 0 {
 		cfg.Pools = *pools
 	}
-	snap, err := market.Generate(cfg)
+	snap, err := arbloop.GenerateMarket(cfg)
 	if err != nil {
 		return err
 	}
@@ -125,22 +129,75 @@ func cmdGen(args []string) error {
 	return nil
 }
 
-// detectLoops runs the shared detection pipeline.
-func detectLoops(snap *market.Snapshot, loopLen int) (*graph.Graph, []cycles.Directed, error) {
-	filtered := snap.FilterPools(30_000, 100)
-	g, err := filtered.BuildGraph()
-	if err != nil {
-		return nil, nil, err
+// newScanner applies the paper's §VI pool filters and builds a Scanner
+// over the snapshot.
+func newScanner(snap *arbloop.Snapshot, opts ...arbloop.ScannerOption) (*arbloop.Scanner, error) {
+	src := arbloop.FromSnapshot(snap.FilterPools(30_000, 100))
+	return arbloop.NewScanner(src, src, opts...)
+}
+
+func cmdScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ContinueOnError)
+	snapshot := fs.String("snapshot", "", "snapshot JSON (default: generate synthetic)")
+	seed := fs.Int64("seed", 0, "generator seed when generating")
+	loopLen := fs.Int("len", 3, "loop length")
+	strategyName := fs.String("strategy", arbloop.StrategyMaxMax,
+		"per-loop strategy: "+strings.Join(arbloop.StrategyNames(), ", "))
+	parallel := fs.Int("parallel", 0, "optimization workers (0 = GOMAXPROCS)")
+	top := fs.Int("top", 20, "keep the N most profitable loops (0 = all)")
+	minProfit := fs.Float64("min-profit", 0, "drop loops predicted below this USD profit")
+	stream := fs.Bool("stream", false, "print results as they complete instead of a ranked table")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	cs, err := cycles.Enumerate(g, loopLen, loopLen, 0)
+	snap, err := loadOrGenerate(*snapshot, *seed)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	loops, err := cycles.ArbitrageLoops(g, cs)
+	sc, err := newScanner(snap,
+		arbloop.WithLoopLengths(*loopLen, *loopLen),
+		arbloop.WithStrategyName(*strategyName),
+		arbloop.WithParallelism(*parallel),
+		arbloop.WithMinProfitUSD(*minProfit),
+		arbloop.WithTopK(*top),
+	)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	return g, loops, nil
+	// Cancelling on early return stops the stream's worker pool instead
+	// of leaking it blocked on an unconsumed channel.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	if *stream {
+		n := 0
+		for r := range sc.ScanStream(ctx) {
+			if r.Err != nil {
+				return r.Err
+			}
+			n++
+			fmt.Printf("loop %3d  %-40s $%.2f\n", r.Index, r.Loop.String(), r.Result.Monetized)
+		}
+		fmt.Printf("%d results streamed\n", n)
+		return nil
+	}
+
+	report, err := sc.Scan(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d tokens, %d pools; %d/%d cycles are arbitrage loops of length %d; strategy %s ×%d workers\n",
+		report.Tokens, report.Pools, report.LoopsDetected, report.CyclesExamined, *loopLen,
+		report.Strategy, report.Parallelism)
+	tbl := plot.Table{Columns: []string{"#", "loop", "start", "profit ($)"}}
+	for _, r := range report.Results {
+		start := r.Result.StartToken
+		if start == "" {
+			start = "(all)"
+		}
+		tbl.AddRow(fmt.Sprint(r.Index), r.Loop.String(), start, fmt.Sprintf("%.2f", r.Result.Monetized))
+	}
+	return tbl.Render(os.Stdout)
 }
 
 func cmdDetect(args []string) error {
@@ -156,40 +213,53 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, loops, err := detectLoops(snap, *loopLen)
+	sc, err := newScanner(snap,
+		arbloop.WithLoopLengths(*loopLen, *loopLen),
+		arbloop.WithTopK(*top),
+	)
+	if err != nil {
+		return err
+	}
+	report, err := sc.Scan(context.Background())
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %d tokens, %d pools; %d arbitrage loops of length %d\n",
-		g.NumNodes(), g.NumEdges(), len(loops), *loopLen)
-
-	prices := strategy.PriceMap(snap.PricesUSD)
-	type scored struct {
-		idx  int
-		loop *strategy.Loop
-		mm   strategy.Result
-	}
-	rows := make([]scored, 0, len(loops))
-	for i, d := range loops {
-		loop, err := experiments.LoopFromDirected(g, d)
-		if err != nil {
-			return err
-		}
-		mm, err := strategy.MaxMax(loop, prices)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, scored{idx: i, loop: loop, mm: mm})
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].mm.Monetized > rows[j].mm.Monetized })
-	if *top > 0 && len(rows) > *top {
-		rows = rows[:*top]
-	}
+		report.Tokens, report.Pools, report.LoopsDetected, *loopLen)
 	tbl := plot.Table{Columns: []string{"#", "loop", "best start", "MaxMax profit ($)"}}
-	for _, r := range rows {
-		tbl.AddRow(fmt.Sprint(r.idx), r.loop.String(), r.mm.StartToken, fmt.Sprintf("%.2f", r.mm.Monetized))
+	for _, r := range report.Results {
+		tbl.AddRow(fmt.Sprint(r.Index), r.Loop.String(), r.Result.StartToken, fmt.Sprintf("%.2f", r.Result.Monetized))
 	}
 	return tbl.Render(os.Stdout)
+}
+
+// bestLoop scans the snapshot with MaxMax and returns the loop at the
+// requested detection index (pick < 0 = most profitable).
+func bestLoop(snap *arbloop.Snapshot, loopLen, pick int) (*arbloop.Loop, arbloop.Result, error) {
+	sc, err := newScanner(snap, arbloop.WithLoopLengths(loopLen, loopLen))
+	if err != nil {
+		return nil, arbloop.Result{}, err
+	}
+	report, err := sc.Scan(context.Background())
+	if err != nil {
+		return nil, arbloop.Result{}, err
+	}
+	if len(report.Results) == 0 {
+		return nil, arbloop.Result{}, fmt.Errorf("no arbitrage loops of length %d", loopLen)
+	}
+	if pick < 0 {
+		r := report.Results[0] // ranked: the most profitable comes first
+		return r.Loop, r.Result, nil
+	}
+	if pick >= report.LoopsDetected {
+		return nil, arbloop.Result{}, fmt.Errorf("loop index %d out of range (%d loops)", pick, report.LoopsDetected)
+	}
+	for _, r := range report.Results {
+		if r.Index == pick {
+			return r.Loop, r.Result, nil
+		}
+	}
+	return nil, arbloop.Result{}, fmt.Errorf("loop %d is not an arbitrage loop with positive profit", pick)
 }
 
 func cmdOptimize(args []string) error {
@@ -205,68 +275,46 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, loops, err := detectLoops(snap, *loopLen)
+	loop, _, err := bestLoop(snap, *loopLen, *loopIdx)
 	if err != nil {
 		return err
 	}
-	if len(loops) == 0 {
-		return fmt.Errorf("no arbitrage loops of length %d", *loopLen)
-	}
-	prices := strategy.PriceMap(snap.PricesUSD)
-
-	pick := *loopIdx
-	if pick < 0 {
-		best := -1.0
-		for i, d := range loops {
-			loop, err := experiments.LoopFromDirected(g, d)
-			if err != nil {
-				return err
-			}
-			mm, err := strategy.MaxMax(loop, prices)
-			if err != nil {
-				return err
-			}
-			if mm.Monetized > best {
-				best, pick = mm.Monetized, i
-			}
-		}
-	}
-	if pick >= len(loops) {
-		return fmt.Errorf("loop index %d out of range (%d loops)", pick, len(loops))
-	}
-	loop, err := experiments.LoopFromDirected(g, loops[pick])
-	if err != nil {
-		return err
-	}
-	fmt.Printf("loop #%d: %s\n", pick, loop)
+	fmt.Printf("loop: %s\n", loop)
+	prices := arbloop.PriceMap(snap.PricesUSD)
+	ctx := context.Background()
 
 	tbl := plot.Table{Columns: []string{"strategy", "start", "input", "monetized profit ($)"}}
-	all, err := strategy.TraditionalAll(loop, prices)
+	all, err := arbloop.TraditionalAll(loop, prices)
 	if err != nil {
 		return err
 	}
 	for _, r := range all {
-		tbl.AddRow("Traditional", r.StartToken, fmt.Sprintf("%.4f", r.Input), fmt.Sprintf("%.4f", r.Monetized))
+		tbl.AddRow(r.Strategy, r.StartToken, fmt.Sprintf("%.4f", r.Input), fmt.Sprintf("%.4f", r.Monetized))
 	}
-	mp, err := strategy.MaxPrice(loop, prices)
-	if err != nil {
-		return err
+	// The headline strategies, dispatched through the registry.
+	var convexNet map[string]float64
+	for _, name := range []string{arbloop.StrategyMaxPrice, arbloop.StrategyMaxMax, arbloop.StrategyConvex} {
+		s, ok := arbloop.LookupStrategy(name)
+		if !ok {
+			return fmt.Errorf("strategy %q not registered", name)
+		}
+		r, err := s.Optimize(ctx, loop, prices)
+		if err != nil {
+			return err
+		}
+		start := r.StartToken
+		if start == "" {
+			start = "(all)"
+		}
+		tbl.AddRow(r.Strategy, start, fmt.Sprintf("%.4f", r.Plan.Inputs[0]), fmt.Sprintf("%.4f", r.Monetized))
+		if name == arbloop.StrategyConvex {
+			convexNet = r.NetTokens
+		}
 	}
-	tbl.AddRow("MaxPrice", mp.StartToken, fmt.Sprintf("%.4f", mp.Input), fmt.Sprintf("%.4f", mp.Monetized))
-	mm, err := strategy.MaxMax(loop, prices)
-	if err != nil {
-		return err
-	}
-	tbl.AddRow("MaxMax", mm.StartToken, fmt.Sprintf("%.4f", mm.Input), fmt.Sprintf("%.4f", mm.Monetized))
-	cv, err := strategy.Convex(loop, prices, strategy.ConvexOptions{})
-	if err != nil {
-		return err
-	}
-	tbl.AddRow("Convex", "(all)", fmt.Sprintf("%.4f", cv.Plan.Inputs[0]), fmt.Sprintf("%.4f", cv.Monetized))
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err
 	}
-	fmt.Printf("convex net tokens: %v\n", cv.NetTokens)
+	fmt.Printf("convex net tokens: %v\n", convexNet)
 	return nil
 }
 
@@ -283,37 +331,7 @@ func cmdExecute(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, loops, err := detectLoops(snap, *loopLen)
-	if err != nil {
-		return err
-	}
-	if len(loops) == 0 {
-		return fmt.Errorf("no arbitrage loops of length %d", *loopLen)
-	}
-	prices := strategy.PriceMap(snap.PricesUSD)
-
-	pick := *loopIdx
-	if pick < 0 {
-		best := -1.0
-		for i, d := range loops {
-			loop, err := experiments.LoopFromDirected(g, d)
-			if err != nil {
-				return err
-			}
-			mm, err := strategy.MaxMax(loop, prices)
-			if err != nil {
-				return err
-			}
-			if mm.Monetized > best {
-				best, pick = mm.Monetized, i
-			}
-		}
-	}
-	loop, err := experiments.LoopFromDirected(g, loops[pick])
-	if err != nil {
-		return err
-	}
-	mm, err := strategy.MaxMax(loop, prices)
+	_, mm, err := bestLoop(snap, *loopLen, *loopIdx)
 	if err != nil {
 		return err
 	}
@@ -344,6 +362,7 @@ func cmdExecute(args []string) error {
 	if !rcpt.OK {
 		return fmt.Errorf("execution reverted: %w", rcpt.Err)
 	}
+	prices := arbloop.PriceMap(snap.PricesUSD)
 	fmt.Printf("executed %s atomically: borrowed %.4f %s, profit:\n", rot, mm.Input, mm.StartToken)
 	for tok, amt := range rcpt.Profit {
 		f, _ := new(big.Float).Quo(new(big.Float).SetInt(amt), big.NewFloat(scale)).Float64()

@@ -44,6 +44,22 @@ func TestDetectGeneratedMarket(t *testing.T) {
 	}
 }
 
+func TestScanSubcommand(t *testing.T) {
+	path := snapshotFile(t)
+	if err := run([]string{"scan", "-snapshot", path, "-top", "3", "-parallel", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scan", "-snapshot", path, "-strategy", "ConvexOptimization", "-top", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scan", "-snapshot", path, "-stream", "-min-profit", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scan", "-snapshot", path, "-strategy", "NoSuchStrategy"}); err == nil {
+		t.Error("unknown strategy: want error")
+	}
+}
+
 func TestOptimize(t *testing.T) {
 	path := snapshotFile(t)
 	if err := run([]string{"optimize", "-snapshot", path}); err != nil {

@@ -35,6 +35,7 @@ func run(args []string) error {
 	ext := fs.Bool("ext", false, "also run the extension experiments (gap study, risky variant, bot decay)")
 	step := fs.Float64("step", 0.2, "Px sweep step for figures 2-4")
 	seed := fs.Int64("seed", 0, "market generator seed (0 = paper default)")
+	parallel := fs.Int("parallel", 0, "per-loop analysis workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,12 +57,12 @@ func run(args []string) error {
 	needPipe4 := wantFig(9) || wantFig(10)
 	var err error
 	if needPipe3 {
-		if pipe3, err = experiments.RunPipeline(experiments.PipelineConfig{Generator: gen, LoopLen: 3}); err != nil {
+		if pipe3, err = experiments.RunPipeline(experiments.PipelineConfig{Generator: gen, LoopLen: 3, Parallelism: *parallel}); err != nil {
 			return err
 		}
 	}
 	if needPipe4 {
-		if pipe4, err = experiments.RunPipeline(experiments.PipelineConfig{Generator: gen, LoopLen: 4}); err != nil {
+		if pipe4, err = experiments.RunPipeline(experiments.PipelineConfig{Generator: gen, LoopLen: 4, Parallelism: *parallel}); err != nil {
 			return err
 		}
 	}

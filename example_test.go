@@ -1,11 +1,46 @@
 package arbloop_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"arbloop"
 )
+
+// ExampleNewScanner runs a whole-market scan over the Section V pools:
+// sources in, ranked monetized profits out.
+func ExampleNewScanner() {
+	p1, err := arbloop.NewPool("p1", "X", "Y", 100, 200, arbloop.DefaultFee)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := arbloop.NewPool("p2", "Y", "Z", 300, 200, arbloop.DefaultFee)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p3, err := arbloop.NewPool("p3", "Z", "X", 200, 400, arbloop.DefaultFee)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := arbloop.NewScanner(
+		arbloop.StaticPools{p1, p2, p3},
+		arbloop.NewStaticOracle(map[string]float64{"X": 2, "Y": 10.2, "Z": 20}),
+		arbloop.WithStrategy(arbloop.MaxMaxStrategy{}),
+		arbloop.WithParallelism(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := sc.Scan(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%s: start %s, $%.1f\n", r.Loop, r.Result.StartToken, r.Result.Monetized)
+	}
+	// Output: X→Y→Z→X: start Z, $205.6
+}
 
 // ExampleMaxMax reproduces the paper's Section V example: the best start
 // token is Z with a monetized profit of ≈ 205.6$.

@@ -57,6 +57,8 @@ func run() error {
 		return err
 	}
 	engine, err := bot.New(state, cex.NewStatic(prices), bot.Config{
+		Strategy:              arbloop.MaxMaxStrategy{},
+		Parallelism:           4,
 		MaxExecutionsPerBlock: 3,
 		MinProfitUSD:          0.05,
 	})

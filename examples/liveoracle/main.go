@@ -1,7 +1,8 @@
 // Liveoracle shows the networked price path a production arbitrage bot
 // would use: it starts the CoinGecko-style price API simulator on a local
-// port, fetches prices through the TTL-caching HTTP client, and monetizes
-// a detected arbitrage loop with the fetched prices.
+// port, then runs a whole-market Scanner whose PriceSource is the
+// TTL-caching HTTP client — every monetization price arrives over the
+// wire, fetched once per scan in a single batched call.
 package main
 
 import (
@@ -22,25 +23,12 @@ func main() {
 }
 
 func run() error {
-	// Generate the calibrated market and detect loops.
+	// Generate the calibrated market.
 	snap, err := arbloop.GenerateMarket(arbloop.DefaultGeneratorConfig())
 	if err != nil {
 		return err
 	}
 	filtered := snap.FilterPools(30_000, 100)
-	g, err := filtered.BuildGraph()
-	if err != nil {
-		return err
-	}
-	cs, err := arbloop.EnumerateCycles(g, 3, 3, 0)
-	if err != nil {
-		return err
-	}
-	loops, err := arbloop.ArbitrageLoops(g, cs)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("detected %d arbitrage loops\n", len(loops))
 
 	// Serve the snapshot's CEX prices over HTTP on an ephemeral port.
 	oracle := arbloop.NewStaticOracle(filtered.PricesUSD)
@@ -63,43 +51,35 @@ func run() error {
 	baseURL := "http://" + ln.Addr().String()
 	fmt.Printf("price API serving on %s\n", baseURL)
 
-	// Fetch prices through the caching client and optimize each loop.
+	// The TTL-caching HTTP client is a PriceSource, so it plugs straight
+	// into the Scanner: pools come from the snapshot, prices over HTTP.
 	client := arbloop.NewPriceClient(baseURL, arbloop.PriceClientOptions{TTL: 30 * time.Second})
+	sc, err := arbloop.NewScanner(arbloop.FromSnapshot(filtered), client,
+		arbloop.WithParallelism(4),
+		arbloop.WithTopK(1),
+	)
+	if err != nil {
+		return err
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
-	bestProfit := -1.0
-	var bestLoop *arbloop.Loop
-	for _, d := range loops {
-		loop, err := arbloop.LoopFromDirected(g, d)
-		if err != nil {
-			return err
-		}
-		fetched, err := client.Prices(ctx, loop.Tokens())
-		if err != nil {
-			return fmt.Errorf("fetch prices: %w", err)
-		}
-		mm, err := arbloop.MaxMax(loop, arbloop.PriceMap(fetched))
-		if err != nil {
-			return err
-		}
-		if mm.Monetized > bestProfit {
-			bestProfit, bestLoop = mm.Monetized, loop
-		}
+	report, err := sc.Scan(ctx)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("best loop via HTTP-fetched prices: %s at $%.2f\n", bestLoop, bestProfit)
+	fmt.Printf("detected %d arbitrage loops\n", report.LoopsDetected)
+	if len(report.Results) == 0 {
+		return fmt.Errorf("no profitable loops in the generated market")
+	}
+	best := report.Results[0]
+	fmt.Printf("best loop via HTTP-fetched prices: %s at $%.2f\n", best.Loop, best.Result.Monetized)
 
-	// Second pass hits the cache: no additional upstream requests.
+	// A second scan hits the client's TTL cache: no upstream requests.
 	start := time.Now()
-	for _, d := range loops[:10] {
-		loop, err := arbloop.LoopFromDirected(g, d)
-		if err != nil {
-			return err
-		}
-		if _, err := client.Prices(ctx, loop.Tokens()); err != nil {
-			return err
-		}
+	if _, err := sc.Scan(ctx); err != nil {
+		return err
 	}
-	fmt.Printf("10 cached re-fetches took %v (served from TTL cache)\n", time.Since(start).Round(time.Microsecond))
+	fmt.Printf("cached re-scan took %v (prices served from TTL cache)\n", time.Since(start).Round(time.Microsecond))
 	return nil
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -59,7 +60,7 @@ func run() error {
 		return err
 	}
 	prices := arbloop.PriceMap{"X": 2, "Y": 10.2, "Z": 20}
-	mm, err := arbloop.MaxMax(loop, prices)
+	mm, err := arbloop.MaxMaxStrategy{}.Optimize(context.Background(), loop, prices)
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,10 @@
 // Quickstart: build the paper's three-pool arbitrage loop, run all four
-// strategies, and print a comparison — the five-minute tour of the
-// public API.
+// strategies, and finish with a whole-market Scanner pass — the
+// five-minute tour of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -73,4 +74,27 @@ func main() {
 	}
 	fmt.Printf("Convex:          $%.2f, net tokens: X=%.2f Y=%.2f Z=%.2f\n",
 		cv.Monetized, cv.NetTokens["X"], cv.NetTokens["Y"], cv.NetTokens["Z"])
+
+	// Whole-market scan: the same three pools behind the source
+	// interfaces, detection plus parallel per-loop optimization in one
+	// call. On a real market this fans hundreds of loops out over a
+	// worker pool; here it finds our single loop.
+	sc, err := arbloop.NewScanner(
+		arbloop.StaticPools{p1, p2, p3},
+		arbloop.NewStaticOracle(prices),
+		arbloop.WithStrategy(arbloop.MaxMaxStrategy{}),
+		arbloop.WithParallelism(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := sc.Scan(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nScanner: %d loop(s) detected among %d pools\n", report.LoopsDetected, report.Pools)
+	for _, r := range report.Results {
+		fmt.Printf("  %s → $%.2f via %s from %s\n",
+			r.Loop, r.Result.Monetized, r.Result.Strategy, r.Result.StartToken)
+	}
 }

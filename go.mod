@@ -1,0 +1,3 @@
+module arbloop
+
+go 1.24

@@ -23,25 +23,27 @@ import (
 	"arbloop/internal/amm"
 	"arbloop/internal/cex"
 	"arbloop/internal/chain"
-	"arbloop/internal/cycles"
-	"arbloop/internal/graph"
+	"arbloop/internal/scan"
+	"arbloop/internal/source"
 	"arbloop/internal/strategy"
 )
 
 // Errors returned by the bot.
-var (
-	ErrNoPools     = errors.New("bot: chain has no pools")
-	ErrBadStrategy = errors.New("bot: unknown strategy kind")
-)
+var ErrNoPools = errors.New("bot: chain has no pools")
 
 // Config tunes the engine. The zero value is usable: length-3 loops,
 // MaxMax strategy, one execution per block.
 type Config struct {
 	// LoopLen is the detected loop length (default 3).
 	LoopLen int
-	// Strategy selects the per-loop optimizer: strategy.KindMaxMax
-	// (default) or strategy.KindConvex.
-	Strategy strategy.Kind
+	// Strategy is the pluggable per-loop optimizer (default
+	// strategy.MaxMaxStrategy). Any registered or custom Strategy works;
+	// the paper's trade-off is MaxMax (fast) vs ConvexStrategy (heavier,
+	// provably ≥ MaxMax).
+	Strategy strategy.Strategy
+	// Parallelism bounds the per-block optimization worker pool
+	// (default GOMAXPROCS via the scan engine).
+	Parallelism int
 	// MinProfitUSD skips plans predicted below this (default 0.01$ —
 	// dust plans lose to integer rounding).
 	MinProfitUSD float64
@@ -63,8 +65,8 @@ func (c Config) withDefaults() Config {
 	if c.LoopLen <= 0 {
 		c.LoopLen = 3
 	}
-	if c.Strategy == 0 {
-		c.Strategy = strategy.KindMaxMax
+	if c.Strategy == nil {
+		c.Strategy = strategy.MaxMaxStrategy{}
 	}
 	if c.MinProfitUSD <= 0 {
 		c.MinProfitUSD = 0.01
@@ -82,8 +84,8 @@ func (c Config) withDefaults() Config {
 type Execution struct {
 	// Loop is the human-readable loop route.
 	Loop string
-	// Strategy is the optimizer that produced the plan.
-	Strategy strategy.Kind
+	// Strategy is the name of the optimizer that produced the plan.
+	Strategy string
 	// PredictedUSD is the plan's monetized profit at planning time.
 	PredictedUSD float64
 	// RealizedUSD is the monetized profit actually committed (0 when
@@ -117,6 +119,7 @@ func (r BlockReport) TotalRealizedUSD() float64 {
 // Bot is the engine. Create with New; run with Step or Run.
 type Bot struct {
 	state  *chain.State
+	pools  *source.ChainSource
 	oracle cex.Oracle
 	cfg    Config
 
@@ -133,10 +136,12 @@ func New(state *chain.State, oracle cex.Oracle, cfg Config) (*Bot, error) {
 		return nil, fmt.Errorf("bot: state and oracle are required")
 	}
 	cfg = cfg.withDefaults()
-	if cfg.Strategy != strategy.KindMaxMax && cfg.Strategy != strategy.KindConvex {
-		return nil, fmt.Errorf("%w: %v", ErrBadStrategy, cfg.Strategy)
-	}
-	return &Bot{state: state, oracle: oracle, cfg: cfg}, nil
+	return &Bot{
+		state:  state,
+		pools:  source.FromChain(state, cfg.Scale),
+		oracle: oracle,
+		cfg:    cfg,
+	}, nil
 }
 
 // Stats reports lifetime counters.
@@ -157,39 +162,6 @@ func (b *Bot) Stats() Stats {
 	}
 }
 
-// snapshotGraph reads the chain reserves into analytic pools and builds
-// the exchange graph.
-func (b *Bot) snapshotGraph() (*graph.Graph, error) {
-	ids := b.state.PoolIDs()
-	if len(ids) == 0 {
-		return nil, ErrNoPools
-	}
-	scale := float64(b.cfg.Scale)
-	pools := make([]*amm.Pool, 0, len(ids))
-	for _, id := range ids {
-		t0, t1, err := b.state.PoolTokens(id)
-		if err != nil {
-			return nil, err
-		}
-		r0, r1, err := b.state.Reserves(id)
-		if err != nil {
-			return nil, err
-		}
-		feeBps, err := b.state.PoolFee(id)
-		if err != nil {
-			return nil, err
-		}
-		f0, _ := new(big.Float).SetInt(r0).Float64()
-		f1, _ := new(big.Float).SetInt(r1).Float64()
-		pool, err := amm.NewPool(id, t0, t1, f0/scale, f1/scale, float64(feeBps)/amm.FeeDenominator)
-		if err != nil {
-			return nil, fmt.Errorf("bot: pool %s: %w", id, err)
-		}
-		pools = append(pools, pool)
-	}
-	return graph.Build(pools)
-}
-
 // plan is a ranked executable opportunity.
 type plan struct {
 	loop      *strategy.Loop
@@ -197,68 +169,31 @@ type plan struct {
 	predicted float64
 }
 
-// findPlans detects loops and optimizes each with the configured
-// strategy.
-func (b *Bot) findPlans(ctx context.Context, g *graph.Graph) ([]plan, error) {
-	cs, err := cycles.Enumerate(g, b.cfg.LoopLen, b.cfg.LoopLen, 0)
+// findPlans reads the chain through the pool source and runs one scan —
+// detection plus parallel per-loop optimization with the configured
+// strategy — returning plans ranked by predicted profit.
+func (b *Bot) findPlans(ctx context.Context) ([]plan, error) {
+	pools, err := b.pools.Pools(ctx)
 	if err != nil {
 		return nil, err
 	}
-	directed, err := cycles.ArbitrageLoops(g, cs)
+	if len(pools) == 0 {
+		return nil, ErrNoPools
+	}
+	report, err := scan.Run(ctx, pools, b.oracle, scan.Config{
+		MinLen:       b.cfg.LoopLen,
+		MaxLen:       b.cfg.LoopLen,
+		Strategy:     b.cfg.Strategy,
+		Parallelism:  b.cfg.Parallelism,
+		MinProfitUSD: b.cfg.MinProfitUSD,
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bot: scan: %w", err)
 	}
-
-	// Fetch prices for every token that appears in some loop, in one
-	// batched oracle call.
-	tokenSet := make(map[string]struct{})
-	for _, d := range directed {
-		for _, n := range d.Nodes {
-			tokenSet[g.Node(n)] = struct{}{}
-		}
+	plans := make([]plan, 0, len(report.Results))
+	for _, r := range report.Results {
+		plans = append(plans, plan{loop: r.Loop, result: r.Result, predicted: r.Result.Monetized})
 	}
-	symbols := make([]string, 0, len(tokenSet))
-	for s := range tokenSet {
-		symbols = append(symbols, s)
-	}
-	sort.Strings(symbols)
-	var prices strategy.PriceMap
-	if len(symbols) > 0 {
-		fetched, err := b.oracle.Prices(ctx, symbols)
-		if err != nil {
-			return nil, fmt.Errorf("bot: fetch prices: %w", err)
-		}
-		prices = strategy.PriceMap(fetched)
-	}
-
-	plans := make([]plan, 0, len(directed))
-	for _, d := range directed {
-		hops := make([]strategy.Hop, d.Len())
-		for i := 0; i < d.Len(); i++ {
-			hops[i] = strategy.Hop{Pool: g.Pool(d.Pools[i]), TokenIn: g.Node(d.Nodes[i])}
-		}
-		loop, err := strategy.NewLoop(hops)
-		if err != nil {
-			return nil, err
-		}
-		var res strategy.Result
-		switch b.cfg.Strategy {
-		case strategy.KindMaxMax:
-			res, err = strategy.MaxMax(loop, prices)
-		case strategy.KindConvex:
-			res, err = strategy.Convex(loop, prices, strategy.ConvexOptions{})
-		default:
-			return nil, fmt.Errorf("%w: %v", ErrBadStrategy, b.cfg.Strategy)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("bot: optimize %s: %w", loop, err)
-		}
-		if res.Monetized < b.cfg.MinProfitUSD {
-			continue
-		}
-		plans = append(plans, plan{loop: loop, result: res, predicted: res.Monetized})
-	}
-	sort.Slice(plans, func(i, j int) bool { return plans[i].predicted > plans[j].predicted })
 	return plans, nil
 }
 
@@ -362,11 +297,7 @@ func (b *Bot) Step(ctx context.Context) (BlockReport, error) {
 	if b.cfg.Reoptimize {
 		return b.stepReoptimize(ctx)
 	}
-	g, err := b.snapshotGraph()
-	if err != nil {
-		return BlockReport{}, err
-	}
-	plans, err := b.findPlans(ctx, g)
+	plans, err := b.findPlans(ctx)
 	if err != nil {
 		return BlockReport{}, err
 	}
@@ -381,7 +312,7 @@ func (b *Bot) Step(ctx context.Context) (BlockReport, error) {
 	for _, p := range plans[:limit] {
 		e := Execution{
 			Loop:         p.loop.String(),
-			Strategy:     b.cfg.Strategy,
+			Strategy:     b.cfg.Strategy.Name(),
 			PredictedUSD: p.predicted,
 		}
 		tx, err := b.buildTx(p)
@@ -428,11 +359,7 @@ func (b *Bot) Step(ctx context.Context) (BlockReport, error) {
 func (b *Bot) stepReoptimize(ctx context.Context) (BlockReport, error) {
 	report := BlockReport{}
 	for i := 0; i < b.cfg.MaxExecutionsPerBlock; i++ {
-		g, err := b.snapshotGraph()
-		if err != nil {
-			return BlockReport{}, err
-		}
-		plans, err := b.findPlans(ctx, g)
+		plans, err := b.findPlans(ctx)
 		if err != nil {
 			return BlockReport{}, err
 		}
@@ -445,7 +372,7 @@ func (b *Bot) stepReoptimize(ctx context.Context) (BlockReport, error) {
 		p := plans[0]
 		e := Execution{
 			Loop:         p.loop.String(),
-			Strategy:     b.cfg.Strategy,
+			Strategy:     b.cfg.Strategy.Name(),
 			PredictedUSD: p.predicted,
 		}
 		tx, err := b.buildTx(p)

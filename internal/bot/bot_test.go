@@ -41,8 +41,10 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(paperChain(t), nil, Config{}); err == nil {
 		t.Error("nil oracle: want error")
 	}
-	if _, err := New(paperChain(t), paperOracle(), Config{Strategy: strategy.KindMaxPrice}); err == nil {
-		t.Error("unsupported strategy: want error")
+	// Any Strategy implementation is accepted — even MaxPrice, which the
+	// paper shows is unreliable but is no longer a hard-coded enum case.
+	if _, err := New(paperChain(t), paperOracle(), Config{Strategy: strategy.MaxPriceStrategy{}}); err != nil {
+		t.Errorf("pluggable strategy rejected: %v", err)
 	}
 }
 
@@ -107,7 +109,7 @@ func TestBotConsumesOpportunityOverBlocks(t *testing.T) {
 }
 
 func TestBotConvexStrategy(t *testing.T) {
-	b, err := New(paperChain(t), paperOracle(), Config{Strategy: strategy.KindConvex})
+	b, err := New(paperChain(t), paperOracle(), Config{Strategy: strategy.ConvexStrategy{}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"arbloop/internal/cycles"
 	"arbloop/internal/graph"
@@ -20,6 +22,9 @@ type PipelineConfig struct {
 	LoopLen int
 	// MaxLoops truncates the analysis for quick runs (0 = all).
 	MaxLoops int
+	// Parallelism bounds the per-loop analysis worker pool
+	// (default GOMAXPROCS). Results stay in detection order regardless.
+	Parallelism int
 }
 
 func (c PipelineConfig) withDefaults() PipelineConfig {
@@ -98,36 +103,96 @@ func RunPipelineOnSnapshot(snap *market.Snapshot, cfg PipelineConfig) (*Pipeline
 		Snapshot:       filtered,
 		Graph:          g,
 		CyclesExamined: len(cs),
-		Loops:          make([]LoopAnalysis, 0, len(directed)),
+		Loops:          make([]LoopAnalysis, len(directed)),
 	}
-	for _, d := range directed {
-		loop, err := LoopFromDirected(g, d)
+
+	// Every loop's analysis is independent: fan the four strategies out
+	// over a bounded worker pool, writing each analysis to its detection
+	// slot so figure data stays in deterministic order.
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(directed) {
+		workers = len(directed)
+	}
+	analyze := func(i int) error {
+		loop, err := LoopFromDirected(g, directed[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trad, err := strategy.TraditionalAll(loop, prices)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mp, err := strategy.MaxPrice(loop, prices)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mm, err := strategy.MaxMax(loop, prices)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cv, err := strategy.Convex(loop, prices, strategy.ConvexOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: convex on %s: %w", loop, err)
+			return fmt.Errorf("experiments: convex on %s: %w", loop, err)
 		}
-		result.Loops = append(result.Loops, LoopAnalysis{
+		result.Loops[i] = LoopAnalysis{
 			Loop:        loop,
 			Traditional: trad,
 			MaxPrice:    mp,
 			MaxMax:      mm,
 			Convex:      cv,
-		})
+		}
+		return nil
+	}
+	if workers <= 1 {
+		for i := range directed {
+			if err := analyze(i); err != nil {
+				return nil, err
+			}
+		}
+		return result, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed() {
+					continue // drain without analyzing once a loop failed
+				}
+				if err := analyze(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range directed {
+		if failed() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return result, nil
 }

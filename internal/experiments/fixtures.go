@@ -27,6 +27,7 @@ import (
 	"arbloop/internal/amm"
 	"arbloop/internal/cycles"
 	"arbloop/internal/graph"
+	"arbloop/internal/scan"
 	"arbloop/internal/strategy"
 )
 
@@ -59,20 +60,10 @@ func PaperExamplePrices() strategy.PriceMap {
 }
 
 // LoopFromDirected converts a detected directed cycle into a strategy
-// loop, resolving pools and token keys through the graph.
+// loop, resolving pools and token keys through the graph. It is the
+// scan package's converter, re-exported here for the figure harnesses.
 func LoopFromDirected(g *graph.Graph, d cycles.Directed) (*strategy.Loop, error) {
-	hops := make([]strategy.Hop, d.Len())
-	for i := 0; i < d.Len(); i++ {
-		hops[i] = strategy.Hop{
-			Pool:    g.Pool(d.Pools[i]),
-			TokenIn: g.Node(d.Nodes[i]),
-		}
-	}
-	l, err := strategy.NewLoop(hops)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: directed cycle %v: %w", d, err)
-	}
-	return l, nil
+	return scan.LoopFromDirected(g, d)
 }
 
 // SyntheticLoop builds a profitable loop of the requested length for the

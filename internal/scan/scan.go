@@ -1,0 +1,306 @@
+// Package scan is the whole-market scanning engine behind the public
+// arbloop.Scanner: build the token graph from a pool source, enumerate
+// candidate cycles once, keep the profitable orientations, fetch every
+// needed CEX price in one batched call, and fan the per-loop optimization
+// out over a bounded worker pool. Detection is sequential (it is a single
+// graph traversal); optimization is the hot loop the paper's §VII runtime
+// table measures, and parallelizes perfectly because loops are
+// independent.
+package scan
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/cycles"
+	"arbloop/internal/graph"
+	"arbloop/internal/source"
+	"arbloop/internal/strategy"
+)
+
+// LoopFromDirected converts a detected directed cycle into a strategy
+// loop, resolving pools and token keys through the graph.
+func LoopFromDirected(g *graph.Graph, d cycles.Directed) (*strategy.Loop, error) {
+	hops := make([]strategy.Hop, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		hops[i] = strategy.Hop{
+			Pool:    g.Pool(d.Pools[i]),
+			TokenIn: g.Node(d.Nodes[i]),
+		}
+	}
+	l, err := strategy.NewLoop(hops)
+	if err != nil {
+		return nil, fmt.Errorf("scan: directed cycle %v: %w", d, err)
+	}
+	return l, nil
+}
+
+// Config tunes one scan. The zero value scans length-3 loops with the
+// MaxMax strategy at GOMAXPROCS parallelism and keeps every profitable
+// result.
+type Config struct {
+	// MinLen and MaxLen bound the loop length (defaults 3, 3).
+	MinLen, MaxLen int
+	// Strategy is the per-loop optimizer (default MaxMaxStrategy).
+	Strategy strategy.Strategy
+	// Parallelism bounds the optimization worker pool (default GOMAXPROCS).
+	Parallelism int
+	// MinProfitUSD drops results predicted below this (default 0: keep all
+	// non-negative results).
+	MinProfitUSD float64
+	// TopK truncates the ranked batch report (0 = keep all). Streaming
+	// ignores it.
+	TopK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLen <= 0 {
+		c.MinLen = 3
+	}
+	if c.MaxLen < c.MinLen {
+		c.MaxLen = c.MinLen
+	}
+	if c.Strategy == nil {
+		c.Strategy = strategy.MaxMaxStrategy{}
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Result is one scanned loop: the optimization outcome, or the error that
+// kept the strategy from producing one.
+type Result struct {
+	// Index is the loop's position in detection order — stable across
+	// runs and parallelism levels, so results can be compared loop-for-loop.
+	Index int
+	// Loop is the profitable orientation that was optimized.
+	Loop *strategy.Loop
+	// Result is the strategy outcome (zero when Err != nil).
+	Result strategy.Result
+	// Err reports a per-loop optimization failure. The scan keeps going;
+	// one degenerate loop must not sink a whole-market pass.
+	Err error
+}
+
+// Report is the outcome of one batch scan.
+type Report struct {
+	// Strategy is the name of the optimizer that ran.
+	Strategy string
+	// Parallelism is the worker-pool width used.
+	Parallelism int
+	// Tokens and Pools count the scanned graph.
+	Tokens, Pools int
+	// CyclesExamined counts undirected candidate cycles.
+	CyclesExamined int
+	// LoopsDetected counts profitable orientations found (before the
+	// MinProfitUSD filter).
+	LoopsDetected int
+	// Failed counts loops whose optimization returned an error; they are
+	// absent from Results (stream consumers see them with Err set).
+	Failed int
+	// Results is sorted by monetized profit, descending, then by Index;
+	// filtered by MinProfitUSD and truncated to TopK. Failed loops are
+	// not included (they arrive only on the stream).
+	Results []Result
+}
+
+// detection is the sequential front half of a scan, shared by Run and
+// Stream.
+type detection struct {
+	graph  *graph.Graph
+	loops  []*strategy.Loop
+	prices strategy.PriceMap
+	cycles int
+}
+
+// detect builds the graph, enumerates cycles, orients the profitable
+// ones, and batch-fetches every price the loops need.
+func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config) (*detection, error) {
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("scan: no pools to scan")
+	}
+	g, err := graph.Build(pools)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := cycles.Enumerate(g, cfg.MinLen, cfg.MaxLen, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	directed, err := cycles.ArbitrageLoops(g, cs)
+	if err != nil {
+		return nil, err
+	}
+
+	loops := make([]*strategy.Loop, len(directed))
+	tokenSet := make(map[string]struct{})
+	for i, d := range directed {
+		loop, err := LoopFromDirected(g, d)
+		if err != nil {
+			return nil, err
+		}
+		loops[i] = loop
+		for _, t := range loop.Tokens() {
+			tokenSet[t] = struct{}{}
+		}
+	}
+
+	pm := strategy.PriceMap{}
+	if len(tokenSet) > 0 {
+		symbols := make([]string, 0, len(tokenSet))
+		for s := range tokenSet {
+			symbols = append(symbols, s)
+		}
+		sort.Strings(symbols)
+		fetched, err := prices.Prices(ctx, symbols)
+		if err != nil {
+			return nil, fmt.Errorf("scan: fetch prices: %w", err)
+		}
+		pm = strategy.PriceMap(fetched)
+	}
+	return &detection{graph: g, loops: loops, prices: pm, cycles: len(cs)}, nil
+}
+
+// fanOut optimizes every detected loop over a bounded worker pool,
+// delivering one Result per loop to emit (in arbitrary order). It returns
+// early when the context is cancelled; unprocessed loops are skipped.
+func fanOut(ctx context.Context, d *detection, cfg Config, emit func(Result) bool) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var emitMu sync.Mutex
+	done := make(chan struct{}) // closed when a consumer rejects further results
+	var closeDone sync.Once
+
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := cfg.Strategy.Optimize(ctx, d.loops[i], d.prices)
+				r := Result{Index: i, Loop: d.loops[i], Result: res, Err: err}
+				emitMu.Lock()
+				ok := emit(r)
+				emitMu.Unlock()
+				if !ok {
+					closeDone.Do(func() { close(done) })
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range d.loops {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		case <-done:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Run scans the pool set once and returns the ranked batch report.
+func Run(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	d, err := detect(ctx, pools, prices, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	results := make([]Result, 0, len(d.loops))
+	var (
+		firstErr  error
+		failed    int
+		succeeded int
+	)
+	fanOut(ctx, d, cfg, func(r Result) bool {
+		if r.Err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("scan: loop %s: %w", r.Loop, r.Err)
+			}
+			return true
+		}
+		succeeded++
+		if r.Result.Monetized < cfg.MinProfitUSD {
+			return true
+		}
+		results = append(results, r)
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	if firstErr != nil && succeeded == 0 {
+		// Every loop failed — a systemic cause (e.g. a price-map hole);
+		// surface it rather than an empty report. Partial failures are
+		// reported via Failed so callers can decide.
+		return Report{}, firstErr
+	}
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Result.Monetized != results[j].Result.Monetized {
+			return results[i].Result.Monetized > results[j].Result.Monetized
+		}
+		return results[i].Index < results[j].Index
+	})
+	if cfg.TopK > 0 && len(results) > cfg.TopK {
+		results = results[:cfg.TopK]
+	}
+	return Report{
+		Strategy:       cfg.Strategy.Name(),
+		Parallelism:    cfg.Parallelism,
+		Tokens:         d.graph.NumNodes(),
+		Pools:          d.graph.NumEdges(),
+		CyclesExamined: d.cycles,
+		LoopsDetected:  len(d.loops),
+		Failed:         failed,
+		Results:        results,
+	}, nil
+}
+
+// Stream scans the pool set and delivers per-loop results as they are
+// produced, in completion order (use Result.Index to re-sequence). The
+// channel closes when the scan finishes or the context is cancelled. A
+// detection-stage failure arrives as a single Result with Err set and a
+// nil Loop.
+func Stream(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config) <-chan Result {
+	cfg = cfg.withDefaults()
+	out := make(chan Result)
+	go func() {
+		defer close(out)
+		d, err := detect(ctx, pools, prices, cfg)
+		if err != nil {
+			select {
+			case out <- Result{Index: -1, Err: err}:
+			case <-ctx.Done():
+			}
+			return
+		}
+		fanOut(ctx, d, cfg, func(r Result) bool {
+			if r.Err == nil && r.Result.Monetized < cfg.MinProfitUSD {
+				return true
+			}
+			select {
+			case out <- r:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return out
+}

@@ -1,0 +1,157 @@
+// Package source defines the data-source contracts the scanner consumes —
+// where pools come from and where CEX prices come from — and adapters that
+// put the library's three native backends (market snapshots, the chain
+// simulator, and cex oracles) behind them. New backends (an RPC archive
+// node, a pool-cache service, a websocket price feed) plug in by
+// implementing one small interface instead of forking the pipeline.
+package source
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/cex"
+	"arbloop/internal/chain"
+	"arbloop/internal/market"
+)
+
+// PoolSource supplies the current set of liquidity pools. Implementations
+// must be safe for concurrent use; each call returns an independent
+// point-in-time view (the scanner never mutates the returned pools).
+type PoolSource interface {
+	// Pools returns analytic constant-product pools for the current state.
+	Pools(ctx context.Context) ([]*amm.Pool, error)
+}
+
+// PriceSource supplies USD prices for token symbols. cex.Oracle satisfies
+// it directly, as does the TTL-caching HTTP client.
+type PriceSource interface {
+	// Prices returns USD prices for all requested symbols; it fails if any
+	// symbol is unknown.
+	Prices(ctx context.Context, symbols []string) (map[string]float64, error)
+}
+
+// Every cex oracle is a PriceSource.
+var (
+	_ PriceSource = (cex.Oracle)(nil)
+	_ PriceSource = (*cex.Static)(nil)
+	_ PriceSource = (*cex.Client)(nil)
+)
+
+// SnapshotSource adapts a market.Snapshot to both PoolSource and
+// PriceSource. The snapshot is read-only after construction, so the
+// adapter is safe for concurrent use.
+type SnapshotSource struct {
+	snap *market.Snapshot
+}
+
+var (
+	_ PoolSource  = (*SnapshotSource)(nil)
+	_ PriceSource = (*SnapshotSource)(nil)
+)
+
+// FromSnapshot wraps a snapshot as a pool + price source.
+func FromSnapshot(s *market.Snapshot) *SnapshotSource {
+	return &SnapshotSource{snap: s}
+}
+
+// Pools implements PoolSource.
+func (s *SnapshotSource) Pools(ctx context.Context) ([]*amm.Pool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pools := make([]*amm.Pool, 0, len(s.snap.Pools))
+	for _, p := range s.snap.Pools {
+		pool, err := amm.NewPool(p.ID, p.Token0, p.Token1, p.Reserve0, p.Reserve1, p.Fee)
+		if err != nil {
+			return nil, fmt.Errorf("source: pool %s: %w", p.ID, err)
+		}
+		pools = append(pools, pool)
+	}
+	return pools, nil
+}
+
+// Prices implements PriceSource against the snapshot's CEX price table.
+func (s *SnapshotSource) Prices(ctx context.Context, symbols []string) (map[string]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(symbols))
+	for _, sym := range symbols {
+		p, ok := s.snap.PricesUSD[sym]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", cex.ErrUnknownSymbol, sym)
+		}
+		out[sym] = p
+	}
+	return out, nil
+}
+
+// ChainSource adapts the integer chain simulator to PoolSource, converting
+// big.Int reserves into whole-token float64 pools at a fixed scale. The
+// underlying state is read under its own lock, so the adapter is safe for
+// concurrent use and each Pools call sees one consistent block.
+type ChainSource struct {
+	state *chain.State
+	scale float64
+}
+
+var _ PoolSource = (*ChainSource)(nil)
+
+// FromChain wraps a chain state as a pool source. scale is the integer
+// base units per whole token (must match how the state was populated).
+func FromChain(state *chain.State, scale int64) *ChainSource {
+	if scale <= 0 {
+		scale = 1_000_000
+	}
+	return &ChainSource{state: state, scale: float64(scale)}
+}
+
+// Pools implements PoolSource.
+func (c *ChainSource) Pools(ctx context.Context) ([]*amm.Pool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ids := c.state.PoolIDs()
+	pools := make([]*amm.Pool, 0, len(ids))
+	for _, id := range ids {
+		t0, t1, err := c.state.PoolTokens(id)
+		if err != nil {
+			return nil, err
+		}
+		r0, r1, err := c.state.Reserves(id)
+		if err != nil {
+			return nil, err
+		}
+		feeBps, err := c.state.PoolFee(id)
+		if err != nil {
+			return nil, err
+		}
+		f0, _ := new(big.Float).SetInt(r0).Float64()
+		f1, _ := new(big.Float).SetInt(r1).Float64()
+		pool, err := amm.NewPool(id, t0, t1, f0/c.scale, f1/c.scale, float64(feeBps)/amm.FeeDenominator)
+		if err != nil {
+			return nil, fmt.Errorf("source: pool %s: %w", id, err)
+		}
+		pools = append(pools, pool)
+	}
+	return pools, nil
+}
+
+// StaticPools is a fixed pool list satisfying PoolSource — the adapter for
+// hand-built loops in tests and examples.
+type StaticPools []*amm.Pool
+
+var _ PoolSource = StaticPools(nil)
+
+// Pools implements PoolSource.
+func (s StaticPools) Pools(ctx context.Context) ([]*amm.Pool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]*amm.Pool, len(s))
+	copy(out, s)
+	return out, nil
+}

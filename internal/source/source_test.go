@@ -1,0 +1,122 @@
+package source
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/cex"
+	"arbloop/internal/chain"
+	"arbloop/internal/market"
+	"arbloop/internal/token"
+)
+
+func paperSnapshot(t *testing.T) *market.Snapshot {
+	t.Helper()
+	s := &market.Snapshot{
+		Name: "paper-v",
+		Tokens: []token.Token{
+			{Symbol: "X"}, {Symbol: "Y"}, {Symbol: "Z"},
+		},
+		Pools: []market.PoolRecord{
+			{ID: "p1", Token0: "X", Token1: "Y", Reserve0: 100, Reserve1: 200, Fee: amm.DefaultFee},
+			{ID: "p2", Token0: "Y", Token1: "Z", Reserve0: 300, Reserve1: 200, Fee: amm.DefaultFee},
+			{ID: "p3", Token0: "Z", Token1: "X", Reserve0: 200, Reserve1: 400, Fee: amm.DefaultFee},
+		},
+		PricesUSD: map[string]float64{"X": 2, "Y": 10.2, "Z": 20},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSnapshotSource(t *testing.T) {
+	src := FromSnapshot(paperSnapshot(t))
+	ctx := context.Background()
+
+	pools, err := src.Pools(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 3 {
+		t.Fatalf("pools = %d", len(pools))
+	}
+	for _, p := range pools {
+		if p.ID == "" {
+			t.Error("pool without ID")
+		}
+	}
+
+	prices, err := src.Prices(ctx, []string{"X", "Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prices["X"] != 2 || prices["Z"] != 20 {
+		t.Errorf("prices = %v", prices)
+	}
+	if _, err := src.Prices(ctx, []string{"Q"}); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := src.Pools(cancelled); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestChainSource(t *testing.T) {
+	const scale = 1_000_000
+	state := chain.NewState(0)
+	if err := state.AddPool("p1", "X", "Y",
+		big.NewInt(100*scale), big.NewInt(200*scale), 30); err != nil {
+		t.Fatal(err)
+	}
+	src := FromChain(state, scale)
+	pools, err := src.Pools(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 1 {
+		t.Fatalf("pools = %d", len(pools))
+	}
+	rx, ry, err := pools[0].Reserves("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx != 100 || ry != 200 {
+		t.Errorf("reserves = %g, %g; want 100, 200", rx, ry)
+	}
+}
+
+func TestStaticPoolsCopies(t *testing.T) {
+	p, err := amm.NewPool("p1", "X", "Y", 100, 200, amm.DefaultFee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := StaticPools{p}
+	got, err := src.Pools(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = nil // mutating the returned slice must not alias the source
+	again, err := src.Pools(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != p {
+		t.Error("StaticPools returned aliased slice")
+	}
+}
+
+// TestOracleIsPriceSource pins the contract that every cex oracle (and
+// the HTTP client) satisfies PriceSource without an adapter.
+func TestOracleIsPriceSource(t *testing.T) {
+	var src PriceSource = cex.NewStatic(map[string]float64{"X": 2})
+	prices, err := src.Prices(context.Background(), []string{"X"})
+	if err != nil || prices["X"] != 2 {
+		t.Errorf("prices = %v, %v", prices, err)
+	}
+}

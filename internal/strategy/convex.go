@@ -46,7 +46,7 @@ func Convex(l *Loop, prices PriceMap, opts ConvexOptions) (Result, error) {
 		// §IV: no arbitrage ⇒ the unique optimum is the zero plan.
 		plan := TradePlan{Inputs: make([]float64, n), Outputs: make([]float64, n)}
 		return Result{
-			Kind:      KindConvex,
+			Strategy:  NameConvex,
 			Loop:      l,
 			Plan:      plan,
 			NetTokens: plan.NetTokens(l),
@@ -97,7 +97,7 @@ func Convex(l *Loop, prices PriceMap, opts ConvexOptions) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Kind:      KindConvex,
+		Strategy:  NameConvex,
 		Loop:      l,
 		Plan:      plan,
 		NetTokens: net,

@@ -73,7 +73,7 @@ func ConvexRisky(l *Loop, prices PriceMap) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Kind:      KindConvex,
+		Strategy:  NameConvexRisky,
 		Loop:      l,
 		Plan:      plan,
 		NetTokens: net,

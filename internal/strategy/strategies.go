@@ -6,37 +6,21 @@ import (
 	"arbloop/internal/numeric"
 )
 
-// Kind identifies a strategy.
-type Kind int
-
-// Strategy kinds.
+// Canonical strategy names, as returned by Strategy.Name and recorded in
+// Result.Strategy. These are also the registry keys (see registry.go).
 const (
-	KindTraditional Kind = iota + 1
-	KindMaxPrice
-	KindMaxMax
-	KindConvex
+	NameTraditional = "Traditional"
+	NameMaxPrice    = "MaxPrice"
+	NameMaxMax      = "MaxMax"
+	NameConvex      = "ConvexOptimization"
+	NameConvexRisky = "ConvexRisky"
 )
-
-// String implements fmt.Stringer.
-func (k Kind) String() string {
-	switch k {
-	case KindTraditional:
-		return "Traditional"
-	case KindMaxPrice:
-		return "MaxPrice"
-	case KindMaxMax:
-		return "MaxMax"
-	case KindConvex:
-		return "ConvexOptimization"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
 
 // Result is the outcome of running a strategy on a loop.
 type Result struct {
-	// Kind is the strategy that produced the result.
-	Kind Kind
+	// Strategy is the canonical name of the strategy that produced the
+	// result (one of the Name* constants for built-ins).
+	Strategy string
 	// Loop is the loop the plan indexes (for single-start strategies it is
 	// the rotation anchored at StartToken).
 	Loop *Loop
@@ -97,7 +81,7 @@ func Traditional(l *Loop, start string, prices PriceMap) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Kind:       KindTraditional,
+		Strategy:   NameTraditional,
 		Loop:       rot,
 		StartToken: start,
 		Input:      input,
@@ -138,7 +122,7 @@ func MaxPrice(l *Loop, prices PriceMap) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	r.Kind = KindMaxPrice
+	r.Strategy = NameMaxPrice
 	return r, nil
 }
 
@@ -156,7 +140,7 @@ func MaxMax(l *Loop, prices PriceMap) (Result, error) {
 			best = r
 		}
 	}
-	best.Kind = KindMaxMax
+	best.Strategy = NameMaxMax
 	return best, nil
 }
 

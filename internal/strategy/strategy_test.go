@@ -183,8 +183,8 @@ func TestPaperExampleT1Traditional(t *testing.T) {
 					t.Errorf("net %s = %g, want 0", tok, v)
 				}
 			}
-			if r.Kind != KindTraditional || r.StartToken != tt.start {
-				t.Errorf("result meta: kind=%v start=%q", r.Kind, r.StartToken)
+			if r.Strategy != NameTraditional || r.StartToken != tt.start {
+				t.Errorf("result meta: strategy=%q start=%q", r.Strategy, r.StartToken)
 			}
 		})
 	}
@@ -202,8 +202,8 @@ func TestPaperExampleT1MaxMax(t *testing.T) {
 	if math.Abs(r.Monetized-205.6) > 0.5 {
 		t.Errorf("MaxMax monetized = %.2f$, paper 205.6$", r.Monetized)
 	}
-	if r.Kind != KindMaxMax {
-		t.Errorf("kind = %v", r.Kind)
+	if r.Strategy != NameMaxMax {
+		t.Errorf("strategy = %q", r.Strategy)
 	}
 }
 

@@ -1,0 +1,129 @@
+package arbloop
+
+import (
+	"context"
+	"fmt"
+
+	"arbloop/internal/scan"
+)
+
+// ScanResult is one scanned loop: the strategy outcome, or the per-loop
+// error that kept the strategy from producing one. Index is the loop's
+// position in detection order, stable across runs and parallelism levels.
+type ScanResult = scan.Result
+
+// ScanReport is the ranked outcome of one batch Scan.
+type ScanReport = scan.Report
+
+// Scanner runs whole-market scans: detect arbitrage loops once from a
+// PoolSource, batch-fetch CEX prices from a PriceSource, and fan the
+// per-loop optimization out over a bounded worker pool. A Scanner is
+// immutable after construction and safe for concurrent use — any number
+// of Scan and ScanStream calls may run at once, each seeing its own
+// point-in-time view of the sources.
+type Scanner struct {
+	pools  PoolSource
+	prices PriceSource
+	cfg    scan.Config
+}
+
+// ScannerOption configures a Scanner.
+type ScannerOption func(*scan.Config)
+
+// WithLoopLengths bounds the detected loop length to [min, max]. The
+// default is [3, 3], the paper's §VI setting.
+func WithLoopLengths(min, max int) ScannerOption {
+	return func(c *scan.Config) { c.MinLen, c.MaxLen = min, max }
+}
+
+// WithStrategy selects the per-loop optimizer (default MaxMaxStrategy).
+func WithStrategy(s Strategy) ScannerOption {
+	return func(c *scan.Config) { c.Strategy = s }
+}
+
+// WithStrategyName selects a registered strategy by name; unknown names
+// surface as an error from NewScanner.
+func WithStrategyName(name string) ScannerOption {
+	return func(c *scan.Config) {
+		s, ok := LookupStrategy(name)
+		if !ok {
+			c.Strategy = errStrategy{name: name}
+			return
+		}
+		c.Strategy = s
+	}
+}
+
+// errStrategy defers an unknown-name error to NewScanner validation.
+type errStrategy struct{ name string }
+
+func (e errStrategy) Name() string { return e.name }
+func (e errStrategy) Optimize(context.Context, *Loop, PriceMap) (Result, error) {
+	return Result{}, fmt.Errorf("arbloop: unknown strategy %q", e.name)
+}
+
+// WithParallelism bounds the optimization worker pool (default
+// GOMAXPROCS). Parallelism 1 reproduces the sequential per-loop order of
+// work exactly.
+func WithParallelism(n int) ScannerOption {
+	return func(c *scan.Config) { c.Parallelism = n }
+}
+
+// WithMinProfitUSD drops results whose monetized profit is predicted
+// below the threshold (default 0: keep every non-negative result).
+func WithMinProfitUSD(usd float64) ScannerOption {
+	return func(c *scan.Config) { c.MinProfitUSD = usd }
+}
+
+// WithTopK truncates the ranked batch report to the K most profitable
+// loops (default 0: keep all). Streaming scans ignore it.
+func WithTopK(k int) ScannerOption {
+	return func(c *scan.Config) { c.TopK = k }
+}
+
+// NewScanner builds a scanner over a pool source and a price source.
+// A SnapshotSource (FromSnapshot) can serve as both.
+func NewScanner(pools PoolSource, prices PriceSource, opts ...ScannerOption) (*Scanner, error) {
+	if pools == nil || prices == nil {
+		return nil, fmt.Errorf("arbloop: scanner needs a pool source and a price source")
+	}
+	var cfg scan.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.MinLen < 0 || cfg.MaxLen < 0 || (cfg.MaxLen > 0 && cfg.MaxLen < cfg.MinLen) {
+		return nil, fmt.Errorf("arbloop: invalid loop lengths [%d, %d]", cfg.MinLen, cfg.MaxLen)
+	}
+	if es, bad := cfg.Strategy.(errStrategy); bad {
+		return nil, fmt.Errorf("arbloop: unknown strategy %q (registered: %v)", es.name, StrategyNames())
+	}
+	return &Scanner{pools: pools, prices: prices, cfg: cfg}, nil
+}
+
+// Scan runs one batch scan: detection, parallel optimization, then
+// ranking by monetized profit (filtered by WithMinProfitUSD, truncated to
+// WithTopK). It honors ctx cancellation between pipeline stages and
+// per-loop.
+func (s *Scanner) Scan(ctx context.Context) (ScanReport, error) {
+	pools, err := s.pools.Pools(ctx)
+	if err != nil {
+		return ScanReport{}, fmt.Errorf("arbloop: read pools: %w", err)
+	}
+	return scan.Run(ctx, pools, s.prices, s.cfg)
+}
+
+// ScanStream runs one scan and delivers per-loop results as workers
+// finish them, in completion order (use ScanResult.Index to re-sequence).
+// The channel closes when the scan completes or ctx is cancelled. Errors
+// — a failed detection stage or a failed individual loop — arrive on the
+// channel with Err set, so a consumer sees everything in one place.
+func (s *Scanner) ScanStream(ctx context.Context) <-chan ScanResult {
+	pools, err := s.pools.Pools(ctx)
+	if err != nil {
+		out := make(chan ScanResult, 1)
+		out <- ScanResult{Index: -1, Err: fmt.Errorf("arbloop: read pools: %w", err)}
+		close(out)
+		return out
+	}
+	return scan.Stream(ctx, pools, s.prices, s.cfg)
+}

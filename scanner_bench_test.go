@@ -1,0 +1,157 @@
+package arbloop_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"arbloop"
+)
+
+// benchScanner builds a Scanner over the paper-calibrated §VI market.
+func benchScanner(tb testing.TB, strategy arbloop.Strategy, parallelism int) *arbloop.Scanner {
+	tb.Helper()
+	snap, err := arbloop.GenerateMarket(arbloop.DefaultGeneratorConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	src := arbloop.FromSnapshot(snap.FilterPools(30_000, 100))
+	sc, err := arbloop.NewScanner(src, src,
+		arbloop.WithStrategy(strategy),
+		arbloop.WithParallelism(parallelism),
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sc
+}
+
+func benchmarkScan(b *testing.B, strategy arbloop.Strategy, parallelism int) {
+	sc := benchScanner(b, strategy, parallelism)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	loops := 0
+	for i := 0; i < b.N; i++ {
+		report, err := sc.Scan(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loops = report.LoopsDetected
+	}
+	b.ReportMetric(float64(loops)*float64(b.N)/b.Elapsed().Seconds(), "loops/s")
+}
+
+func BenchmarkScanMaxMaxParallel1(b *testing.B) {
+	benchmarkScan(b, arbloop.MaxMaxStrategy{}, 1)
+}
+
+func BenchmarkScanMaxMaxParallelN(b *testing.B) {
+	benchmarkScan(b, arbloop.MaxMaxStrategy{}, runtime.GOMAXPROCS(0))
+}
+
+func BenchmarkScanConvexParallel1(b *testing.B) {
+	benchmarkScan(b, arbloop.ConvexStrategy{}, 1)
+}
+
+func BenchmarkScanConvexParallelN(b *testing.B) {
+	benchmarkScan(b, arbloop.ConvexStrategy{}, runtime.GOMAXPROCS(0))
+}
+
+// scanBenchRow is one BENCH_scan.json record.
+type scanBenchRow struct {
+	Strategy    string  `json:"strategy"`
+	Parallelism int     `json:"parallelism"`
+	Loops       int     `json:"loops"`
+	Runs        int     `json:"runs"`
+	SecPerScan  float64 `json:"sec_per_scan"`
+	LoopsPerSec float64 `json:"loops_per_sec"`
+	Speedup     float64 `json:"speedup_vs_p1"`
+}
+
+// TestWriteScanBenchJSON measures whole-market scan throughput at
+// parallelism 1 vs GOMAXPROCS and writes BENCH_scan.json, the repo's
+// perf-trajectory record. Gated behind BENCH_JSON so regular test runs
+// stay fast; `make bench` sets it.
+func TestWriteScanBenchJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 (or run `make bench`) to write BENCH_scan.json")
+	}
+	ctx := context.Background()
+	n := runtime.GOMAXPROCS(0)
+	// On a single-CPU host the worker pool cannot beat sequential; still
+	// record both parallelism levels so the perf trajectory has a
+	// baseline, but only assert speedup when parallel hardware exists.
+	pN := n
+	if pN < 2 {
+		pN = 2
+	}
+
+	var rows []scanBenchRow
+	for _, strat := range []arbloop.Strategy{arbloop.MaxMaxStrategy{}, arbloop.ConvexStrategy{}} {
+		var p1 float64
+		for _, parallelism := range []int{1, pN} {
+			sc := benchScanner(t, strat, parallelism)
+			// Warm up once (first scan pays snapshot→pool conversion cold
+			// caches), then time a fixed batch.
+			report, err := sc.Scan(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs := 20
+			if strat.Name() == arbloop.StrategyConvex {
+				runs = 5 // interior-point solves are ~two orders slower
+			}
+			start := time.Now()
+			for i := 0; i < runs; i++ {
+				if _, err := sc.Scan(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			row := scanBenchRow{
+				Strategy:    strat.Name(),
+				Parallelism: parallelism,
+				Loops:       report.LoopsDetected,
+				Runs:        runs,
+				SecPerScan:  elapsed / float64(runs),
+				LoopsPerSec: float64(report.LoopsDetected) * float64(runs) / elapsed,
+			}
+			if parallelism == 1 {
+				p1 = row.LoopsPerSec
+				row.Speedup = 1
+			} else {
+				row.Speedup = row.LoopsPerSec / p1
+				if n >= 2 && row.Speedup <= 1 && strat.Name() == arbloop.StrategyConvex {
+					t.Errorf("%s at parallelism %d shows no speedup (%.2fx)",
+						strat.Name(), parallelism, row.Speedup)
+				}
+			}
+			rows = append(rows, row)
+			t.Logf("%-18s parallelism %2d: %8.0f loops/s (%.2fx)",
+				strat.Name(), parallelism, row.LoopsPerSec, row.Speedup)
+		}
+	}
+
+	out := struct {
+		Benchmark string         `json:"benchmark"`
+		GoMaxProc int            `json:"gomaxprocs"`
+		Rows      []scanBenchRow `json:"rows"`
+	}{Benchmark: "scanner whole-market scan, §VI synthetic market", GoMaxProc: n, Rows: rows}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := os.Getenv("BENCH_JSON_PATH")
+	if path == "" {
+		path = "BENCH_scan.json"
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

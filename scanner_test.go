@@ -1,0 +1,347 @@
+package arbloop_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"arbloop"
+)
+
+// scannerFixture builds the paper-calibrated filtered snapshot once.
+var scannerFixture struct {
+	once sync.Once
+	snap *arbloop.Snapshot
+	err  error
+}
+
+func filteredSnapshot(t *testing.T) *arbloop.Snapshot {
+	t.Helper()
+	scannerFixture.once.Do(func() {
+		snap, err := arbloop.GenerateMarket(arbloop.DefaultGeneratorConfig())
+		if err != nil {
+			scannerFixture.err = err
+			return
+		}
+		scannerFixture.snap = snap.FilterPools(30_000, 100)
+	})
+	if scannerFixture.err != nil {
+		t.Fatal(scannerFixture.err)
+	}
+	return scannerFixture.snap
+}
+
+// sequentialMaxMax runs the pre-Scanner per-loop path: enumerate, orient,
+// then MaxMax each loop in detection order.
+func sequentialMaxMax(t *testing.T, snap *arbloop.Snapshot) []arbloop.Result {
+	t.Helper()
+	g, err := snap.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := arbloop.EnumerateCycles(g, 3, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directed, err := arbloop.ArbitrageLoops(g, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := arbloop.PriceMap(snap.PricesUSD)
+	out := make([]arbloop.Result, len(directed))
+	for i, d := range directed {
+		loop, err := arbloop.LoopFromDirected(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i], err = arbloop.MaxMax(loop, prices)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestScannerMatchesSequential asserts the tentpole equivalence: a
+// parallel Scan returns, loop for loop, bit-identical results to the
+// sequential per-loop strategy path.
+func TestScannerMatchesSequential(t *testing.T) {
+	snap := filteredSnapshot(t)
+	seq := sequentialMaxMax(t, snap)
+	if len(seq) == 0 {
+		t.Fatal("no arbitrage loops in fixture")
+	}
+
+	src := arbloop.FromSnapshot(snap)
+	for _, parallelism := range []int{1, 8} {
+		sc, err := arbloop.NewScanner(src, src, arbloop.WithParallelism(parallelism))
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := sc.Scan(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.LoopsDetected != len(seq) {
+			t.Fatalf("parallelism %d: detected %d loops, sequential %d",
+				parallelism, report.LoopsDetected, len(seq))
+		}
+		if report.Parallelism != parallelism || report.Strategy != arbloop.StrategyMaxMax {
+			t.Errorf("report meta = %q/%d", report.Strategy, report.Parallelism)
+		}
+		seen := make(map[int]bool, len(report.Results))
+		for _, r := range report.Results {
+			if seen[r.Index] {
+				t.Fatalf("parallelism %d: duplicate index %d", parallelism, r.Index)
+			}
+			seen[r.Index] = true
+			want := seq[r.Index]
+			if r.Result.Monetized != want.Monetized ||
+				r.Result.StartToken != want.StartToken ||
+				r.Result.Input != want.Input {
+				t.Errorf("parallelism %d: loop %d = (%q %.9g %.9g), sequential (%q %.9g %.9g)",
+					parallelism, r.Index,
+					r.Result.StartToken, r.Result.Input, r.Result.Monetized,
+					want.StartToken, want.Input, want.Monetized)
+			}
+		}
+		// Every sequential result with non-negative profit must appear.
+		for i, want := range seq {
+			if want.Monetized >= 0 && !seen[i] {
+				t.Errorf("parallelism %d: loop %d ($%.2f) missing from report", parallelism, i, want.Monetized)
+			}
+		}
+		// The ranking must be non-increasing.
+		for i := 1; i < len(report.Results); i++ {
+			if report.Results[i].Result.Monetized > report.Results[i-1].Result.Monetized {
+				t.Errorf("parallelism %d: results not sorted at %d", parallelism, i)
+			}
+		}
+	}
+}
+
+// TestScannerConcurrent hammers one Scanner from many goroutines mixing
+// Scan and ScanStream — the -race safety contract of the redesign.
+func TestScannerConcurrent(t *testing.T) {
+	snap := filteredSnapshot(t)
+	src := arbloop.FromSnapshot(snap)
+	sc, err := arbloop.NewScanner(src, src, arbloop.WithParallelism(4), arbloop.WithTopK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const callers = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			report, err := sc.Scan(ctx)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if len(report.Results) != 5 {
+				errc <- errors.New("batch scan did not honor TopK")
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for r := range sc.ScanStream(ctx) {
+				if r.Err != nil {
+					errc <- r.Err
+					return
+				}
+				n++
+			}
+			if n == 0 {
+				errc <- errors.New("stream delivered no results")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestScanStreamDeliversAll checks the stream sees exactly the loops the
+// batch path sees, just in completion order.
+func TestScanStreamDeliversAll(t *testing.T) {
+	snap := filteredSnapshot(t)
+	src := arbloop.FromSnapshot(snap)
+	sc, err := arbloop.NewScanner(src, src, arbloop.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sc.Scan(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for r := range sc.ScanStream(context.Background()) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if seen[r.Index] {
+			t.Fatalf("stream duplicated index %d", r.Index)
+		}
+		seen[r.Index] = true
+	}
+	if len(seen) != len(report.Results) {
+		t.Errorf("stream delivered %d results, batch %d", len(seen), len(report.Results))
+	}
+}
+
+// TestScanStreamCancellation cancels mid-stream and requires the channel
+// to close promptly instead of leaking the worker pool.
+func TestScanStreamCancellation(t *testing.T) {
+	snap := filteredSnapshot(t)
+	src := arbloop.FromSnapshot(snap)
+	sc, err := arbloop.NewScanner(src, src, arbloop.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := sc.ScanStream(ctx)
+	n := 0
+	for range ch {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	cancel()
+	if n >= scannerBatchLoops(t, sc) {
+		t.Errorf("cancellation did not stop the stream early (%d results)", n)
+	}
+}
+
+func scannerBatchLoops(t *testing.T, sc *arbloop.Scanner) int {
+	t.Helper()
+	report, err := sc.Scan(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report.LoopsDetected
+}
+
+// TestScannerOptionsValidation exercises option edge cases.
+func TestScannerOptionsValidation(t *testing.T) {
+	snap := filteredSnapshot(t)
+	src := arbloop.FromSnapshot(snap)
+	if _, err := arbloop.NewScanner(nil, src); err == nil {
+		t.Error("nil pool source accepted")
+	}
+	if _, err := arbloop.NewScanner(src, nil); err == nil {
+		t.Error("nil price source accepted")
+	}
+	if _, err := arbloop.NewScanner(src, src, arbloop.WithLoopLengths(4, 3)); err == nil {
+		t.Error("inverted loop lengths accepted")
+	}
+	if _, err := arbloop.NewScanner(src, src, arbloop.WithStrategyName("NoSuchStrategy")); err == nil {
+		t.Error("unknown strategy name accepted")
+	}
+	sc, err := arbloop.NewScanner(src, src,
+		arbloop.WithStrategyName(arbloop.StrategyConvex),
+		arbloop.WithTopK(3),
+		arbloop.WithMinProfitUSD(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sc.Scan(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Strategy != arbloop.StrategyConvex {
+		t.Errorf("strategy = %q", report.Strategy)
+	}
+	if len(report.Results) > 3 {
+		t.Errorf("TopK not honored: %d results", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.Result.Monetized < 0.5 {
+			t.Errorf("MinProfitUSD not honored: $%.4f", r.Result.Monetized)
+		}
+		if r.Result.Strategy != arbloop.StrategyConvex {
+			t.Errorf("result strategy = %q", r.Result.Strategy)
+		}
+	}
+}
+
+// countingStrategy wraps MaxMax to prove custom strategies plug into the
+// registry and the Scanner.
+type countingStrategy struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingStrategy) Name() string { return "CountingMaxMax" }
+
+func (c *countingStrategy) Optimize(ctx context.Context, l *arbloop.Loop, p arbloop.PriceMap) (arbloop.Result, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return arbloop.MaxMaxStrategy{}.Optimize(ctx, l, p)
+}
+
+// TestStrategyRegistry covers registration, lookup, and a custom strategy
+// driving a scan.
+func TestStrategyRegistry(t *testing.T) {
+	for _, name := range []string{
+		arbloop.StrategyTraditional,
+		arbloop.StrategyMaxPrice,
+		arbloop.StrategyMaxMax,
+		arbloop.StrategyConvex,
+		arbloop.StrategyConvexRisky,
+	} {
+		s, ok := arbloop.LookupStrategy(name)
+		if !ok || s.Name() != name {
+			t.Errorf("built-in %q not registered", name)
+		}
+	}
+	if err := arbloop.RegisterStrategy(arbloop.MaxMaxStrategy{}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := arbloop.RegisterStrategy(nil); err == nil {
+		t.Error("nil registration accepted")
+	}
+
+	custom := &countingStrategy{}
+	// The registry is process-global, so tolerate a re-run of this test
+	// within one binary (-count=N) having registered the name already.
+	if _, registered := arbloop.LookupStrategy(custom.Name()); !registered {
+		if err := arbloop.RegisterStrategy(custom); err != nil {
+			t.Fatal(err)
+		}
+	}
+	found := false
+	for _, n := range arbloop.StrategyNames() {
+		if n == custom.Name() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("custom strategy missing from StrategyNames")
+	}
+
+	snap := filteredSnapshot(t)
+	src := arbloop.FromSnapshot(snap)
+	sc, err := arbloop.NewScanner(src, src, arbloop.WithStrategy(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sc.Scan(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.calls != report.LoopsDetected {
+		t.Errorf("custom strategy ran %d times for %d loops", custom.calls, report.LoopsDetected)
+	}
+}
