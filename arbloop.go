@@ -29,6 +29,12 @@
 //     complete. Both honor context cancellation and are safe for
 //     concurrent use.
 //
+// For block-driven serving, a Watcher (NewWatcher) turns any PoolSource
+// into a versioned pool feed with topology-change detection and
+// latest-wins coalescing, and Scanner.Watch consumes it with scans that
+// reuse cached cycle enumerations whenever the topology is unchanged.
+// `arbloop serve` wraps the whole stack in an HTTP/SSE service.
+//
 // # Quick start
 //
 //	snap, _ := arbloop.GenerateMarket(arbloop.DefaultGeneratorConfig())
@@ -55,6 +61,7 @@ import (
 	"arbloop/internal/amm"
 	"arbloop/internal/cex"
 	"arbloop/internal/cycles"
+	"arbloop/internal/feed"
 	"arbloop/internal/graph"
 	"arbloop/internal/market"
 	"arbloop/internal/pathfind"
@@ -140,6 +147,8 @@ type (
 	PriceSource = source.PriceSource
 	// StaticPools is a fixed pool list satisfying PoolSource.
 	StaticPools = source.StaticPools
+	// SnapshotSource adapts a market snapshot to PoolSource + PriceSource.
+	SnapshotSource = source.SnapshotSource
 )
 
 var (
@@ -147,6 +156,33 @@ var (
 	FromSnapshot = source.FromSnapshot
 	// FromChain wraps chain-simulator state as a pool source.
 	FromChain = source.FromChain
+)
+
+// Live pool feed: a Watcher turns any PoolSource into a versioned,
+// subscribable stream of pool updates with topology-change detection and
+// latest-wins coalescing — the input side of a block-driven service.
+// Scanner.Watch consumes one directly; Scanner.ScanVersioned scans a
+// single update.
+type (
+	// Watcher polls or is notified about pool-set changes and fans out
+	// versioned updates.
+	Watcher = feed.Watcher
+	// PoolUpdate is one versioned view of the pool set.
+	PoolUpdate = feed.Update
+	// WatcherOption configures a Watcher.
+	WatcherOption = feed.Option
+)
+
+var (
+	// NewWatcher wraps a PoolSource as a live pool feed.
+	NewWatcher = feed.NewWatcher
+	// WithHeightProbe stamps a block height onto every update
+	// (chain.State.Height fits directly).
+	WithHeightProbe = feed.WithHeightProbe
+	// TopologyFingerprint hashes a pool set's topology (IDs, token pairs,
+	// fees — not reserves); equal fingerprints mean cached cycle
+	// enumerations carry over between scans.
+	TopologyFingerprint = scan.Fingerprint
 )
 
 // Market and detection types.

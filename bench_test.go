@@ -22,6 +22,7 @@ import (
 	"arbloop/internal/experiments"
 	"arbloop/internal/market"
 	"arbloop/internal/pathfind"
+	"arbloop/internal/source"
 	"arbloop/internal/strategy"
 )
 
@@ -450,12 +451,8 @@ func botForBench(b *testing.B, reoptimize bool) *bot.Bot {
 	}
 	filtered := snap.FilterPools(30_000, 100)
 	state := chain.NewState(0)
-	for _, p := range filtered.Pools {
-		r0 := new(big.Int).SetInt64(int64(p.Reserve0 * 1_000_000))
-		r1 := new(big.Int).SetInt64(int64(p.Reserve1 * 1_000_000))
-		if err := state.AddPool(p.ID, p.Token0, p.Token1, r0, r1, 30); err != nil {
-			b.Fatal(err)
-		}
+	if err := source.MirrorToChain(state, filtered, 1_000_000); err != nil {
+		b.Fatal(err)
 	}
 	engine, err := bot.New(state, cex.NewStatic(filtered.PricesUSD), bot.Config{
 		MaxExecutionsPerBlock: 3,

@@ -5,15 +5,20 @@
 // Usage:
 //
 //	arbloop gen      [-seed N] [-tokens N] [-pools N] [-o FILE]
-//	arbloop scan     [-snapshot FILE] [-len N] [-strategy NAME] [-parallel N] [-top N] [-min-profit X] [-stream]
+//	arbloop scan     [-snapshot FILE] [-len N] [-strategy NAME] [-parallel N] [-top N] [-min-profit X] [-max-cycles N] [-stream] [-json]
 //	arbloop detect   [-snapshot FILE] [-len N] [-top N]
 //	arbloop optimize [-snapshot FILE] [-len N] [-loop N]
 //	arbloop execute  [-snapshot FILE] [-len N] [-loop N]
+//	arbloop serve    [-addr HOST:PORT] [-snapshot FILE] [-len N] [-strategy NAME] [-block-interval D] [-noise N] ...
 //
 // Without -snapshot the paper-calibrated synthetic market is generated in
-// memory. `scan` is the production entry point: one detection pass, then
+// memory. `scan` is the one-shot entry point: one detection pass, then
 // per-loop optimization fanned out over a worker pool; `detect` is the
-// same scan fixed to the MaxMax strategy for quick triage.
+// same scan fixed to the MaxMax strategy for quick triage. `serve` is the
+// long-lived entry point: it mirrors the market onto the chain simulator,
+// drives blocks with retail noise flow, re-scans on every block through
+// the topology cache, and serves the ranked report over HTTP
+// (/v1/report, /v1/stream SSE, /v1/healthz).
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"arbloop"
 	"arbloop/internal/chain"
 	"arbloop/internal/plot"
+	"arbloop/internal/server"
+	"arbloop/internal/source"
 )
 
 func main() {
@@ -52,6 +59,8 @@ func run(args []string) error {
 		return cmdOptimize(args[1:])
 	case "execute":
 		return cmdExecute(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -70,6 +79,7 @@ subcommands:
   detect    list arbitrage loops in a snapshot (MaxMax triage scan)
   optimize  compare Traditional/MaxPrice/MaxMax/Convex on a loop
   execute   run the best plan atomically on the chain simulator
+  serve     run the live opportunity service (HTTP + SSE) over the chain simulator
 `, strings.Join(arbloop.StrategyNames(), ", "))
 }
 
@@ -146,9 +156,14 @@ func cmdScan(args []string) error {
 	parallel := fs.Int("parallel", 0, "optimization workers (0 = GOMAXPROCS)")
 	top := fs.Int("top", 20, "keep the N most profitable loops (0 = all)")
 	minProfit := fs.Float64("min-profit", 0, "drop loops predicted below this USD profit")
+	maxCycles := fs.Int("max-cycles", 0, "fail the scan past this many enumerated cycles (0 = unlimited)")
 	stream := fs.Bool("stream", false, "print results as they complete instead of a ranked table")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON (the same encoding `arbloop serve` serves)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *stream && *jsonOut {
+		return fmt.Errorf("scan: -stream and -json are mutually exclusive")
 	}
 	snap, err := loadOrGenerate(*snapshot, *seed)
 	if err != nil {
@@ -159,6 +174,7 @@ func cmdScan(args []string) error {
 		arbloop.WithStrategyName(*strategyName),
 		arbloop.WithParallelism(*parallel),
 		arbloop.WithMinProfitUSD(*minProfit),
+		arbloop.WithMaxCycles(*maxCycles),
 		arbloop.WithTopK(*top),
 	)
 	if err != nil {
@@ -185,6 +201,9 @@ func cmdScan(args []string) error {
 	report, err := sc.Scan(ctx)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return server.Encode(report, 0, 0).WriteIndented(os.Stdout)
 	}
 	fmt.Printf("graph: %d tokens, %d pools; %d/%d cycles are arbitrage loops of length %d; strategy %s ×%d workers\n",
 		report.Tokens, report.Pools, report.LoopsDetected, report.CyclesExamined, *loopLen,
@@ -341,12 +360,8 @@ func cmdExecute(args []string) error {
 	const scale = 1_000_000
 	state := chain.NewState(1_693_526_400)
 	filtered := snap.FilterPools(30_000, 100)
-	for _, p := range filtered.Pools {
-		r0 := new(big.Int).SetInt64(int64(p.Reserve0 * scale))
-		r1 := new(big.Int).SetInt64(int64(p.Reserve1 * scale))
-		if err := state.AddPool(p.ID, p.Token0, p.Token1, r0, r1, 30); err != nil {
-			return err
-		}
+	if err := source.MirrorToChain(state, filtered, scale); err != nil {
+		return err
 	}
 	rot := mm.Loop
 	steps := make([]chain.SwapStep, rot.Len())

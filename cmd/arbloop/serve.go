@@ -1,0 +1,247 @@
+// The serve subcommand: the live opportunity service. It mirrors a market
+// snapshot onto the chain simulator, produces blocks on a timer with
+// retail noise flow moving reserves, and wires the full serving stack —
+// chain block hook → feed.Watcher → Scanner.Watch (topology-cached scans)
+// → internal/server (atomically swapped report store + SSE fan-out).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"arbloop"
+	"arbloop/internal/chain"
+	"arbloop/internal/server"
+	"arbloop/internal/source"
+)
+
+// serveScale is the integer base units per whole token on the simulator.
+const serveScale = 1_000_000
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	snapshot := fs.String("snapshot", "", "snapshot JSON (default: generate synthetic)")
+	seed := fs.Int64("seed", 0, "generator seed when generating")
+	loopLen := fs.Int("len", 3, "loop length")
+	strategyName := fs.String("strategy", arbloop.StrategyMaxMax,
+		"per-loop strategy: "+strings.Join(arbloop.StrategyNames(), ", "))
+	parallel := fs.Int("parallel", 0, "optimization workers (0 = GOMAXPROCS)")
+	top := fs.Int("top", 20, "serve the N most profitable loops (0 = all)")
+	minProfit := fs.Float64("min-profit", 0, "drop loops predicted below this USD profit")
+	maxCycles := fs.Int("max-cycles", 0, "fail a scan past this many enumerated cycles (0 = unlimited)")
+	blockInterval := fs.Duration("block-interval", 2*time.Second, "simulator block time")
+	noise := fs.Int("noise", 4, "random retail swaps per block (moves reserves)")
+	blocks := fs.Int("blocks", 0, "stop producing blocks after N (0 = forever); the server keeps running")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := loadOrGenerate(*snapshot, *seed)
+	if err != nil {
+		return err
+	}
+	filtered := snap.FilterPools(30_000, 100)
+
+	// Mirror the filtered snapshot onto the chain simulator so reserves
+	// actually move block to block.
+	state := chain.NewState(time.Now().Unix())
+	if err := source.MirrorToChain(state, filtered, serveScale); err != nil {
+		return err
+	}
+
+	src := arbloop.FromChain(state, serveScale)
+	oracle := arbloop.NewStaticOracle(filtered.PricesUSD)
+	sc, err := arbloop.NewScanner(src, oracle,
+		arbloop.WithLoopLengths(*loopLen, *loopLen),
+		arbloop.WithStrategyName(*strategyName),
+		arbloop.WithParallelism(*parallel),
+		arbloop.WithMinProfitUSD(*minProfit),
+		arbloop.WithMaxCycles(*maxCycles),
+		arbloop.WithTopK(*top),
+	)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, serveConfig{
+		addr:          *addr,
+		state:         state,
+		scanner:       sc,
+		source:        src,
+		blockInterval: *blockInterval,
+		noise:         *noise,
+		blocks:        *blocks,
+		seed:          *seed,
+		logf:          func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+}
+
+// serveConfig carries the assembled service pieces; split from cmdServe
+// so tests can run the stack on an ephemeral port without flag parsing.
+type serveConfig struct {
+	addr          string
+	state         *chain.State
+	scanner       *arbloop.Scanner
+	source        arbloop.PoolSource
+	blockInterval time.Duration
+	noise         int
+	blocks        int
+	seed          int64
+	logf          func(format string, a ...any)
+	// ready, when non-nil, receives the bound listen address once the
+	// HTTP server accepts connections (tests use port 0).
+	ready chan<- string
+}
+
+// serve runs the block driver, the pool feed, the scan loop, and the HTTP
+// server until ctx is cancelled. A fatal feed failure tears the whole
+// service down (and is returned) rather than leaving the HTTP side up
+// serving an ever-staler report as healthy.
+func serve(ctx context.Context, cfg serveConfig) error {
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watcher := arbloop.NewWatcher(cfg.source, arbloop.WithHeightProbe(cfg.state.Height))
+	cfg.state.OnBlock(func(int64) { watcher.Notify() })
+
+	srv := server.New()
+	errc := make(chan error, 1)
+
+	// Feed loop: every Notify (one per sealed block, plus the priming one
+	// below) becomes one versioned pool update. A feed error is fatal —
+	// without updates every served report is a lie — so it cancels the
+	// service.
+	go func() {
+		if err := watcher.Run(ctx, 0); err != nil {
+			errc <- fmt.Errorf("feed: %w", err)
+			cancel()
+		}
+	}()
+	watcher.Notify() // prime: serve a report before the first block lands
+
+	// Scan loop: one topology-cached scan per consumed update, published
+	// into the atomically swapped store and fanned out over SSE.
+	go func() {
+		for vr := range cfg.scanner.Watch(ctx, watcher) {
+			if vr.Err != nil {
+				cfg.logf("scan v%d failed: %v", vr.Version, vr.Err)
+				continue
+			}
+			rep := server.Encode(vr.Report, vr.Version, vr.Height)
+			if err := srv.Publish(rep, vr.Elapsed); err != nil {
+				cfg.logf("publish v%d failed: %v", vr.Version, err)
+				continue
+			}
+			cfg.logf("block %d v%d: %d loops, best $%.2f, scan %s (cache hit: %v)",
+				vr.Height, vr.Version, vr.Report.LoopsDetected, bestProfit(vr.Report),
+				vr.Elapsed.Round(time.Microsecond), vr.Report.TopologyCacheHit)
+		}
+	}()
+
+	// Block driver: seal a block every interval, preceded by retail noise
+	// swaps so reserves (and therefore opportunities) actually move.
+	go func() {
+		rng := rand.New(rand.NewSource(cfg.seed + 1))
+		ids := cfg.state.PoolIDs()
+		ticker := time.NewTicker(cfg.blockInterval)
+		defer ticker.Stop()
+		produced := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			if cfg.blocks > 0 && produced >= cfg.blocks {
+				continue
+			}
+			noiseSwaps(cfg.state, rng, ids, cfg.noise)
+			cfg.state.Block(nil)
+			produced++
+		}
+	}()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", cfg.addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		// End SSE streams first — Shutdown waits for active requests, and
+		// /v1/stream connections are active until their channel closes.
+		srv.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			_ = httpSrv.Close() // force-drop stragglers
+		}
+	}()
+	cfg.logf("serving on http://%s (block interval %s, %d noise swaps/block)",
+		ln.Addr(), cfg.blockInterval, cfg.noise)
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr().String()
+	}
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// bestProfit returns the top-ranked profit of a report (0 when empty).
+func bestProfit(rep arbloop.ScanReport) float64 {
+	if len(rep.Results) == 0 {
+		return 0
+	}
+	return rep.Results[0].Result.Monetized
+}
+
+// noiseSwaps applies n random retail swaps — each a fraction of a random
+// pool's input reserve — simulating the background flow that creates and
+// destroys arbitrage opportunities between blocks.
+func noiseSwaps(state *chain.State, rng *rand.Rand, ids []string, n int) {
+	for i := 0; i < n && len(ids) > 0; i++ {
+		id := ids[rng.Intn(len(ids))]
+		t0, t1, err := state.PoolTokens(id)
+		if err != nil {
+			continue
+		}
+		r0, r1, err := state.Reserves(id)
+		if err != nil {
+			continue
+		}
+		tokenIn, reserveIn := t0, r0
+		if rng.Intn(2) == 1 {
+			tokenIn, reserveIn = t1, r1
+		}
+		// 0.01%–0.5% of the input reserve: enough to move prices, small
+		// enough to never drain a pool.
+		bps := int64(1 + rng.Intn(50))
+		amount := new(big.Int).Mul(reserveIn, big.NewInt(bps))
+		amount.Div(amount, big.NewInt(10_000))
+		if amount.Sign() <= 0 {
+			continue
+		}
+		_, _ = state.Swap(id, tokenIn, amount)
+	}
+}

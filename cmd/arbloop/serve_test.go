@@ -1,0 +1,200 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"testing"
+	"time"
+
+	"arbloop"
+	"arbloop/internal/amm"
+	"arbloop/internal/chain"
+	"arbloop/internal/server"
+	"arbloop/internal/source"
+)
+
+func TestScanJSONFlag(t *testing.T) {
+	path := snapshotFile(t)
+	if err := run([]string{"scan", "-snapshot", path, "-top", "3", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scan", "-snapshot", path, "-json", "-stream"}); err == nil {
+		t.Error("-json -stream accepted")
+	}
+}
+
+func TestScanMaxCyclesFlag(t *testing.T) {
+	path := snapshotFile(t)
+	if err := run([]string{"scan", "-snapshot", path, "-max-cycles", "1"}); err == nil {
+		t.Error("max-cycles 1 on the §VI market: want enumeration cap error")
+	}
+}
+
+// TestServeSmoke boots the full serving stack on an ephemeral port and
+// checks the three endpoints against a producing chain.
+func TestServeSmoke(t *testing.T) {
+	snap, err := loadOrGenerate("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := snap.FilterPools(30_000, 100)
+	state := chain.NewState(0)
+	if err := source.MirrorToChain(state, filtered, serveScale); err != nil {
+		t.Fatal(err)
+	}
+	src := arbloop.FromChain(state, serveScale)
+	sc, err := arbloop.NewScanner(src, arbloop.NewStaticOracle(filtered.PricesUSD),
+		arbloop.WithTopK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, serveConfig{
+			addr:          "127.0.0.1:0",
+			state:         state,
+			scanner:       sc,
+			source:        src,
+			blockInterval: 25 * time.Millisecond,
+			noise:         2,
+			ready:         ready,
+		})
+	}()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+
+	// The priming scan publishes the first report before any block.
+	var rep server.ReportJSON
+	if err := pollJSON(base+"/v1/report", &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version == 0 || rep.LoopsDetected == 0 {
+		t.Errorf("report = v%d loops=%d", rep.Version, rep.LoopsDetected)
+	}
+
+	// Blocks advance: health eventually reports height > 0 and a cache
+	// hit (topology never changes on the simulator).
+	deadline := time.Now().Add(10 * time.Second)
+	var h server.Health
+	for {
+		if err := pollJSON(base+"/v1/healthz", &h); err != nil {
+			t.Fatal(err)
+		}
+		if h.Height > 0 && h.TopologyCacheHit {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no warm block scan: health = %+v", h)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if h.Status != "ok" || h.Scans == 0 {
+		t.Errorf("health = %+v", h)
+	}
+
+	// Hold an SSE stream open across shutdown: serve must still exit
+	// promptly because Server.Close ends the stream before Shutdown waits
+	// on active requests.
+	streamResp, err := http.Get(base + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		_, _ = io.Copy(io.Discard, streamResp.Body)
+	}()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	select {
+	case <-streamDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("open SSE stream outlived the server")
+	}
+}
+
+// pollJSON GETs url until 200 (reports start as 503) and decodes the body.
+func pollJSON(url string, into any) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			defer resp.Body.Close()
+			return json.NewDecoder(resp.Body).Decode(into)
+		}
+		if err == nil {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("GET %s never returned 200 (last err %v)", url, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// badSource always fails — the RPC-down case.
+type badSource struct{}
+
+func (badSource) Pools(context.Context) ([]*amm.Pool, error) {
+	return nil, errors.New("rpc down")
+}
+
+// TestServeFeedFailureShutsDown: a fatal feed error must tear the whole
+// service down (and surface the error), not leave HTTP serving an
+// ever-staler report.
+func TestServeFeedFailureShutsDown(t *testing.T) {
+	state := chain.NewState(0)
+	if err := state.AddPool("p1", "X", "Y", big.NewInt(1_000_000), big.NewInt(1_000_000), 30); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := arbloop.NewScanner(badSource{}, arbloop.NewStaticOracle(map[string]float64{"X": 1, "Y": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, serveConfig{
+			addr:          "127.0.0.1:0",
+			state:         state,
+			scanner:       sc,
+			source:        badSource{},
+			blockInterval: time.Hour,
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("feed failure did not surface from serve")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve kept running after fatal feed failure")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"arbloop/internal/bot"
 	"arbloop/internal/cex"
 	"arbloop/internal/chain"
+	"arbloop/internal/source"
 )
 
 const scale = 1_000_000
@@ -38,12 +39,8 @@ func buildChain() (*chain.State, map[string]float64, error) {
 	}
 	filtered := snap.FilterPools(30_000, 100)
 	state := chain.NewState(1_693_526_400)
-	for _, p := range filtered.Pools {
-		r0 := new(big.Int).SetInt64(int64(p.Reserve0 * scale))
-		r1 := new(big.Int).SetInt64(int64(p.Reserve1 * scale))
-		if err := state.AddPool(p.ID, p.Token0, p.Token1, r0, r1, 30); err != nil {
-			return nil, nil, err
-		}
+	if err := source.MirrorToChain(state, filtered, scale); err != nil {
+		return nil, nil, err
 	}
 	return state, filtered.PricesUSD, nil
 }

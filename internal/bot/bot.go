@@ -122,6 +122,10 @@ type Bot struct {
 	pools  *source.ChainSource
 	oracle cex.Oracle
 	cfg    Config
+	// cache keeps the enumerated cycle topology across blocks: reserves
+	// move every block but pools almost never do, so per-block detection
+	// skips enumeration and only re-orients + re-optimizes.
+	cache *scan.Cache
 
 	// lifetime counters
 	blocks        int
@@ -141,6 +145,7 @@ func New(state *chain.State, oracle cex.Oracle, cfg Config) (*Bot, error) {
 		pools:  source.FromChain(state, cfg.Scale),
 		oracle: oracle,
 		cfg:    cfg,
+		cache:  scan.NewCache(0),
 	}, nil
 }
 
@@ -186,6 +191,7 @@ func (b *Bot) findPlans(ctx context.Context) ([]plan, error) {
 		Strategy:     b.cfg.Strategy,
 		Parallelism:  b.cfg.Parallelism,
 		MinProfitUSD: b.cfg.MinProfitUSD,
+		Cache:        b.cache,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bot: scan: %w", err)

@@ -62,6 +62,7 @@ type State struct {
 	height    int64
 	timestamp int64
 	interval  int64
+	onBlock   []func(height int64)
 }
 
 // NewState creates an empty chain at the given genesis unix time.
@@ -263,9 +264,36 @@ func (s *State) executeLocked(tx Tx) Receipt {
 	return Receipt{OK: true, Profit: profit}
 }
 
+// OnBlock registers a callback invoked with the new height after every
+// sealed block — the native notification hook a live pool feed subscribes
+// to instead of polling. Callbacks run synchronously on the sealing
+// goroutine, outside the state lock, so they may read the state freely;
+// a slow callback delays block production, so long work belongs behind a
+// channel (see feed.Watcher.Notify, which is non-blocking by design).
+func (s *State) OnBlock(fn func(height int64)) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onBlock = append(s.onBlock, fn)
+}
+
 // Block applies a batch of transactions in order (failed transactions
-// revert individually, as on a real chain) and advances the clock.
+// revert individually, as on a real chain), advances the clock, and
+// notifies OnBlock subscribers.
 func (s *State) Block(txs []Tx) []Receipt {
+	receipts, height, hooks := s.sealBlock(txs)
+	// Hooks run outside the lock so they may read the state freely.
+	for _, fn := range hooks {
+		fn(height)
+	}
+	return receipts
+}
+
+// sealBlock is the locked half of Block, deferred-unlock so a panic in
+// transaction execution cannot leave the state mutex held.
+func (s *State) sealBlock(txs []Tx) ([]Receipt, int64, []func(int64)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	receipts := make([]Receipt, 0, len(txs))
@@ -276,7 +304,9 @@ func (s *State) Block(txs []Tx) []Receipt {
 		r.Block = s.height
 		receipts = append(receipts, r)
 	}
-	return receipts
+	hooks := make([]func(int64), len(s.onBlock))
+	copy(hooks, s.onBlock)
+	return receipts, s.height, hooks
 }
 
 // PoolIDs lists registered pools sorted for deterministic iteration.

@@ -314,3 +314,28 @@ func TestDirectSwapErrors(t *testing.T) {
 		t.Errorf("nil amount error = %v", err)
 	}
 }
+
+func TestOnBlockHook(t *testing.T) {
+	s := paperState(t)
+	var got []int64
+	s.OnBlock(func(h int64) {
+		// Callbacks run outside the state lock: reads must not deadlock.
+		if s.Height() != h {
+			t.Errorf("state height %d != notified %d", s.Height(), h)
+		}
+		got = append(got, h)
+	})
+	s.OnBlock(nil) // ignored
+
+	s.Block(nil)
+	s.Block(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("notified heights = %v, want [1 2]", got)
+	}
+
+	// ExecuteTx is not a block: no notification.
+	s.ExecuteTx(Tx{Borrow: "X", Amount: bi(1), Steps: []SwapStep{{PairID: "p1", TokenIn: "X"}}})
+	if len(got) != 2 {
+		t.Errorf("ExecuteTx notified: %v", got)
+	}
+}

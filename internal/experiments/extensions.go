@@ -11,6 +11,7 @@ import (
 	"arbloop/internal/cex"
 	"arbloop/internal/chain"
 	"arbloop/internal/market"
+	"arbloop/internal/source"
 	"arbloop/internal/stats"
 	"arbloop/internal/strategy"
 )
@@ -249,12 +250,8 @@ func ExtSteadyState(blocks, noiseSwaps int, noiseFrac float64, seed int64) ([]De
 	filtered := snap.FilterPools(30_000, 100)
 	const scale = 1_000_000
 	state := chain.NewState(1_693_526_400)
-	for _, p := range filtered.Pools {
-		r0 := new(big.Int).SetInt64(int64(p.Reserve0 * scale))
-		r1 := new(big.Int).SetInt64(int64(p.Reserve1 * scale))
-		if err := state.AddPool(p.ID, p.Token0, p.Token1, r0, r1, 30); err != nil {
-			return nil, err
-		}
+	if err := source.MirrorToChain(state, filtered, scale); err != nil {
+		return nil, err
 	}
 	oracle := cex.NewStatic(filtered.PricesUSD)
 	engine, err := bot.New(state, oracle, bot.Config{
@@ -329,12 +326,8 @@ func ExtBotDecay(blocks int, executionsPerBlock int) ([]DecayRow, error) {
 	filtered := snap.FilterPools(30_000, 100)
 	const scale = 1_000_000
 	state := chain.NewState(1_693_526_400)
-	for _, p := range filtered.Pools {
-		r0 := new(big.Int).SetInt64(int64(p.Reserve0 * scale))
-		r1 := new(big.Int).SetInt64(int64(p.Reserve1 * scale))
-		if err := state.AddPool(p.ID, p.Token0, p.Token1, r0, r1, 30); err != nil {
-			return nil, err
-		}
+	if err := source.MirrorToChain(state, filtered, scale); err != nil {
+		return nil, err
 	}
 	oracle := cex.NewStatic(filtered.PricesUSD)
 	engine, err := bot.New(state, oracle, bot.Config{

@@ -1,0 +1,254 @@
+// Package feed turns any source.PoolSource into a versioned, subscribable
+// stream of pool-set updates — the input side of the live opportunity
+// service. The paper's §VII framing makes the block interval the budget
+// every downstream stage must fit inside, so the feed is built around two
+// rules:
+//
+//   - Every update carries a monotonically increasing Version and a
+//     topology fingerprint, so consumers can tell "reserves moved"
+//     (re-optimize) apart from "pools appeared or vanished" (re-enumerate)
+//     and can discard out-of-order work.
+//   - Fan-out coalesces: a subscriber that falls behind sees the *latest*
+//     update, never a backlog. Serving a stale intermediate block is worse
+//     than serving none — plans computed from it are already dead.
+//
+// A Watcher is driven two ways, usually together: Notify, the edge-style
+// trigger wired to a block hook (chain.State.OnBlock), and a polling
+// interval for sources with no push channel. Both funnel into Run, which
+// serializes reads of the source.
+package feed
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/scan"
+	"arbloop/internal/source"
+)
+
+// ErrClosed is returned by Refresh after Close.
+var ErrClosed = errors.New("feed: watcher closed")
+
+// SendCoalesce delivers v on a one-buffered channel with latest-wins
+// semantics: when the buffer is full the stale value is evicted and v
+// takes its place; if a concurrent sender wins the freed slot it holds a
+// value at least as new, so dropping v is correct. Both the pool feed
+// and the SSE fan-out (internal/server) coalesce through this one
+// implementation.
+func SendCoalesce[T any](ch chan T, v T) {
+	select {
+	case ch <- v:
+	default:
+		select {
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+}
+
+// Update is one versioned view of the pool set.
+type Update struct {
+	// Version increases by one per update, starting at 1. Consumers that
+	// process updates concurrently use it to drop stale results.
+	Version uint64
+	// Height is the source's block height when a height probe is
+	// configured (WithHeightProbe); 0 otherwise.
+	Height int64
+	// Pools is the point-in-time pool set. The slice and pools are owned
+	// by the consumers collectively; treat them as read-only.
+	Pools []*amm.Pool
+	// Fingerprint is the topology fingerprint of Pools (scan.Fingerprint).
+	Fingerprint string
+	// TopologyChanged reports whether this update's fingerprint differs
+	// from the previous update's (true for the first update): pools,
+	// tokens, or fees were added, removed, or altered — not just reserves.
+	TopologyChanged bool
+}
+
+// Option configures a Watcher.
+type Option func(*Watcher)
+
+// WithHeightProbe attaches a block-height reader stamped onto every
+// update (chain.State.Height fits directly).
+func WithHeightProbe(height func() int64) Option {
+	return func(w *Watcher) { w.height = height }
+}
+
+// Watcher reads a pool source on demand and fans versioned updates out to
+// subscribers. Create with NewWatcher; drive with Run (polling and/or
+// Notify triggers) or call Refresh directly. Safe for concurrent use.
+type Watcher struct {
+	src    source.PoolSource
+	height func() int64
+	notify chan struct{}
+
+	// refreshMu serializes whole Refresh calls — source read through
+	// publish — so a pool set read later can never be published under an
+	// earlier version (versions order the *data*, not just the calls).
+	refreshMu sync.Mutex
+
+	mu     sync.Mutex
+	subs   map[int]chan Update
+	nextID int
+	last   Update
+	closed bool
+}
+
+// NewWatcher wraps a pool source.
+func NewWatcher(src source.PoolSource, opts ...Option) *Watcher {
+	w := &Watcher{
+		src:    src,
+		notify: make(chan struct{}, 1),
+		subs:   make(map[int]chan Update),
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w
+}
+
+// Subscribe registers a subscriber and returns its update channel plus a
+// cancel function that must be called to release it. The channel has a
+// one-update buffer with coalescing semantics: when the subscriber lags,
+// the buffered update is replaced by the newest one, so a receive always
+// yields the most recent version the watcher has published (versions may
+// skip, they never regress). The channel is closed by cancel or Close.
+func (w *Watcher) Subscribe() (<-chan Update, func()) {
+	ch := make(chan Update, 1)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := w.nextID
+	w.nextID++
+	w.subs[id] = ch
+	// Late subscribers immediately see the current state instead of
+	// waiting up to a block interval for the next update.
+	if w.last.Version > 0 {
+		ch <- w.last
+	}
+	w.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			w.mu.Lock()
+			if ch, ok := w.subs[id]; ok {
+				delete(w.subs, id)
+				close(ch)
+			}
+			w.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Refresh reads the source once, stamps the next version, and publishes
+// the update to every subscriber. Concurrent Refresh calls are safe:
+// they are serialized end to end, so a higher version always carries
+// pool data read no earlier than any lower version's.
+func (w *Watcher) Refresh(ctx context.Context) (Update, error) {
+	w.refreshMu.Lock()
+	defer w.refreshMu.Unlock()
+	// Height is probed before the pools so a block sealing mid-read makes
+	// the stamp conservative (understates freshness) rather than claiming
+	// a newer height for older reserves.
+	var height int64
+	if w.height != nil {
+		height = w.height()
+	}
+	pools, err := w.src.Pools(ctx)
+	if err != nil {
+		return Update{}, err
+	}
+	fp := scan.Fingerprint(pools)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return Update{}, ErrClosed
+	}
+	u := Update{
+		Version:         w.last.Version + 1,
+		Height:          height,
+		Pools:           pools,
+		Fingerprint:     fp,
+		TopologyChanged: w.last.Version == 0 || fp != w.last.Fingerprint,
+	}
+	w.last = u
+	for _, ch := range w.subs {
+		SendCoalesce(ch, u)
+	}
+	return u, nil
+}
+
+// Latest returns the most recently published update (zero Version when
+// none has been published yet).
+func (w *Watcher) Latest() Update {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.last
+}
+
+// Notify requests an asynchronous Refresh from a running Run loop. It
+// never blocks and collapses bursts: any number of notifications between
+// two refreshes produce one. Wire it to chain.State.OnBlock.
+func (w *Watcher) Notify() {
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Run refreshes on every Notify signal and, when interval > 0, on a poll
+// tick — sources without a push hook still produce a live feed. It blocks
+// until ctx is cancelled and returns the first refresh error encountered
+// (context cancellation returns nil). Close is called on exit, ending all
+// subscriptions.
+func (w *Watcher) Run(ctx context.Context, interval time.Duration) error {
+	defer w.Close()
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-w.notify:
+		case <-tick:
+		}
+		if _, err := w.Refresh(ctx); err != nil {
+			if ctx.Err() != nil || errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// Close ends the watcher: subscriber channels are closed and further
+// Refresh calls fail with ErrClosed. Idempotent.
+func (w *Watcher) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for id, ch := range w.subs {
+		delete(w.subs, id)
+		close(ch)
+	}
+}

@@ -1,0 +1,148 @@
+// Topology caching: the expensive half of a scan — cycle enumeration over
+// the token graph — depends only on the market's *topology* (which pools
+// exist, which tokens they connect, their fees), not on reserves. Block
+// after block the topology is almost always unchanged while reserves move
+// on every swap, so a block-driven service re-enumerates identical cycle
+// sets thousands of times. Cache memoizes enumeration behind a topology
+// fingerprint: a warm scan rebuilds the (cheap) graph for fresh reserves
+// and reuses the cached cycles verbatim, because identical fingerprints
+// guarantee identical node and pool indexing.
+package scan
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/cycles"
+)
+
+// Fingerprint hashes the topology of an ordered pool set: pool IDs, token
+// pairs, and fees — everything except the reserves. Two pool slices with
+// equal fingerprints produce identical graphs up to reserve values (same
+// node indices, same edge indices), so cycle sets enumerated against one
+// are valid against the other.
+func Fingerprint(pools []*amm.Pool) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, p := range pools {
+		writeField(h, p.ID)
+		writeField(h, p.Token0)
+		writeField(h, p.Token1)
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.Fee))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeField hashes a length-prefixed string so adjacent fields cannot
+// alias ("ab"+"c" vs "a"+"bc").
+func writeField(w io.Writer, s string) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+	w.Write(buf[:])
+	io.WriteString(w, s)
+}
+
+// topology is one cached enumeration result. The cycle slice is treated
+// as immutable by every reader.
+type topology struct {
+	cycles []cycles.Cycle
+}
+
+// DefaultCacheCapacity bounds a zero-configured cache. A live service
+// sees one fingerprint per market it serves; a handful covers realistic
+// multi-tenant use while bounding memory on adversarial topology churn.
+const DefaultCacheCapacity = 8
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	// Hits counts scans that skipped cycle enumeration.
+	Hits uint64
+	// Misses counts scans that enumerated (and populated the cache).
+	Misses uint64
+	// Entries is the current number of cached topologies.
+	Entries int
+}
+
+// Cache memoizes the topology phase of detection across scans, keyed by
+// the pool-set fingerprint plus the enumeration bounds. It is an LRU with
+// a hard capacity and is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // key → *cacheEntry element
+	order   *list.List               // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key string
+	top *topology
+}
+
+// NewCache builds a topology cache holding up to capacity entries
+// (capacity <= 0 selects DefaultCacheCapacity).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// cacheKey scopes a fingerprint by the enumeration parameters that shape
+// the cycle set, so one Cache can serve scans with different bounds.
+func cacheKey(fingerprint string, cfg Config) string {
+	return fmt.Sprintf("%d:%d:%d:%s", cfg.MinLen, cfg.MaxLen, cfg.MaxCycles, fingerprint)
+}
+
+// lookup returns the cached topology for key, marking it most recently
+// used, and records the hit/miss.
+func (c *Cache) lookup(key string) (*topology, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).top, true
+}
+
+// store inserts (or refreshes) a topology, evicting the least recently
+// used entry past capacity.
+func (c *Cache) store(key string, top *topology) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).top = top
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, top: top})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+}

@@ -6,6 +6,14 @@
 // graph traversal); optimization is the hot loop the paper's §VII runtime
 // table measures, and parallelizes perfectly because loops are
 // independent.
+//
+// Detection itself is split in two phases. The *topology* phase — cycle
+// enumeration over the token graph — depends only on which pools exist,
+// not on their reserves, and dominates detection cost; Cache memoizes it
+// behind a pool-set Fingerprint so a block-driven caller re-enumerates
+// only when pools, tokens, or fees actually change. The *state* phase —
+// orienting the profitable directions and fetching prices — re-runs on
+// every scan because reserves move every block.
 package scan
 
 import (
@@ -55,6 +63,16 @@ type Config struct {
 	// TopK truncates the ranked batch report (0 = keep all). Streaming
 	// ignores it.
 	TopK int
+	// MaxCycles caps how many undirected cycles enumeration may return
+	// (0 = unlimited). Exceeding the cap fails the scan with
+	// cycles.ErrTooMany — the guard that keeps an adversarially dense
+	// market from blowing up the serve path's per-block time budget.
+	MaxCycles int
+	// Cache, when non-nil, memoizes the topology phase (cycle
+	// enumeration) keyed by the pool set's Fingerprint and the
+	// enumeration bounds, so successive scans over topology-identical
+	// pool sets skip enumeration and only re-orient + re-optimize.
+	Cache *Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +122,9 @@ type Report struct {
 	// Failed counts loops whose optimization returned an error; they are
 	// absent from Results (stream consumers see them with Err set).
 	Failed int
+	// TopologyCacheHit reports whether detection reused a cached cycle
+	// enumeration (always false when Config.Cache is nil).
+	TopologyCacheHit bool
 	// Results is sorted by monetized profit, descending, then by Index;
 	// filtered by MinProfitUSD and truncated to TopK. Failed loops are
 	// not included (they arrive only on the stream).
@@ -113,14 +134,39 @@ type Report struct {
 // detection is the sequential front half of a scan, shared by Run and
 // Stream.
 type detection struct {
-	graph  *graph.Graph
-	loops  []*strategy.Loop
-	prices strategy.PriceMap
-	cycles int
+	graph    *graph.Graph
+	loops    []*strategy.Loop
+	prices   strategy.PriceMap
+	cycles   int
+	cacheHit bool
 }
 
-// detect builds the graph, enumerates cycles, orients the profitable
-// ones, and batch-fetches every price the loops need.
+// enumerateTopology is the topology phase of detection: the cycle
+// enumeration over the token graph, the expensive half of a scan. With a
+// cache configured it is skipped entirely whenever an earlier scan
+// already enumerated a pool set with the same fingerprint and bounds.
+func enumerateTopology(g *graph.Graph, pools []*amm.Pool, cfg Config) (*topology, bool, error) {
+	var key string
+	if cfg.Cache != nil {
+		key = cacheKey(Fingerprint(pools), cfg)
+		if top, ok := cfg.Cache.lookup(key); ok {
+			return top, true, nil
+		}
+	}
+	cs, err := cycles.Enumerate(g, cfg.MinLen, cfg.MaxLen, cfg.MaxCycles)
+	if err != nil {
+		return nil, false, err
+	}
+	top := &topology{cycles: cs}
+	if cfg.Cache != nil {
+		cfg.Cache.store(key, top)
+	}
+	return top, false, nil
+}
+
+// detect builds the graph, enumerates cycles (topology phase, cached),
+// orients the profitable ones, and batch-fetches every price the loops
+// need (state phase — reserve-dependent, never cached).
 func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config) (*detection, error) {
 	if len(pools) == 0 {
 		return nil, fmt.Errorf("scan: no pools to scan")
@@ -129,10 +175,11 @@ func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 	if err != nil {
 		return nil, err
 	}
-	cs, err := cycles.Enumerate(g, cfg.MinLen, cfg.MaxLen, 0)
+	top, hit, err := enumerateTopology(g, pools, cfg)
 	if err != nil {
 		return nil, err
 	}
+	cs := top.cycles
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -167,7 +214,7 @@ func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 		}
 		pm = strategy.PriceMap(fetched)
 	}
-	return &detection{graph: g, loops: loops, prices: pm, cycles: len(cs)}, nil
+	return &detection{graph: g, loops: loops, prices: pm, cycles: len(cs), cacheHit: hit}, nil
 }
 
 // fanOut optimizes every detected loop over a bounded worker pool,
@@ -261,14 +308,15 @@ func Run(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg 
 		results = results[:cfg.TopK]
 	}
 	return Report{
-		Strategy:       cfg.Strategy.Name(),
-		Parallelism:    cfg.Parallelism,
-		Tokens:         d.graph.NumNodes(),
-		Pools:          d.graph.NumEdges(),
-		CyclesExamined: d.cycles,
-		LoopsDetected:  len(d.loops),
-		Failed:         failed,
-		Results:        results,
+		Strategy:         cfg.Strategy.Name(),
+		Parallelism:      cfg.Parallelism,
+		Tokens:           d.graph.NumNodes(),
+		Pools:            d.graph.NumEdges(),
+		CyclesExamined:   d.cycles,
+		LoopsDetected:    len(d.loops),
+		Failed:           failed,
+		TopologyCacheHit: d.cacheHit,
+		Results:          results,
 	}, nil
 }
 

@@ -1,0 +1,242 @@
+// Package server is the HTTP face of the live opportunity service: it
+// holds the latest ranked scan report in an atomically swapped in-memory
+// store and serves it to any number of concurrent readers without ever
+// touching the scan path, streams per-block updates over SSE, and exposes
+// a health probe. The paper's §VII time budget shapes the design — the
+// scan loop publishes once per block, readers cost one atomic load each,
+// so read traffic ("millions of users") and scan latency are completely
+// decoupled.
+//
+// Endpoints:
+//
+//	GET /v1/report   latest ranked report (JSON; 503 until the first scan)
+//	GET /v1/stream   server-sent events; one `report` event per published scan
+//	GET /v1/healthz  service liveness: version, block height, last-scan latency
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arbloop/internal/feed"
+)
+
+// stored pairs a decoded report with its marshaled bytes so every reader
+// shares one encoding.
+type stored struct {
+	report ReportJSON
+	body   []byte
+}
+
+// Store holds the latest encoded report behind an atomic pointer. Writes
+// (one per block) marshal once; reads are a single atomic load, safe for
+// unbounded concurrency.
+type Store struct {
+	v atomic.Pointer[stored]
+}
+
+// Set encodes and publishes a report, replacing the previous one.
+func (s *Store) Set(r ReportJSON) error {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("server: encode report: %w", err)
+	}
+	s.v.Store(&stored{report: r, body: body})
+	return nil
+}
+
+// Latest returns the current encoded report, or ok=false before the
+// first Set.
+func (s *Store) Latest() (body []byte, report ReportJSON, ok bool) {
+	st := s.v.Load()
+	if st == nil {
+		return nil, ReportJSON{}, false
+	}
+	return st.body, st.report, true
+}
+
+// Health is the /v1/healthz body.
+type Health struct {
+	// Status is "ok" once a report has been published, "starting" before.
+	Status string `json:"status"`
+	// Version is the feed version of the latest report.
+	Version uint64 `json:"version"`
+	// Height is the block height of the latest report.
+	Height int64 `json:"height"`
+	// Scans counts published reports since start.
+	Scans uint64 `json:"scans"`
+	// LastScanMillis is the wall-clock latency of the latest scan — the
+	// number to watch against the block interval (§VII).
+	LastScanMillis float64 `json:"last_scan_ms"`
+	// TopologyCacheHit reports whether the latest scan skipped cycle
+	// enumeration.
+	TopologyCacheHit bool `json:"topology_cache_hit"`
+	// Strategy is the optimizer the service runs.
+	Strategy string `json:"strategy"`
+}
+
+// Server serves scan reports. Create with New, publish with Publish, and
+// mount Handler on any http server. Safe for concurrent use.
+type Server struct {
+	store Store
+
+	mu     sync.Mutex
+	subs   map[int]chan []byte
+	nextID int
+	closed bool
+
+	scans        atomic.Uint64
+	lastScanNano atomic.Int64
+}
+
+// New builds an empty server; /v1/report returns 503 until the first
+// Publish.
+func New() *Server {
+	return &Server{subs: make(map[int]chan []byte)}
+}
+
+// Store exposes the underlying report store (benchmarks and embedders).
+func (s *Server) Store() *Store {
+	return &s.store
+}
+
+// Publish swaps in a new report and fans it out to SSE subscribers.
+// elapsed is the scan latency reported by /v1/healthz.
+func (s *Server) Publish(r ReportJSON, elapsed time.Duration) error {
+	if err := s.store.Set(r); err != nil {
+		return err
+	}
+	s.scans.Add(1)
+	s.lastScanNano.Store(int64(elapsed))
+
+	body, _, _ := s.store.Latest()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Coalesce exactly like the pool feed: a slow SSE client gets the
+	// newest report, never a backlog of dead ones.
+	for _, ch := range s.subs {
+		feed.SendCoalesce(ch, body)
+	}
+	return nil
+}
+
+// Close ends every active SSE subscription, letting stream handlers
+// return so an http.Server.Shutdown can complete instead of waiting out
+// its deadline behind long-lived /v1/stream connections. Publish and the
+// non-streaming endpoints keep working (embedders may drain scans after
+// closing streams); Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+}
+
+// subscribe registers an SSE subscriber with a coalescing one-report
+// buffer. After Close the channel comes back already closed.
+func (s *Server) subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = ch
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		delete(s.subs, id)
+		s.mu.Unlock()
+	}
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/report", s.handleReport)
+	mux.HandleFunc("GET /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	body, _, ok := s.store.Latest()
+	if !ok {
+		http.Error(w, `{"error":"no report yet"}`, http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "starting", Scans: s.scans.Load()}
+	if _, rep, ok := s.store.Latest(); ok {
+		h.Status = "ok"
+		h.Version = rep.Version
+		h.Height = rep.Height
+		h.TopologyCacheHit = rep.TopologyCacheHit
+		h.Strategy = rep.Strategy
+	}
+	h.LastScanMillis = float64(s.lastScanNano.Load()) / float64(time.Millisecond)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, cancel := s.subscribe()
+	defer cancel()
+
+	// A fresh client sees the current report immediately instead of
+	// waiting out the rest of the block interval.
+	if body, _, ok := s.store.Latest(); ok {
+		if err := writeEvent(w, body); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case body, ok := <-ch:
+			if !ok { // server closed: end the stream
+				return
+			}
+			if err := writeEvent(w, body); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeEvent frames one report as an SSE `report` event.
+func writeEvent(w http.ResponseWriter, body []byte) error {
+	_, err := fmt.Fprintf(w, "event: report\ndata: %s\n\n", body)
+	return err
+}

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"arbloop/internal/scan"
+)
+
+func sampleReport(version uint64, height int64) ReportJSON {
+	return Encode(scan.Report{
+		Strategy:         "MaxMax",
+		Parallelism:      2,
+		Tokens:           3,
+		Pools:            3,
+		CyclesExamined:   1,
+		LoopsDetected:    1,
+		TopologyCacheHit: version > 1,
+	}, version, height)
+}
+
+func TestStoreAtomicSwap(t *testing.T) {
+	var st Store
+	if _, _, ok := st.Latest(); ok {
+		t.Error("empty store reported a report")
+	}
+	if err := st.Set(sampleReport(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	body, rep, ok := st.Latest()
+	if !ok || rep.Version != 1 {
+		t.Fatalf("Latest = %v v%d", ok, rep.Version)
+	}
+	var decoded ReportJSON
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Version != 1 || decoded.Height != 10 || decoded.Strategy != "MaxMax" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if err := st.Set(sampleReport(2, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, rep, _ := st.Latest(); rep.Version != 2 {
+		t.Errorf("swap kept v%d", rep.Version)
+	}
+}
+
+func TestReportEndpoint(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("empty service = %d, want 503", resp.StatusCode)
+	}
+
+	if err := srv.Publish(sampleReport(1, 5), 3*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var rep ReportJSON
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 || rep.Height != 5 {
+		t.Errorf("report = v%d h%d", rep.Version, rep.Height)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var h Health
+	get := func() {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status = %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get()
+	if h.Status != "starting" || h.Scans != 0 {
+		t.Errorf("pre-publish health = %+v", h)
+	}
+
+	if err := srv.Publish(sampleReport(2, 7), 4*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	get()
+	if h.Status != "ok" || h.Version != 2 || h.Height != 7 || h.Scans != 1 {
+		t.Errorf("health = %+v", h)
+	}
+	if h.LastScanMillis != 4 {
+		t.Errorf("last_scan_ms = %g, want 4", h.LastScanMillis)
+	}
+	if !h.TopologyCacheHit {
+		t.Error("cache hit not reflected in health")
+	}
+}
+
+// readEvents consumes SSE `data:` payloads from the stream until n events
+// arrive or the context expires.
+func readEvents(ctx context.Context, t *testing.T, url string, n int, ready chan<- struct{}) []ReportJSON {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("stream content-type = %q", ct)
+	}
+	if ready != nil {
+		close(ready)
+	}
+	var out []ReportJSON
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() && len(out) < n {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var rep ReportJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &rep); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+func TestStreamDeliversPublishedReports(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Pre-publish: a fresh stream client must get the current report
+	// immediately, then the per-block updates.
+	if err := srv.Publish(sampleReport(1, 1), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ready := make(chan struct{})
+	done := make(chan []ReportJSON, 1)
+	go func() { done <- readEvents(ctx, t, ts.URL, 3, ready) }()
+
+	<-ready
+	// Publish until the client has collected three events; the subscriber
+	// registers only after its first event arrives, so keep feeding.
+	go func() {
+		for v := uint64(2); ctx.Err() == nil; v++ {
+			if err := srv.Publish(sampleReport(v, int64(v)), time.Millisecond); err != nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	events := <-done
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Version != 1 {
+		t.Errorf("first event v%d, want the pre-subscribe report v1", events[0].Version)
+	}
+	last := uint64(0)
+	for _, e := range events {
+		if e.Version <= last {
+			t.Errorf("stream versions not increasing: %d after %d", e.Version, last)
+		}
+		last = e.Version
+	}
+}
+
+func TestConcurrentReadersDuringPublishes(t *testing.T) {
+	srv := New()
+	if err := srv.Publish(sampleReport(1, 1), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	go func() {
+		for v := uint64(2); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = srv.Publish(sampleReport(v, int64(v)), time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				resp, err := http.Get(ts.URL + "/v1/report")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := io.ReadAll(resp.Body); err != nil {
+					t.Error(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/report", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/report = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestCloseEndsActiveStreams(t *testing.T) {
+	srv := New()
+	if err := srv.Publish(sampleReport(1, 1), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Close must end the stream: the body reaches EOF without the client
+	// cancelling anything.
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, resp.Body)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the handler subscribe
+	srv.Close()
+	srv.Close() // idempotent
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not end on server Close")
+	}
+
+	// Post-Close subscriptions come back closed; report still serves.
+	resp2, err := http.Get(ts.URL + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(body), "event: report") {
+		t.Error("post-Close stream missing the current-report event")
+	}
+	resp3, err := http.Get(ts.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Errorf("report after Close = %d", resp3.StatusCode)
+	}
+}

@@ -9,6 +9,7 @@ package source
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/big"
 
 	"arbloop/internal/amm"
@@ -138,6 +139,27 @@ func (c *ChainSource) Pools(ctx context.Context) ([]*amm.Pool, error) {
 		pools = append(pools, pool)
 	}
 	return pools, nil
+}
+
+// MirrorToChain registers every pool of a snapshot on a chain state,
+// scaling reserves to integer base units and converting each pool's fee
+// to basis points — the one way snapshots become simulator markets, so
+// fees are never silently rewritten at the boundary. scale must match
+// the FromChain adapter reading the state back (≤ 0 selects the 1e6
+// default).
+func MirrorToChain(state *chain.State, snap *market.Snapshot, scale int64) error {
+	if scale <= 0 {
+		scale = 1_000_000
+	}
+	for _, p := range snap.Pools {
+		r0 := new(big.Int).SetInt64(int64(p.Reserve0 * float64(scale)))
+		r1 := new(big.Int).SetInt64(int64(p.Reserve1 * float64(scale)))
+		feeBps := int64(math.Round(p.Fee * amm.FeeDenominator))
+		if err := state.AddPool(p.ID, p.Token0, p.Token1, r0, r1, feeBps); err != nil {
+			return fmt.Errorf("source: mirror pool %s: %w", p.ID, err)
+		}
+	}
+	return nil
 }
 
 // StaticPools is a fixed pool list satisfying PoolSource — the adapter for

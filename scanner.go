@@ -3,6 +3,7 @@ package arbloop
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"arbloop/internal/scan"
 )
@@ -19,8 +20,14 @@ type ScanReport = scan.Report
 // PoolSource, batch-fetch CEX prices from a PriceSource, and fan the
 // per-loop optimization out over a bounded worker pool. A Scanner is
 // immutable after construction and safe for concurrent use — any number
-// of Scan and ScanStream calls may run at once, each seeing its own
-// point-in-time view of the sources.
+// of Scan, ScanStream, ScanVersioned, and Watch calls may run at once,
+// each seeing its own point-in-time view of the sources.
+//
+// Every Scanner carries a topology cache (see WithTopologyCache): the
+// cycle-enumeration half of detection is keyed by a fingerprint of the
+// pool set's topology, so repeated scans over a market whose reserves
+// move but whose pools don't — the block-after-block case — skip
+// enumeration entirely and only re-orient and re-optimize.
 type Scanner struct {
 	pools  PoolSource
 	prices PriceSource
@@ -81,13 +88,37 @@ func WithTopK(k int) ScannerOption {
 	return func(c *scan.Config) { c.TopK = k }
 }
 
+// WithMaxCycles caps how many undirected cycles detection may enumerate
+// (default 0: unlimited). A scan that exceeds the cap fails instead of
+// blowing the per-block time budget — the guard a serving deployment
+// needs against adversarially dense markets.
+func WithMaxCycles(n int) ScannerOption {
+	return func(c *scan.Config) { c.MaxCycles = n }
+}
+
+// WithTopologyCache sizes the scanner's topology cache: how many distinct
+// pool-set topologies keep their enumerated cycles in memory (default 8).
+// Pass a negative capacity to disable caching — every scan re-enumerates,
+// the pre-cache behaviour.
+func WithTopologyCache(capacity int) ScannerOption {
+	return func(c *scan.Config) {
+		if capacity < 0 {
+			c.Cache = nil
+			return
+		}
+		c.Cache = scan.NewCache(capacity)
+	}
+}
+
 // NewScanner builds a scanner over a pool source and a price source.
 // A SnapshotSource (FromSnapshot) can serve as both.
 func NewScanner(pools PoolSource, prices PriceSource, opts ...ScannerOption) (*Scanner, error) {
 	if pools == nil || prices == nil {
 		return nil, fmt.Errorf("arbloop: scanner needs a pool source and a price source")
 	}
-	var cfg scan.Config
+	// The default topology cache is installed before the options run so
+	// WithTopologyCache can resize or disable it.
+	cfg := scan.Config{Cache: scan.NewCache(0)}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -126,4 +157,80 @@ func (s *Scanner) ScanStream(ctx context.Context) <-chan ScanResult {
 		return out
 	}
 	return scan.Stream(ctx, pools, s.prices, s.cfg)
+}
+
+// VersionedReport pairs a scan report with the pool-feed coordinates it
+// was computed from, so consumers can discard stale work and measure the
+// per-block latency budget the paper's §VII discusses.
+type VersionedReport struct {
+	// Version is the feed version of the scanned update.
+	Version uint64
+	// Height is the source block height carried by the update (0 when the
+	// watcher has no height probe).
+	Height int64
+	// Report is the ranked scan outcome (zero when Err != nil).
+	Report ScanReport
+	// Elapsed is the wall-clock scan latency.
+	Elapsed time.Duration
+	// Err is set on Watch streams when one update's scan failed; the
+	// stream continues with the next update.
+	Err error
+}
+
+// ScanVersioned scans one versioned pool update instead of reading the
+// Scanner's own pool source — the entry point for feed-driven serving.
+// With an unchanged topology the scanner's cache makes this a warm scan:
+// cycle enumeration is skipped and only orientation, price fetch, and
+// optimization run.
+func (s *Scanner) ScanVersioned(ctx context.Context, u PoolUpdate) (VersionedReport, error) {
+	start := time.Now()
+	rep, err := scan.Run(ctx, u.Pools, s.prices, s.cfg)
+	if err != nil {
+		return VersionedReport{}, fmt.Errorf("arbloop: scan version %d: %w", u.Version, err)
+	}
+	return VersionedReport{
+		Version: u.Version,
+		Height:  u.Height,
+		Report:  rep,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// Watch subscribes to a pool watcher and re-scans on every update,
+// delivering one VersionedReport per consumed update until ctx is
+// cancelled or the watcher closes (the channel then closes). Updates
+// arriving while a scan is in flight coalesce at the watcher, so emitted
+// versions always increase but may skip — a slow strategy never builds a
+// backlog of stale blocks. A failed scan arrives with Err set and the
+// watch continues; one bad block must not take the service down.
+func (s *Scanner) Watch(ctx context.Context, w *Watcher) <-chan VersionedReport {
+	out := make(chan VersionedReport)
+	updates, cancel := w.Subscribe()
+	go func() {
+		defer close(out)
+		defer cancel()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case u, ok := <-updates:
+				if !ok {
+					return
+				}
+				vr, err := s.ScanVersioned(ctx, u)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					vr = VersionedReport{Version: u.Version, Height: u.Height, Err: err}
+				}
+				select {
+				case out <- vr:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
 }

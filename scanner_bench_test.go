@@ -4,26 +4,39 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"arbloop"
+	"arbloop/internal/server"
 )
 
-// benchScanner builds a Scanner over the paper-calibrated §VI market.
-func benchScanner(tb testing.TB, strategy arbloop.Strategy, parallelism int) *arbloop.Scanner {
+// benchSource builds the paper-calibrated §VI market as a combined pool +
+// price source.
+func benchSource(tb testing.TB) *arbloop.SnapshotSource {
 	tb.Helper()
 	snap, err := arbloop.GenerateMarket(arbloop.DefaultGeneratorConfig())
 	if err != nil {
 		tb.Fatal(err)
 	}
-	src := arbloop.FromSnapshot(snap.FilterPools(30_000, 100))
-	sc, err := arbloop.NewScanner(src, src,
+	return arbloop.FromSnapshot(snap.FilterPools(30_000, 100))
+}
+
+// benchScanner builds a Scanner over the paper-calibrated §VI market.
+func benchScanner(tb testing.TB, strategy arbloop.Strategy, parallelism int, extra ...arbloop.ScannerOption) *arbloop.Scanner {
+	tb.Helper()
+	src := benchSource(tb)
+	opts := append([]arbloop.ScannerOption{
 		arbloop.WithStrategy(strategy),
 		arbloop.WithParallelism(parallelism),
-	)
+	}, extra...)
+	sc, err := arbloop.NewScanner(src, src, opts...)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -60,6 +73,38 @@ func BenchmarkScanConvexParallel1(b *testing.B) {
 
 func BenchmarkScanConvexParallelN(b *testing.B) {
 	benchmarkScan(b, arbloop.ConvexStrategy{}, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkScanColdTopology measures scans with the topology cache
+// disabled: every scan re-enumerates cycles.
+func BenchmarkScanColdTopology(b *testing.B) {
+	sc := benchScanner(b, arbloop.MaxMaxStrategy{}, 1, arbloop.WithTopologyCache(-1))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Scan(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanWarmTopology measures the block-after-block case: the
+// topology is cached, so scans skip enumeration and only re-orient and
+// re-optimize.
+func BenchmarkScanWarmTopology(b *testing.B) {
+	sc := benchScanner(b, arbloop.MaxMaxStrategy{}, 1)
+	ctx := context.Background()
+	if _, err := sc.Scan(ctx); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Scan(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // scanBenchRow is one BENCH_scan.json record.
@@ -138,10 +183,18 @@ func TestWriteScanBenchJSON(t *testing.T) {
 	}
 
 	out := struct {
-		Benchmark string         `json:"benchmark"`
-		GoMaxProc int            `json:"gomaxprocs"`
-		Rows      []scanBenchRow `json:"rows"`
-	}{Benchmark: "scanner whole-market scan, §VI synthetic market", GoMaxProc: n, Rows: rows}
+		Benchmark string          `json:"benchmark"`
+		GoMaxProc int             `json:"gomaxprocs"`
+		Rows      []scanBenchRow  `json:"rows"`
+		Cache     []cacheBenchRow `json:"topology_cache"`
+		Server    serverBenchRow  `json:"server"`
+	}{
+		Benchmark: "scanner whole-market scan, §VI synthetic market",
+		GoMaxProc: n,
+		Rows:      rows,
+		Cache:     benchTopologyCache(t),
+		Server:    benchServerThroughput(t),
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -154,4 +207,146 @@ func TestWriteScanBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)
+}
+
+// cacheBenchRow records cold-vs-warm detection throughput at one loop
+// length: cold re-enumerates cycles every scan, warm hits the topology
+// cache and only re-orients + re-optimizes — the per-block serving path.
+type cacheBenchRow struct {
+	LoopLen         int     `json:"loop_len"`
+	Loops           int     `json:"loops"`
+	Runs            int     `json:"runs"`
+	ScansPerSecCold float64 `json:"scans_per_sec_cold"`
+	ScansPerSecWarm float64 `json:"scans_per_sec_warm"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
+}
+
+func benchTopologyCache(t *testing.T) []cacheBenchRow {
+	t.Helper()
+	ctx := context.Background()
+	src := benchSource(t)
+	var out []cacheBenchRow
+	for _, cfg := range []struct{ loopLen, runs int }{{3, 200}, {4, 40}} {
+		row := cacheBenchRow{LoopLen: cfg.loopLen, Runs: cfg.runs}
+		for _, warm := range []bool{false, true} {
+			cacheOpt := arbloop.WithTopologyCache(-1)
+			if warm {
+				cacheOpt = arbloop.WithTopologyCache(0)
+			}
+			sc, err := arbloop.NewScanner(src, src,
+				arbloop.WithParallelism(1),
+				arbloop.WithLoopLengths(cfg.loopLen, cfg.loopLen),
+				cacheOpt,
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm-up scan: primes the cache in warm mode and pays cold
+			// caches (allocator, branch predictors) in both.
+			rep, err := sc.Scan(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row.Loops = rep.LoopsDetected
+			start := time.Now()
+			for i := 0; i < cfg.runs; i++ {
+				if _, err := sc.Scan(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			perSec := float64(cfg.runs) / time.Since(start).Seconds()
+			if warm {
+				row.ScansPerSecWarm = perSec
+			} else {
+				row.ScansPerSecCold = perSec
+			}
+		}
+		row.WarmSpeedup = row.ScansPerSecWarm / row.ScansPerSecCold
+		if row.WarmSpeedup <= 1 {
+			t.Errorf("len-%d warm scans not faster than cold (%.2fx)", cfg.loopLen, row.WarmSpeedup)
+		}
+		t.Logf("topology cache len %d: cold %7.0f scans/s, warm %7.0f scans/s (%.2fx)",
+			cfg.loopLen, row.ScansPerSecCold, row.ScansPerSecWarm, row.WarmSpeedup)
+		out = append(out, row)
+	}
+	return out
+}
+
+// serverBenchRow records how many report reads per second the in-memory
+// store sustains over real HTTP, with concurrent clients and a publisher
+// swapping reports underneath them.
+type serverBenchRow struct {
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
+}
+
+func benchServerThroughput(t *testing.T) serverBenchRow {
+	t.Helper()
+	src := benchSource(t)
+	sc, err := arbloop.NewScanner(src, src, arbloop.WithTopK(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Scan(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New()
+	if err := srv.Publish(server.Encode(rep, 1, 1), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 16
+	const perClient = 250
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+
+	// A background publisher keeps swapping the report so the measurement
+	// includes write traffic. One publish every couple of milliseconds is
+	// already far beyond any real block cadence.
+	stop := make(chan struct{})
+	go func() {
+		for v := uint64(2); ; v++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			_ = srv.Publish(server.Encode(rep, v, int64(v)), time.Millisecond)
+		}
+	}()
+	defer close(stop)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := client.Get(ts.URL + "/v1/report")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	row := serverBenchRow{
+		Clients:       clients,
+		Requests:      clients * perClient,
+		ReportsPerSec: float64(clients*perClient) / elapsed,
+	}
+	t.Logf("server: %d clients × %d requests → %.0f reports/s", clients, perClient, row.ReportsPerSec)
+	return row
 }
