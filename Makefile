@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-go clean
+.PHONY: all build test race vet bench bench-go bench-delta fuzz clean
 
 all: build vet test
 
@@ -26,6 +26,15 @@ bench:
 # Standard Go benchmarks for the scan hot path.
 bench-go:
 	$(GO) test -bench 'BenchmarkScan' -benchmem -run '^$$' .
+
+# Full-vs-delta per-block scan throughput (~10% of pools trading between
+# scans). Quick enough for CI.
+bench-delta:
+	$(GO) test -bench 'BenchmarkScan(FullWarm|Delta10pct)' -benchmem -run '^$$' .
+
+# Short fuzz of the AMM swap invariants (CI runs this on every PR).
+fuzz:
+	$(GO) test -fuzz=Fuzz -fuzztime=10s ./internal/amm
 
 clean:
 	$(GO) clean ./...

@@ -179,9 +179,17 @@ var (
 	// WithHeightProbe stamps a block height onto every update
 	// (chain.State.Height fits directly).
 	WithHeightProbe = feed.WithHeightProbe
+	// WithWatcherRetry bounds Watcher.Run's per-trigger retries on source
+	// failures (default 3 attempts, 100 ms doubling backoff) so one flaky
+	// poll never tears down every subscription.
+	WithWatcherRetry = feed.WithRetry
+	// WithWatcherErrorHandler registers a callback for every failed
+	// refresh attempt — the feed's observability hook.
+	WithWatcherErrorHandler = feed.WithErrorHandler
 	// TopologyFingerprint hashes a pool set's topology (IDs, token pairs,
-	// fees — not reserves); equal fingerprints mean cached cycle
-	// enumerations carry over between scans.
+	// fees — not reserves), order-insensitively: pools are canonicalized
+	// by ID first, so equal fingerprints mean cached cycle enumerations
+	// carry over between scans regardless of source ordering.
 	TopologyFingerprint = scan.Fingerprint
 )
 

@@ -44,6 +44,7 @@ func cmdServe(args []string) error {
 	blockInterval := fs.Duration("block-interval", 2*time.Second, "simulator block time")
 	noise := fs.Int("noise", 4, "random retail swaps per block (moves reserves)")
 	blocks := fs.Int("blocks", 0, "stop producing blocks after N (0 = forever); the server keeps running")
+	delta := fs.Bool("delta", true, "delta scans: re-optimize only loops touching pools that traded")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +70,7 @@ func cmdServe(args []string) error {
 		arbloop.WithMinProfitUSD(*minProfit),
 		arbloop.WithMaxCycles(*maxCycles),
 		arbloop.WithTopK(*top),
+		arbloop.WithDeltaScans(*delta),
 	)
 	if err != nil {
 		return err
@@ -116,7 +118,12 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	watcher := arbloop.NewWatcher(cfg.source, arbloop.WithHeightProbe(cfg.state.Height))
+	// Transient source failures are retried by the watcher (they reach
+	// the log through the error handler); only an exhausted retry budget
+	// is fatal below.
+	watcher := arbloop.NewWatcher(cfg.source,
+		arbloop.WithHeightProbe(cfg.state.Height),
+		arbloop.WithWatcherErrorHandler(func(err error) { cfg.logf("feed refresh: %v", err) }))
 	cfg.state.OnBlock(func(int64) { watcher.Notify() })
 
 	srv := server.New()
@@ -147,8 +154,9 @@ func serve(ctx context.Context, cfg serveConfig) error {
 				cfg.logf("publish v%d failed: %v", vr.Version, err)
 				continue
 			}
-			cfg.logf("block %d v%d: %d loops, best $%.2f, scan %s (cache hit: %v)",
-				vr.Height, vr.Version, vr.Report.LoopsDetected, bestProfit(vr.Report),
+			cfg.logf("block %d v%d: %d loops (%d reoptimized, %d reused), best $%.2f, scan %s (cache hit: %v)",
+				vr.Height, vr.Version, vr.Report.LoopsDetected, vr.Report.LoopsReoptimized,
+				vr.Report.LoopsReused, bestProfit(vr.Report),
 				vr.Elapsed.Round(time.Microsecond), vr.Report.TopologyCacheHit)
 		}
 	}()

@@ -126,6 +126,11 @@ type Bot struct {
 	// move every block but pools almost never do, so per-block detection
 	// skips enumeration and only re-orients + re-optimizes.
 	cache *scan.Cache
+	// delta keeps the previous block's per-loop results so each block
+	// re-optimizes only the loops whose pools traded since — the bot's
+	// own executions plus whatever retail flow moved. Equivalent reports,
+	// a fraction of the optimization work.
+	delta *scan.DeltaState
 
 	// lifetime counters
 	blocks        int
@@ -146,6 +151,7 @@ func New(state *chain.State, oracle cex.Oracle, cfg Config) (*Bot, error) {
 		oracle: oracle,
 		cfg:    cfg,
 		cache:  scan.NewCache(0),
+		delta:  &scan.DeltaState{},
 	}, nil
 }
 
@@ -174,9 +180,10 @@ type plan struct {
 	predicted float64
 }
 
-// findPlans reads the chain through the pool source and runs one scan —
-// detection plus parallel per-loop optimization with the configured
-// strategy — returning plans ranked by predicted profit.
+// findPlans reads the chain through the pool source and runs one delta
+// scan — only loops touching pools that traded since the previous scan
+// are re-optimized with the configured strategy; the rest merge from the
+// previous block's results — returning plans ranked by predicted profit.
 func (b *Bot) findPlans(ctx context.Context) ([]plan, error) {
 	pools, err := b.pools.Pools(ctx)
 	if err != nil {
@@ -185,14 +192,14 @@ func (b *Bot) findPlans(ctx context.Context) ([]plan, error) {
 	if len(pools) == 0 {
 		return nil, ErrNoPools
 	}
-	report, err := scan.Run(ctx, pools, b.oracle, scan.Config{
+	report, err := scan.RunDelta(ctx, pools, nil, b.oracle, scan.Config{
 		MinLen:       b.cfg.LoopLen,
 		MaxLen:       b.cfg.LoopLen,
 		Strategy:     b.cfg.Strategy,
 		Parallelism:  b.cfg.Parallelism,
 		MinProfitUSD: b.cfg.MinProfitUSD,
 		Cache:        b.cache,
-	})
+	}, b.delta)
 	if err != nil {
 		return nil, fmt.Errorf("bot: scan: %w", err)
 	}

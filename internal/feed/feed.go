@@ -21,6 +21,7 @@ package feed
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -70,6 +71,14 @@ type Update struct {
 	// from the previous update's (true for the first update): pools,
 	// tokens, or fees were added, removed, or altered — not just reserves.
 	TopologyChanged bool
+	// ChangedPools lists, sorted, the IDs of pools whose reserves differ
+	// from the previous update — the dirty set a delta scan re-optimizes
+	// around. It is nil when the dirty set is unknown (the first update,
+	// or any topology change) and non-nil-but-empty when nothing moved.
+	// Consumers that skip updates (coalescing) must not union consecutive
+	// sets themselves; scan.RunDelta re-diffs reserves against its own
+	// baseline, so a stale set can never corrupt a delta scan.
+	ChangedPools []string
 }
 
 // Option configures a Watcher.
@@ -81,13 +90,46 @@ func WithHeightProbe(height func() int64) Option {
 	return func(w *Watcher) { w.height = height }
 }
 
+// DefaultRetryAttempts and DefaultRetryBackoff tune Run's handling of a
+// failed source read: each trigger gets up to 3 attempts, backing off
+// 100 ms then 200 ms between them, before the failure is considered
+// fatal. One flaky poll must not tear down every subscriber.
+const (
+	DefaultRetryAttempts = 3
+	DefaultRetryBackoff  = 100 * time.Millisecond
+)
+
+// WithRetry bounds Run's per-trigger retries: up to attempts source reads
+// (≥ 1), doubling the backoff between consecutive failures starting from
+// backoff. attempts 1 restores fail-fast; backoff ≤ 0 retries
+// immediately.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(w *Watcher) {
+		if attempts >= 1 {
+			w.retryAttempts = attempts
+		}
+		w.retryBackoff = backoff
+	}
+}
+
+// WithErrorHandler registers a callback Run invokes on every failed
+// refresh attempt (transient or final) — the observability hook for
+// services that log or count feed errors. The callback runs on Run's
+// goroutine; keep it fast.
+func WithErrorHandler(fn func(error)) Option {
+	return func(w *Watcher) { w.onError = fn }
+}
+
 // Watcher reads a pool source on demand and fans versioned updates out to
 // subscribers. Create with NewWatcher; drive with Run (polling and/or
 // Notify triggers) or call Refresh directly. Safe for concurrent use.
 type Watcher struct {
-	src    source.PoolSource
-	height func() int64
-	notify chan struct{}
+	src           source.PoolSource
+	height        func() int64
+	notify        chan struct{}
+	retryAttempts int
+	retryBackoff  time.Duration
+	onError       func(error)
 
 	// refreshMu serializes whole Refresh calls — source read through
 	// publish — so a pool set read later can never be published under an
@@ -104,9 +146,11 @@ type Watcher struct {
 // NewWatcher wraps a pool source.
 func NewWatcher(src source.PoolSource, opts ...Option) *Watcher {
 	w := &Watcher{
-		src:    src,
-		notify: make(chan struct{}, 1),
-		subs:   make(map[int]chan Update),
+		src:           src,
+		notify:        make(chan struct{}, 1),
+		subs:          make(map[int]chan Update),
+		retryAttempts: DefaultRetryAttempts,
+		retryBackoff:  DefaultRetryBackoff,
 	}
 	for _, opt := range opts {
 		opt(w)
@@ -184,11 +228,34 @@ func (w *Watcher) Refresh(ctx context.Context) (Update, error) {
 		Fingerprint:     fp,
 		TopologyChanged: w.last.Version == 0 || fp != w.last.Fingerprint,
 	}
+	if !u.TopologyChanged {
+		u.ChangedPools = diffReserves(w.last.Pools, pools)
+	}
 	w.last = u
 	for _, ch := range w.subs {
 		SendCoalesce(ch, u)
 	}
 	return u, nil
+}
+
+// diffReserves returns the sorted IDs of pools whose reserves differ
+// between two views of the same topology (equal fingerprints guarantee
+// matching pool sets; order may differ, so the diff is by ID). The result
+// is non-nil even when empty: "nothing changed" is a known dirty set.
+func diffReserves(prev, cur []*amm.Pool) []string {
+	byID := make(map[string]*amm.Pool, len(prev))
+	for _, p := range prev {
+		byID[p.ID] = p
+	}
+	changed := make([]string, 0)
+	for _, p := range cur {
+		q, ok := byID[p.ID]
+		if !ok || q.Reserve0 != p.Reserve0 || q.Reserve1 != p.Reserve1 {
+			changed = append(changed, p.ID)
+		}
+	}
+	sort.Strings(changed)
+	return changed
 }
 
 // Latest returns the most recently published update (zero Version when
@@ -210,8 +277,12 @@ func (w *Watcher) Notify() {
 }
 
 // Run refreshes on every Notify signal and, when interval > 0, on a poll
-// tick — sources without a push hook still produce a live feed. It blocks
-// until ctx is cancelled and returns the first refresh error encountered
+// tick — sources without a push hook still produce a live feed. A failed
+// refresh is retried in place with exponential backoff (WithRetry; 3
+// attempts, 100 ms base by default) so one flaky poll never tears down
+// every subscription; each attempt's error also reaches the
+// WithErrorHandler callback. Run blocks until ctx is cancelled and
+// returns the final error of a trigger whose every attempt failed
 // (context cancellation returns nil). Close is called on exit, ending all
 // subscriptions.
 func (w *Watcher) Run(ctx context.Context, interval time.Duration) error {
@@ -229,11 +300,44 @@ func (w *Watcher) Run(ctx context.Context, interval time.Duration) error {
 		case <-w.notify:
 		case <-tick:
 		}
-		if _, err := w.Refresh(ctx); err != nil {
+		if err := w.refreshWithRetry(ctx); err != nil {
 			if ctx.Err() != nil || errors.Is(err, ErrClosed) {
 				return nil
 			}
 			return err
+		}
+	}
+}
+
+// refreshWithRetry performs one trigger's refresh with bounded in-place
+// retries, sleeping the (doubling) backoff between attempts. It returns
+// nil on any success, ctx.Err()/ErrClosed to signal a clean shutdown, and
+// the last refresh error once the attempt budget is spent.
+func (w *Watcher) refreshWithRetry(ctx context.Context) error {
+	backoff := w.retryBackoff
+	for attempt := 1; ; attempt++ {
+		_, err := w.Refresh(ctx)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || errors.Is(err, ErrClosed) {
+			return err
+		}
+		if w.onError != nil {
+			w.onError(err)
+		}
+		if attempt >= w.retryAttempts {
+			return err
+		}
+		if backoff > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+			backoff *= 2
 		}
 	}
 }

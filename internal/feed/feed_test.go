@@ -222,6 +222,173 @@ func TestRunPolling(t *testing.T) {
 	}
 }
 
+func TestRefreshChangedPools(t *testing.T) {
+	src := &mutablePools{}
+	src.set([]*amm.Pool{pool(t, "p1", "X", "Y", 100, 200), pool(t, "p2", "Y", "Z", 10, 10)}, nil)
+	w := NewWatcher(src)
+	ctx := context.Background()
+
+	u1, err := w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.ChangedPools != nil {
+		t.Errorf("first update has dirty set %v, want nil (unknown baseline)", u1.ChangedPools)
+	}
+
+	// Nothing moved: a known, empty dirty set.
+	u2, err := w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.ChangedPools == nil || len(u2.ChangedPools) != 0 {
+		t.Errorf("no-op update dirty set = %v, want non-nil empty", u2.ChangedPools)
+	}
+
+	// One pool trades: exactly it is dirty.
+	src.set([]*amm.Pool{pool(t, "p1", "X", "Y", 100, 200), pool(t, "p2", "Y", "Z", 12, 9)}, nil)
+	u3, err := w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u3.ChangedPools) != 1 || u3.ChangedPools[0] != "p2" {
+		t.Errorf("dirty set = %v, want [p2]", u3.ChangedPools)
+	}
+	if u3.TopologyChanged {
+		t.Error("reserve move reported a topology change")
+	}
+
+	// Topology change: dirty set unknown again.
+	src.set([]*amm.Pool{pool(t, "p1", "X", "Y", 100, 200)}, nil)
+	u4, err := w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u4.TopologyChanged || u4.ChangedPools != nil {
+		t.Errorf("pool removal: topo=%v dirty=%v, want topo=true dirty=nil", u4.TopologyChanged, u4.ChangedPools)
+	}
+}
+
+// TestRefreshPermutedOrderIsNotTopologyChange is the fingerprint-order
+// regression: a source returning the same pool set in a different order
+// must not signal a (spurious) topology change, and reserve diffs still
+// resolve by pool ID.
+func TestRefreshPermutedOrderIsNotTopologyChange(t *testing.T) {
+	src := &mutablePools{}
+	a, b := pool(t, "p1", "X", "Y", 100, 200), pool(t, "p2", "Y", "Z", 10, 10)
+	src.set([]*amm.Pool{a, b}, nil)
+	w := NewWatcher(src)
+	ctx := context.Background()
+	u1, err := w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src.set([]*amm.Pool{b, a}, nil) // same set, swapped order
+	u2, err := w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.TopologyChanged {
+		t.Error("permuted pool order reported a topology change")
+	}
+	if u2.Fingerprint != u1.Fingerprint {
+		t.Error("permuted pool order changed the fingerprint")
+	}
+	if len(u2.ChangedPools) != 0 {
+		t.Errorf("permuted pool order dirtied %v", u2.ChangedPools)
+	}
+}
+
+// flakySource fails its first n reads, then serves pools — the transient
+// outage (one bad poll, an RPC hiccup) that must not kill the feed.
+type flakySource struct {
+	mu       sync.Mutex
+	failures int
+	calls    int
+	pools    []*amm.Pool
+}
+
+func (f *flakySource) Pools(ctx context.Context) ([]*amm.Pool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, fmt.Errorf("transient outage %d", f.calls)
+	}
+	out := make([]*amm.Pool, len(f.pools))
+	copy(out, f.pools)
+	return out, nil
+}
+
+// TestRunRetriesTransientFailure is the feed-teardown regression: one
+// failed poll used to make Run return and Close every subscription. Now
+// it retries with backoff, the subscriber sees the update, and the error
+// callback saw the transient failures.
+func TestRunRetriesTransientFailure(t *testing.T) {
+	src := &flakySource{failures: 2, pools: []*amm.Pool{pool(t, "p1", "X", "Y", 100, 200)}}
+	var seen []error
+	var seenMu sync.Mutex
+	w := NewWatcher(src,
+		WithRetry(3, time.Millisecond),
+		WithErrorHandler(func(err error) {
+			seenMu.Lock()
+			seen = append(seen, err)
+			seenMu.Unlock()
+		}))
+	ch, cancel := w.Subscribe()
+	defer cancel()
+
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx, 0) }()
+	w.Notify()
+
+	select {
+	case u, ok := <-ch:
+		if !ok {
+			t.Fatal("transient failure closed the subscription")
+		}
+		if u.Version != 1 {
+			t.Errorf("got v%d", u.Version)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("feed never recovered from the transient failure")
+	}
+	stop()
+	if err := <-done; err != nil {
+		t.Errorf("Run returned %v after recovering", err)
+	}
+	seenMu.Lock()
+	defer seenMu.Unlock()
+	if len(seen) != 2 {
+		t.Errorf("error callback saw %d errors, want 2 transients", len(seen))
+	}
+}
+
+// TestRunExhaustsRetryBudget: a persistent failure must still surface
+// (bounded retries, not an infinite loop hiding a dead source).
+func TestRunExhaustsRetryBudget(t *testing.T) {
+	src := &flakySource{failures: 1 << 30}
+	w := NewWatcher(src, WithRetry(2, time.Millisecond))
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx, 0) }()
+	w.Notify()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("persistent failure not surfaced")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not exit after exhausting retries")
+	}
+	if src.calls != 2 {
+		t.Errorf("source read %d times, want exactly the 2-attempt budget", src.calls)
+	}
+}
+
 func TestRunSurfacesRefreshError(t *testing.T) {
 	src := &mutablePools{}
 	src.set(nil, errors.New("rpc down"))

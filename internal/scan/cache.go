@@ -17,18 +17,57 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 
 	"arbloop/internal/amm"
 	"arbloop/internal/cycles"
+	"arbloop/internal/graph"
 )
 
-// Fingerprint hashes the topology of an ordered pool set: pool IDs, token
-// pairs, and fees — everything except the reserves. Two pool slices with
-// equal fingerprints produce identical graphs up to reserve values (same
-// node indices, same edge indices), so cycle sets enumerated against one
-// are valid against the other.
+// Canonicalize returns the pool set in canonical order: sorted by pool ID
+// (ties broken by token pair, then fee). The scan engine canonicalizes
+// every pool slice before building the graph, so a PoolSource that
+// returns the same pools in a different order produces the same graph,
+// the same fingerprint, and the same detection order — permutations can
+// no longer thrash the topology cache or shift result indices. The input
+// slice is never mutated; when it is already canonical it is returned
+// as-is (no copy).
+func Canonicalize(pools []*amm.Pool) []*amm.Pool {
+	if sort.SliceIsSorted(pools, func(i, j int) bool { return poolLess(pools[i], pools[j]) }) {
+		return pools
+	}
+	out := make([]*amm.Pool, len(pools))
+	copy(out, pools)
+	sort.SliceStable(out, func(i, j int) bool { return poolLess(out[i], out[j]) })
+	return out
+}
+
+// poolLess orders pools by ID, then token pair, then fee. Reserves are
+// deliberately excluded so a reserve-only update never reorders the
+// canonical pool set.
+func poolLess(a, b *amm.Pool) bool {
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.Token0 != b.Token0 {
+		return a.Token0 < b.Token0
+	}
+	if a.Token1 != b.Token1 {
+		return a.Token1 < b.Token1
+	}
+	return a.Fee < b.Fee
+}
+
+// Fingerprint hashes the topology of a pool set: pool IDs, token pairs,
+// and fees — everything except the reserves. The set is canonicalized
+// (sorted by pool ID) before hashing, so two sources returning the same
+// pools in different orders agree on the fingerprint. Two pool slices
+// with equal fingerprints produce identical canonical graphs up to
+// reserve values (same node indices, same edge indices), so cycle sets
+// enumerated against one are valid against the other.
 func Fingerprint(pools []*amm.Pool) string {
+	pools = Canonicalize(pools)
 	h := sha256.New()
 	var buf [8]byte
 	for _, p := range pools {
@@ -50,10 +89,45 @@ func writeField(w io.Writer, s string) {
 	io.WriteString(w, s)
 }
 
-// topology is one cached enumeration result. The cycle slice is treated
-// as immutable by every reader.
+// topology is one cached enumeration result plus the inverted indexes
+// delta scans consult: which cycles touch a given pool, and which cycles
+// touch a given token. Everything here depends only on the topology
+// (canonical pool order, token set), never on reserves, so it is built
+// once per enumeration and shared by every scan that hits the cache. All
+// fields are treated as immutable by every reader.
 type topology struct {
 	cycles []cycles.Cycle
+	// poolCycles[i] lists the indices of cycles that route through the
+	// canonical pool index i.
+	poolCycles [][]int
+	// tokenCycles maps a token key to the indices of cycles visiting it.
+	tokenCycles map[string][]int
+	// poolIndex maps a pool ID to its canonical pool index.
+	poolIndex map[string]int
+}
+
+// newTopology indexes an enumerated cycle set against the canonical graph
+// it was enumerated on.
+func newTopology(g *graph.Graph, cs []cycles.Cycle) *topology {
+	top := &topology{
+		cycles:      cs,
+		poolCycles:  make([][]int, g.NumEdges()),
+		tokenCycles: make(map[string][]int, g.NumNodes()),
+		poolIndex:   make(map[string]int, g.NumEdges()),
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		top.poolIndex[g.Pool(i).ID] = i
+	}
+	for ci, c := range cs {
+		for _, pi := range c.Pools {
+			top.poolCycles[pi] = append(top.poolCycles[pi], ci)
+		}
+		for _, ni := range c.Nodes {
+			tok := g.Node(ni)
+			top.tokenCycles[tok] = append(top.tokenCycles[tok], ci)
+		}
+	}
+	return top
 }
 
 // DefaultCacheCapacity bounds a zero-configured cache. A live service

@@ -1,0 +1,332 @@
+// Delta scanning: the block-after-block fast path. Between consecutive
+// blocks only a handful of pools actually trade, yet a full scan
+// re-optimizes every detected loop. RunDelta re-runs Strategy.Optimize
+// only for loops touching a *dirty* pool (reserves moved) or a moved CEX
+// price, and merges everything else from the previous scan's results —
+// producing a report identical to a full scan over the same state.
+//
+// Correctness rests on three facts:
+//
+//   - A cycle whose pools all kept their reserves keeps its profitable
+//     orientation (the price product is a function of reserves and fees
+//     only), so the detected loop set changes only through dirty cycles.
+//   - A loop whose pools and token prices are all unchanged re-optimizes
+//     to the identical Result (strategies are deterministic functions of
+//     the loop reserves and the price map).
+//   - Pool sets are canonicalized before anything else, so pool and node
+//     indices — and therefore the cached inverted indexes — are stable
+//     across scans with equal fingerprints.
+//
+// The dirty set is computed by diffing reserves against the previous
+// scan's (authoritative, O(pools)), optionally widened by a caller-
+// provided hint such as feed.Update.ChangedPools; prices are re-fetched
+// every scan and diffed the same way, so a moved CEX price re-optimizes
+// exactly the loops it touches. Whenever the previous state cannot be
+// reused — first scan, topology changed, different enumeration bounds —
+// RunDelta transparently falls back to a full scan and captures fresh
+// state.
+package scan
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/graph"
+	"arbloop/internal/source"
+	"arbloop/internal/strategy"
+)
+
+// DeltaState carries one scanner's memory between delta scans: the
+// topology it scanned, the reserves and prices it scanned at, and the
+// per-cycle outcome (orientation, loop, result). A zero DeltaState is
+// ready to use — the first scan through it is a full scan that populates
+// it. Safe for concurrent use: the mutex guards only the in-memory
+// baseline snapshot and commit, never the price fetch or the
+// optimization fan-out, so a slow scan (hung PriceSource, heavy
+// strategy) cannot stall other scans on the same state. Concurrent
+// scans each compute against the baseline they snapshotted — any
+// committed baseline is a self-consistent (reserves, prices, results)
+// capture, so last-writer-wins is correct and the next diff simply runs
+// against whichever baseline landed.
+type DeltaState struct {
+	mu    sync.Mutex
+	valid bool
+	key   string // deltaKey of the captured scan
+	base  baseline
+	// lifetime counters (under mu).
+	fullScans, deltaScans uint64
+}
+
+// baseline is one captured scan, immutable once committed: every field
+// is replaced wholesale by commit, never mutated in place, so readers
+// holding a snapshot need no lock.
+type baseline struct {
+	top *topology
+	// reserves[i] holds {Reserve0, Reserve1} of canonical pool i at the
+	// captured scan — what the dirty-pool diff runs against.
+	reserves [][2]float64
+	// prices is the price map the captured results were monetized with.
+	prices strategy.PriceMap
+	// orient and entries are per-cycle: the profitable orientation and,
+	// when profitable, the optimized outcome.
+	orient  []int8
+	entries []deltaEntry
+}
+
+// snapshot returns the captured baseline when it is reusable for key,
+// recording the resolution in the stats.
+func (st *DeltaState) snapshot(key string, nPools int) (baseline, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ok := st.valid && st.key == key && len(st.base.reserves) == nPools
+	st.bump(!ok)
+	return st.base, ok
+}
+
+// deltaEntry is one cycle's captured outcome (meaningful only when the
+// cycle's orientation is not orientNone).
+type deltaEntry struct {
+	loop   *strategy.Loop
+	result strategy.Result
+	err    error
+}
+
+// DeltaStats counts how RunDelta resolved its calls: on the fast path or
+// through the full-scan fallback.
+type DeltaStats struct {
+	FullScans, DeltaScans uint64
+}
+
+// bump records one resolution. Called with mu held.
+func (st *DeltaState) bump(full bool) {
+	if full {
+		st.fullScans++
+	} else {
+		st.deltaScans++
+	}
+}
+
+// Stats returns the state's lifetime counters.
+func (st *DeltaState) Stats() DeltaStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return DeltaStats{FullScans: st.fullScans, DeltaScans: st.deltaScans}
+}
+
+// RunDelta scans the pool set, re-optimizing only the loops affected by
+// reserve or price changes since the previous scan through st and merging
+// the rest from the captured results. The report is identical — results,
+// ordering, counters — to a full Run over the same pools and prices,
+// except that TopologyCacheHit reflects the delta path and
+// LoopsReoptimized/LoopsReused expose the work split.
+//
+// hint optionally names pools the caller already knows changed (e.g.
+// feed.Update.ChangedPools); it widens the self-computed dirty set and is
+// never trusted to narrow it, so a stale or incomplete hint — coalesced
+// feed updates, a skipped version — cannot produce a wrong report.
+//
+// RunDelta falls back to a full scan (capturing fresh state) whenever st
+// has no usable baseline: the first scan, a changed topology fingerprint,
+// changed enumeration bounds, or a changed strategy.
+func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices source.PriceSource, cfg Config, st *DeltaState) (Report, error) {
+	cfg = cfg.withDefaults()
+	pools = Canonicalize(pools)
+	if len(pools) == 0 {
+		return Report{}, fmt.Errorf("scan: no pools to scan")
+	}
+
+	key := deltaKey(Fingerprint(pools), cfg)
+	base, ok := st.snapshot(key, len(pools))
+	if !ok {
+		return runCapture(ctx, pools, key, prices, cfg, st)
+	}
+
+	g, err := graph.Build(pools)
+	if err != nil {
+		return Report{}, err
+	}
+	top := base.top
+
+	// Dirty pools: the reserve diff against the captured baseline is
+	// authoritative; the hint can only widen it.
+	dirtyPool := make([]bool, len(pools))
+	for i, p := range pools {
+		if p.Reserve0 != base.reserves[i][0] || p.Reserve1 != base.reserves[i][1] {
+			dirtyPool[i] = true
+		}
+	}
+	for _, id := range hint {
+		if i, ok := top.poolIndex[id]; ok {
+			dirtyPool[i] = true
+		}
+	}
+
+	// Dirty cycles via the inverted index: any cycle routing through a
+	// dirty pool must re-orient (its price product moved).
+	dirtyCycle := make([]bool, len(top.cycles))
+	for i, dirty := range dirtyPool {
+		if !dirty {
+			continue
+		}
+		for _, ci := range top.poolCycles[i] {
+			dirtyCycle[ci] = true
+		}
+	}
+
+	// Re-orient dirty cycles; clean cycles keep their captured
+	// orientation. Then materialize the detected loop list in cycle order
+	// — exactly the order a full scan detects in — reusing clean loops.
+	orient := make([]int8, len(top.cycles))
+	loopOf := make([]int, len(top.cycles))
+	var loops []*strategy.Loop
+	var loopCycle []int // loop index → cycle index
+	reoptLoop := make(map[int]bool)
+	tokenSet := make(map[string]struct{})
+	for ci, c := range top.cycles {
+		o := base.orient[ci]
+		if dirtyCycle[ci] {
+			if o, err = orientCycle(g, c); err != nil {
+				return Report{}, err
+			}
+		}
+		orient[ci] = o
+		loopOf[ci] = -1
+		if o == orientNone {
+			continue
+		}
+		var loop *strategy.Loop
+		if dirtyCycle[ci] {
+			if loop, err = LoopFromDirected(g, directedFor(c, o)); err != nil {
+				return Report{}, err
+			}
+			reoptLoop[len(loops)] = true
+		} else {
+			loop = base.entries[ci].loop
+		}
+		loopOf[ci] = len(loops)
+		loops = append(loops, loop)
+		loopCycle = append(loopCycle, ci)
+		for _, t := range loop.Tokens() {
+			tokenSet[t] = struct{}{}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+
+	// Prices are re-fetched every scan (one batched call, the same set a
+	// full scan would fetch). A moved price re-optimizes every loop
+	// touching the token — cached Monetized values are stale for it.
+	pm, err := fetchPrices(ctx, prices, tokenSet)
+	if err != nil {
+		return Report{}, err
+	}
+	for tok := range tokenSet {
+		old, ok := base.prices[tok]
+		if ok && old == pm[tok] {
+			continue
+		}
+		for _, ci := range top.tokenCycles[tok] {
+			if li := loopOf[ci]; li >= 0 {
+				reoptLoop[li] = true
+			}
+		}
+	}
+
+	// Fan the affected loops out over the worker pool; merge the rest.
+	jobs := make([]int, 0, len(reoptLoop))
+	for li := range loops {
+		if reoptLoop[li] {
+			jobs = append(jobs, li)
+		}
+	}
+	all := make([]Result, len(loops))
+	fanOut(ctx, loops, pm, jobs, cfg, func(r Result) bool {
+		all[r.Index] = r
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	for li, ci := range loopCycle {
+		if reoptLoop[li] {
+			continue
+		}
+		e := base.entries[ci]
+		all[li] = Result{Index: li, Loop: e.loop, Result: e.result, Err: e.err}
+	}
+
+	d := &detection{graph: g, top: top, loops: loops, orient: orient, loopOf: loopOf, prices: pm, cacheHit: true}
+	rep, err := assembleReport(d, cfg, all, len(jobs), len(loops)-len(jobs))
+	if err != nil {
+		return Report{}, err
+	}
+
+	// Commit the new baseline only after a fully successful scan, so a
+	// failed pass leaves the previous (still self-consistent) state for
+	// the next diff.
+	st.commit(key, top, pools, pm, orient, loopCycle, all)
+	return rep, nil
+}
+
+// deltaKey scopes a baseline by everything that shapes its captured
+// results: the topology fingerprint, the enumeration bounds (cacheKey),
+// and the strategy — results optimized by one strategy must never merge
+// into a scan running another. The strategy's identity is its name plus
+// its %#v rendering, so parameterized strategies sharing a name
+// (TraditionalStrategy with different Start tokens, ConvexStrategy with
+// different Options) get distinct baselines; a pointer strategy renders
+// its address, which can only over-invalidate (full rescan), never
+// merge wrongly.
+func deltaKey(fingerprint string, cfg Config) string {
+	return fmt.Sprintf("%s|%#v|%s", cfg.Strategy.Name(), cfg.Strategy, cacheKey(fingerprint, cfg))
+}
+
+// runCapture is the full-scan fallback: one complete detection +
+// optimization pass that also captures per-cycle state for the next delta
+// scan. pools must be canonical.
+func runCapture(ctx context.Context, pools []*amm.Pool, key string, prices source.PriceSource, cfg Config, st *DeltaState) (Report, error) {
+	d, err := detect(ctx, pools, prices, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	all := collectAll(ctx, d, cfg)
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	rep, err := assembleReport(d, cfg, all, len(d.loops), 0)
+	if err != nil {
+		return Report{}, err
+	}
+
+	loopCycle := make([]int, len(d.loops))
+	for ci, li := range d.loopOf {
+		if li >= 0 {
+			loopCycle[li] = ci
+		}
+	}
+	st.commit(key, d.top, pools, d.prices, d.orient, loopCycle, all)
+	return rep, nil
+}
+
+// commit replaces the captured baseline with a freshly built one (the
+// slices are never shared with a previous baseline, so snapshots held by
+// concurrent scans stay immutable). Takes the lock itself.
+func (st *DeltaState) commit(key string, top *topology, pools []*amm.Pool, pm strategy.PriceMap, orient []int8, loopCycle []int, all []Result) {
+	reserves := make([][2]float64, len(pools))
+	for i, p := range pools {
+		reserves[i] = [2]float64{p.Reserve0, p.Reserve1}
+	}
+	entries := make([]deltaEntry, len(top.cycles))
+	for li, ci := range loopCycle {
+		r := all[li]
+		entries[ci] = deltaEntry{loop: r.Loop, result: r.Result, err: r.Err}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.valid = true
+	st.key = key
+	st.base = baseline{top: top, reserves: reserves, prices: pm, orient: orient, entries: entries}
+}

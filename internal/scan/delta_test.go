@@ -1,0 +1,434 @@
+package scan
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/cex"
+	"arbloop/internal/market"
+	"arbloop/internal/source"
+	"arbloop/internal/strategy"
+)
+
+// deltaMarket builds the §VI synthetic market as mutable pool values plus
+// its CEX price table.
+func deltaMarket(t *testing.T) ([]*amm.Pool, map[string]float64) {
+	t.Helper()
+	snap, err := market.Generate(market.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := snap.FilterPools(30_000, 100)
+	pools, err := source.FromSnapshot(filtered).Pools(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pools, filtered.PricesUSD
+}
+
+// rebuild returns fresh pool objects with the same values — what a real
+// PoolSource hands out on every poll (never the same pointers).
+func rebuild(t *testing.T, pools []*amm.Pool) []*amm.Pool {
+	t.Helper()
+	out := make([]*amm.Pool, len(pools))
+	for i, p := range pools {
+		np, err := amm.NewPool(p.ID, p.Token0, p.Token1, p.Reserve0, p.Reserve1, p.Fee)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = np
+	}
+	return out
+}
+
+// perturb nudges the reserves of n randomly chosen pools, returning a
+// fresh slice (clean pools are also fresh objects with equal values).
+func perturb(t *testing.T, rng *rand.Rand, pools []*amm.Pool, n int) []*amm.Pool {
+	t.Helper()
+	out := rebuild(t, pools)
+	for _, i := range rng.Perm(len(out))[:n] {
+		p := out[i]
+		np, err := amm.NewPool(p.ID, p.Token0, p.Token1,
+			p.Reserve0*(0.9+0.2*rng.Float64()), p.Reserve1*(0.9+0.2*rng.Float64()), p.Fee)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = np
+	}
+	return out
+}
+
+// requireSameReport asserts a delta report is identical to a full report
+// over the same state — everything except the delta-path bookkeeping
+// (TopologyCacheHit, LoopsReoptimized, LoopsReused).
+func requireSameReport(t *testing.T, delta, full Report) {
+	t.Helper()
+	if delta.Strategy != full.Strategy || delta.Parallelism != full.Parallelism ||
+		delta.Tokens != full.Tokens || delta.Pools != full.Pools ||
+		delta.CyclesExamined != full.CyclesExamined || delta.LoopsDetected != full.LoopsDetected ||
+		delta.Failed != full.Failed {
+		t.Fatalf("report headers differ:\ndelta %+v\nfull  %+v", delta, full)
+	}
+	if len(delta.Results) != len(full.Results) {
+		t.Fatalf("results: delta %d != full %d", len(delta.Results), len(full.Results))
+	}
+	for i := range delta.Results {
+		d, f := delta.Results[i], full.Results[i]
+		if d.Index != f.Index {
+			t.Fatalf("result %d: index delta %d != full %d", i, d.Index, f.Index)
+		}
+		if d.Loop.String() != f.Loop.String() {
+			t.Fatalf("result %d: loop delta %s != full %s", i, d.Loop, f.Loop)
+		}
+		dr, fr := d.Result, f.Result
+		if dr.Strategy != fr.Strategy || dr.StartToken != fr.StartToken ||
+			dr.Input != fr.Input || dr.Monetized != fr.Monetized {
+			t.Fatalf("result %d differs:\ndelta %+v\nfull  %+v", i, dr, fr)
+		}
+		if len(dr.NetTokens) != len(fr.NetTokens) {
+			t.Fatalf("result %d: net tokens delta %d != full %d", i, len(dr.NetTokens), len(fr.NetTokens))
+		}
+		for tok, v := range fr.NetTokens {
+			if dr.NetTokens[tok] != v {
+				t.Fatalf("result %d: net[%s] delta %g != full %g", i, tok, dr.NetTokens[tok], v)
+			}
+		}
+	}
+}
+
+func TestRunDeltaFirstScanIsFullCapture(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	st := &DeltaState{}
+
+	delta, err := RunDelta(ctx, pools, nil, src, Config{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(ctx, rebuild(t, pools), src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameReport(t, delta, full)
+	if delta.LoopsReoptimized != delta.LoopsDetected || delta.LoopsReused != 0 {
+		t.Errorf("first delta scan reoptimized %d / reused %d, want full capture",
+			delta.LoopsReoptimized, delta.LoopsReused)
+	}
+	if s := st.Stats(); s.FullScans != 1 || s.DeltaScans != 0 {
+		t.Errorf("stats = %+v, want one full scan", s)
+	}
+}
+
+// TestRunDeltaEquivalenceRandomDirty is the core property test: over many
+// rounds of random ≤10% dirty subsets, the delta report must be identical
+// to a fresh full scan of the same state while re-optimizing only the
+// affected loops.
+func TestRunDeltaEquivalenceRandomDirty(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+
+	for _, cfg := range []Config{
+		{},
+		{MinProfitUSD: 1, TopK: 10},
+		{MinLen: 3, MaxLen: 4},
+	} {
+		st := &DeltaState{}
+		if _, err := RunDelta(ctx, pools, nil, src, cfg, st); err != nil {
+			t.Fatal(err)
+		}
+		state := pools
+		sawPartial := false
+		for round := 0; round < 8; round++ {
+			dirtyN := 1 + rng.Intn(len(state)/10)
+			state = perturb(t, rng, state, dirtyN)
+
+			delta, err := RunDelta(ctx, state, nil, src, cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Run(ctx, rebuild(t, state), src, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameReport(t, delta, full)
+			if delta.LoopsReoptimized+delta.LoopsReused != delta.LoopsDetected {
+				t.Fatalf("counters do not partition: %d + %d != %d",
+					delta.LoopsReoptimized, delta.LoopsReused, delta.LoopsDetected)
+			}
+			if delta.LoopsReoptimized < delta.LoopsDetected {
+				sawPartial = true
+			}
+		}
+		if !sawPartial {
+			t.Errorf("cfg %+v: no round reused any loop — delta path never engaged", cfg)
+		}
+		if s := st.Stats(); s.DeltaScans != 8 {
+			t.Errorf("cfg %+v: stats = %+v, want 8 delta scans", cfg, s)
+		}
+	}
+}
+
+// TestRunDeltaSmallDirtySetReoptimizesFew pins the acceptance criterion:
+// a reserve-only update dirtying ≤10% of pools re-runs Optimize only for
+// loops touching a dirty pool.
+func TestRunDeltaSmallDirtySetReoptimizesFew(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	st := &DeltaState{}
+	if _, err := RunDelta(ctx, pools, nil, src, Config{}, st); err != nil {
+		t.Fatal(err)
+	}
+
+	dirtyN := len(pools) / 10
+	state := perturb(t, rng, pools, dirtyN)
+	delta, err := RunDelta(ctx, state, nil, src, Config{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Count the loops a dirty pool actually touches: the delta scan must
+	// re-optimize exactly those (no price moved in this test).
+	dirty := make(map[string]bool)
+	for i, p := range state {
+		if p.Reserve0 != pools[i].Reserve0 || p.Reserve1 != pools[i].Reserve1 {
+			dirty[p.ID] = true
+		}
+	}
+	full, err := Run(ctx, rebuild(t, state), src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := 0
+	for _, r := range full.Results {
+		touched := false
+		for _, h := range r.Loop.Hops() {
+			if dirty[h.Pool.ID] {
+				touched = true
+				break
+			}
+		}
+		if touched {
+			affected++
+		}
+	}
+	if delta.LoopsReoptimized > delta.LoopsDetected/2 {
+		t.Errorf("10%% dirty pools re-optimized %d of %d loops — delta path not engaging",
+			delta.LoopsReoptimized, delta.LoopsDetected)
+	}
+	if delta.LoopsReoptimized < affected {
+		t.Errorf("re-optimized %d loops but %d ranked loops touch dirty pools", delta.LoopsReoptimized, affected)
+	}
+}
+
+func TestRunDeltaPriceMoveReoptimizesTouchedLoops(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	ctx := context.Background()
+	st := &DeltaState{}
+	if _, err := RunDelta(ctx, pools, nil, cex.NewStatic(prices), Config{}, st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same reserves, one moved CEX price: only loops holding the token
+	// re-optimize, and the report matches a full scan at the new prices.
+	moved := make(map[string]float64, len(prices))
+	for k, v := range prices {
+		moved[k] = v
+	}
+	moved["WETH"] *= 1.05
+	delta, err := RunDelta(ctx, rebuild(t, pools), nil, cex.NewStatic(moved), Config{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(ctx, rebuild(t, pools), cex.NewStatic(moved), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameReport(t, delta, full)
+	if delta.LoopsReoptimized == 0 {
+		t.Error("moved price re-optimized nothing")
+	}
+	if delta.LoopsReused == 0 {
+		t.Error("moved price re-optimized everything — token index not used")
+	}
+}
+
+func TestRunDeltaTopologyChangeFallsBack(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	st := &DeltaState{}
+	if _, err := RunDelta(ctx, pools, nil, src, Config{}, st); err != nil {
+		t.Fatal(err)
+	}
+
+	grown := append(rebuild(t, pools), amm.MustNewPool("zz-new", "WETH", "USDC", 500, 900_000, amm.DefaultFee))
+	delta, err := RunDelta(ctx, grown, nil, src, Config{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(ctx, rebuild(t, grown), src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameReport(t, delta, full)
+	if s := st.Stats(); s.FullScans != 2 {
+		t.Errorf("topology change did not fall back to a full scan: %+v", s)
+	}
+
+	// And the next reserve-only update delta-scans against the new topology.
+	rng := rand.New(rand.NewSource(11))
+	next := perturb(t, rng, grown, 3)
+	delta2, err := RunDelta(ctx, next, nil, src, Config{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta2.LoopsReused == 0 {
+		t.Error("delta path did not resume after topology fallback")
+	}
+}
+
+// TestRunDeltaPermutedPoolsNoDirty proves canonicalization end to end: a
+// source returning the same pools in a different order is a no-op update
+// — cache hit, zero re-optimizations, identical report.
+func TestRunDeltaPermutedPoolsNoDirty(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	cache := NewCache(0)
+	cfg := Config{Cache: cache}
+	st := &DeltaState{}
+	first, err := RunDelta(ctx, pools, nil, src, cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shuffled := rebuild(t, pools)
+	rand.New(rand.NewSource(5)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	second, err := RunDelta(ctx, shuffled, nil, src, cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameReport(t, second, first)
+	if second.LoopsReoptimized != 0 || second.LoopsReused != second.LoopsDetected {
+		t.Errorf("permutation re-optimized %d loops, want 0", second.LoopsReoptimized)
+	}
+	if !second.TopologyCacheHit {
+		t.Error("permutation missed the topology cache")
+	}
+	// The delta path carries its own topology reference; the shared LRU
+	// must hold exactly the one canonical entry (no permutation thrash).
+	if s := cache.Stats(); s.Entries != 1 {
+		t.Errorf("cache stats = %+v, want exactly 1 entry", s)
+	}
+}
+
+// TestRunPermutedPoolsCacheHit is the full-scan half of the same
+// guarantee (the PR 2 regression: permutations thrashed the cache).
+func TestRunPermutedPoolsCacheHit(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	cfg := Config{Cache: NewCache(0)}
+	first, err := Run(ctx, pools, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shuffled := rebuild(t, pools)
+	rand.New(rand.NewSource(9)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	second, err := Run(ctx, shuffled, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.TopologyCacheHit {
+		t.Error("permuted pool order missed the topology cache")
+	}
+	requireSameReport(t, second, first)
+}
+
+// TestRunDeltaStrategyChangeFallsBack: a different strategy over the same
+// pools must never merge the previous strategy's cached results.
+func TestRunDeltaStrategyChangeFallsBack(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	st := &DeltaState{}
+	if _, err := RunDelta(ctx, pools, nil, src, Config{Strategy: strategy.MaxMaxStrategy{}}, st); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := RunDelta(ctx, rebuild(t, pools), nil, src, Config{Strategy: strategy.MaxPriceStrategy{}}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != strategy.NameMaxPrice {
+		t.Errorf("report strategy = %q", rep.Strategy)
+	}
+	if rep.LoopsReused != 0 {
+		t.Errorf("strategy change reused %d of the other strategy's results", rep.LoopsReused)
+	}
+	for _, r := range rep.Results {
+		if r.Result.Strategy != strategy.NameMaxPrice {
+			t.Fatalf("result %d carries %q numbers under a %q scan", r.Index, r.Result.Strategy, strategy.NameMaxPrice)
+		}
+	}
+	if s := st.Stats(); s.FullScans != 2 {
+		t.Errorf("strategy change did not fall back to a full scan: %+v", s)
+	}
+}
+
+// TestRunDeltaStrategyParamsChangeFallsBack: two parameterizations of the
+// same-named strategy are different strategies to the baseline key.
+func TestRunDeltaStrategyParamsChangeFallsBack(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	st := &DeltaState{}
+	if _, err := RunDelta(ctx, pools, nil, src, Config{Strategy: strategy.TraditionalStrategy{}}, st); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunDelta(ctx, rebuild(t, pools), nil, src, Config{Strategy: strategy.TraditionalStrategy{Start: "WETH"}}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LoopsReused != 0 {
+		t.Errorf("changed Start parameter reused %d anchor-start results", rep.LoopsReused)
+	}
+	if s := st.Stats(); s.FullScans != 2 {
+		t.Errorf("parameter change did not fall back to a full scan: %+v", s)
+	}
+}
+
+func TestRunDeltaHintOnlyWidens(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	st := &DeltaState{}
+	if _, err := RunDelta(ctx, pools, nil, src, Config{}, st); err != nil {
+		t.Fatal(err)
+	}
+
+	// A hint naming a clean pool forces its loops to re-optimize (widening
+	// is allowed) but cannot change the report.
+	hint := []string{pools[0].ID, "no-such-pool"}
+	delta, err := RunDelta(ctx, rebuild(t, pools), hint, src, Config{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(ctx, rebuild(t, pools), src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameReport(t, delta, full)
+}

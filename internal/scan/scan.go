@@ -73,6 +73,10 @@ type Config struct {
 	// enumeration bounds, so successive scans over topology-identical
 	// pool sets skip enumeration and only re-orient + re-optimize.
 	Cache *Cache
+	// DisableDelta turns the public Scanner's delta path off (its Watch
+	// and ScanDelta fall back to full scans). The engine itself ignores
+	// it: Run is always a full scan and RunDelta is always delta-capable.
+	DisableDelta bool
 }
 
 func (c Config) withDefaults() Config {
@@ -125,26 +129,72 @@ type Report struct {
 	// TopologyCacheHit reports whether detection reused a cached cycle
 	// enumeration (always false when Config.Cache is nil).
 	TopologyCacheHit bool
+	// LoopsReoptimized counts loops whose Strategy.Optimize actually ran
+	// this scan. A full scan re-optimizes every detected loop; a delta
+	// scan (RunDelta) only the loops touching a dirty pool or a moved
+	// price.
+	LoopsReoptimized int
+	// LoopsReused counts loops merged from the previous scan's results
+	// without re-optimization (always 0 for a full scan).
+	LoopsReused int
 	// Results is sorted by monetized profit, descending, then by Index;
 	// filtered by MinProfitUSD and truncated to TopK. Failed loops are
 	// not included (they arrive only on the stream).
 	Results []Result
 }
 
-// detection is the sequential front half of a scan, shared by Run and
-// Stream.
+// detection is the sequential front half of a scan, shared by Run,
+// Stream, and the delta engine's full-capture fallback.
 type detection struct {
 	graph    *graph.Graph
+	top      *topology
 	loops    []*strategy.Loop
+	orient   []int8 // per cycle: orientNone / orientForward / orientReverse
+	loopOf   []int  // per cycle: loop index, or -1 when not profitable
 	prices   strategy.PriceMap
-	cycles   int
 	cacheHit bool
 }
 
+// Cycle orientations. At most one direction of an undirected cycle can be
+// profitable (the two price products multiply to γ^{2k} < 1).
+const (
+	orientNone    int8 = 0
+	orientForward int8 = 1
+	orientReverse int8 = -1
+)
+
+// orientCycle returns the profitable orientation of a cycle against the
+// current reserves, mirroring cycles.ArbitrageLoops (forward tested
+// first).
+func orientCycle(g *graph.Graph, c cycles.Cycle) (int8, error) {
+	for _, o := range []int8{orientForward, orientReverse} {
+		prod, err := cycles.PriceProduct(g, directedFor(c, o))
+		if err != nil {
+			return orientNone, err
+		}
+		if prod > 1 {
+			return o, nil
+		}
+	}
+	return orientNone, nil
+}
+
+// directedFor returns the directed traversal of a cycle for a non-none
+// orientation.
+func directedFor(c cycles.Cycle, o int8) cycles.Directed {
+	if o == orientReverse {
+		return c.Reverse()
+	}
+	return c.Forward()
+}
+
 // enumerateTopology is the topology phase of detection: the cycle
-// enumeration over the token graph, the expensive half of a scan. With a
-// cache configured it is skipped entirely whenever an earlier scan
+// enumeration over the token graph, the expensive half of a scan, plus
+// the pool→cycle and token→cycle inverted indexes delta scans need. With
+// a cache configured it is skipped entirely whenever an earlier scan
 // already enumerated a pool set with the same fingerprint and bounds.
+// pools must already be canonical (Run and Stream canonicalize at entry),
+// so cached pool and node indices line up across scans.
 func enumerateTopology(g *graph.Graph, pools []*amm.Pool, cfg Config) (*topology, bool, error) {
 	var key string
 	if cfg.Cache != nil {
@@ -157,7 +207,7 @@ func enumerateTopology(g *graph.Graph, pools []*amm.Pool, cfg Config) (*topology
 	if err != nil {
 		return nil, false, err
 	}
-	top := &topology{cycles: cs}
+	top := newTopology(g, cs)
 	if cfg.Cache != nil {
 		cfg.Cache.store(key, top)
 	}
@@ -166,7 +216,8 @@ func enumerateTopology(g *graph.Graph, pools []*amm.Pool, cfg Config) (*topology
 
 // detect builds the graph, enumerates cycles (topology phase, cached),
 // orients the profitable ones, and batch-fetches every price the loops
-// need (state phase — reserve-dependent, never cached).
+// need (state phase — reserve-dependent, never cached). pools must be
+// canonical.
 func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config) (*detection, error) {
 	if len(pools) == 0 {
 		return nil, fmt.Errorf("scan: no pools to scan")
@@ -183,57 +234,88 @@ func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	directed, err := cycles.ArbitrageLoops(g, cs)
-	if err != nil {
-		return nil, err
-	}
 
-	loops := make([]*strategy.Loop, len(directed))
+	d := &detection{
+		graph:    g,
+		top:      top,
+		orient:   make([]int8, len(cs)),
+		loopOf:   make([]int, len(cs)),
+		cacheHit: hit,
+	}
 	tokenSet := make(map[string]struct{})
-	for i, d := range directed {
-		loop, err := LoopFromDirected(g, d)
+	for ci, c := range cs {
+		o, err := orientCycle(g, c)
 		if err != nil {
 			return nil, err
 		}
-		loops[i] = loop
+		d.orient[ci] = o
+		d.loopOf[ci] = -1
+		if o == orientNone {
+			continue
+		}
+		loop, err := LoopFromDirected(g, directedFor(c, o))
+		if err != nil {
+			return nil, err
+		}
+		d.loopOf[ci] = len(d.loops)
+		d.loops = append(d.loops, loop)
 		for _, t := range loop.Tokens() {
 			tokenSet[t] = struct{}{}
 		}
 	}
 
-	pm := strategy.PriceMap{}
-	if len(tokenSet) > 0 {
-		symbols := make([]string, 0, len(tokenSet))
-		for s := range tokenSet {
-			symbols = append(symbols, s)
-		}
-		sort.Strings(symbols)
-		fetched, err := prices.Prices(ctx, symbols)
-		if err != nil {
-			return nil, fmt.Errorf("scan: fetch prices: %w", err)
-		}
-		pm = strategy.PriceMap(fetched)
+	d.prices, err = fetchPrices(ctx, prices, tokenSet)
+	if err != nil {
+		return nil, err
 	}
-	return &detection{graph: g, loops: loops, prices: pm, cycles: len(cs), cacheHit: hit}, nil
+	return d, nil
 }
 
-// fanOut optimizes every detected loop over a bounded worker pool,
-// delivering one Result per loop to emit (in arbitrary order). It returns
-// early when the context is cancelled; unprocessed loops are skipped.
-func fanOut(ctx context.Context, d *detection, cfg Config, emit func(Result) bool) {
+// fetchPrices batch-fetches CEX prices for a token set in sorted symbol
+// order.
+func fetchPrices(ctx context.Context, prices source.PriceSource, tokenSet map[string]struct{}) (strategy.PriceMap, error) {
+	if len(tokenSet) == 0 {
+		return strategy.PriceMap{}, nil
+	}
+	symbols := make([]string, 0, len(tokenSet))
+	for s := range tokenSet {
+		symbols = append(symbols, s)
+	}
+	sort.Strings(symbols)
+	fetched, err := prices.Prices(ctx, symbols)
+	if err != nil {
+		return nil, fmt.Errorf("scan: fetch prices: %w", err)
+	}
+	return strategy.PriceMap(fetched), nil
+}
+
+// fanOut optimizes the loops named by jobs (indices into loops) over a
+// bounded worker pool, delivering one Result per job to emit (in
+// arbitrary order). It returns early when the context is cancelled;
+// unprocessed jobs are skipped.
+func fanOut(ctx context.Context, loops []*strategy.Loop, pm strategy.PriceMap, jobsList []int, cfg Config, emit func(Result) bool) {
+	if len(jobsList) == 0 {
+		return
+	}
+	// Never spawn more workers than jobs: the delta path's job list is
+	// routinely a handful of loops (or none) on the per-block hot path.
+	workers := cfg.Parallelism
+	if len(jobsList) < workers {
+		workers = len(jobsList)
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var emitMu sync.Mutex
 	done := make(chan struct{}) // closed when a consumer rejects further results
 	var closeDone sync.Once
 
-	for w := 0; w < cfg.Parallelism; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := cfg.Strategy.Optimize(ctx, d.loops[i], d.prices)
-				r := Result{Index: i, Loop: d.loops[i], Result: res, Err: err}
+				res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
+				r := Result{Index: i, Loop: loops[i], Result: res, Err: err}
 				emitMu.Lock()
 				ok := emit(r)
 				emitMu.Unlock()
@@ -246,7 +328,7 @@ func fanOut(ctx context.Context, d *detection, cfg Config, emit func(Result) boo
 	}
 
 feed:
-	for i := range d.loops {
+	for _, i := range jobsList {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -259,37 +341,39 @@ feed:
 	wg.Wait()
 }
 
-// Run scans the pool set once and returns the ranked batch report.
-func Run(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config) (Report, error) {
-	cfg = cfg.withDefaults()
-	d, err := detect(ctx, pools, prices, cfg)
-	if err != nil {
-		return Report{}, err
+// allJobs returns [0, n) — the job list of a full scan.
+func allJobs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
 	}
+	return out
+}
 
-	results := make([]Result, 0, len(d.loops))
+// assembleReport turns the complete per-loop result set (indexed by loop,
+// failures included, unfiltered) into the ranked batch report, applying
+// the systemic-failure check, the MinProfitUSD filter, ranking, and TopK
+// truncation. reoptimized + reused must equal len(all).
+func assembleReport(d *detection, cfg Config, all []Result, reoptimized, reused int) (Report, error) {
 	var (
 		firstErr  error
 		failed    int
 		succeeded int
 	)
-	fanOut(ctx, d, cfg, func(r Result) bool {
+	results := make([]Result, 0, len(all))
+	for _, r := range all {
 		if r.Err != nil {
 			failed++
 			if firstErr == nil {
 				firstErr = fmt.Errorf("scan: loop %s: %w", r.Loop, r.Err)
 			}
-			return true
+			continue
 		}
 		succeeded++
 		if r.Result.Monetized < cfg.MinProfitUSD {
-			return true
+			continue
 		}
 		results = append(results, r)
-		return true
-	})
-	if err := ctx.Err(); err != nil {
-		return Report{}, err
 	}
 	if firstErr != nil && succeeded == 0 {
 		// Every loop failed — a systemic cause (e.g. a price-map hole);
@@ -312,12 +396,39 @@ func Run(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg 
 		Parallelism:      cfg.Parallelism,
 		Tokens:           d.graph.NumNodes(),
 		Pools:            d.graph.NumEdges(),
-		CyclesExamined:   d.cycles,
+		CyclesExamined:   len(d.top.cycles),
 		LoopsDetected:    len(d.loops),
 		Failed:           failed,
 		TopologyCacheHit: d.cacheHit,
+		LoopsReoptimized: reoptimized,
+		LoopsReused:      reused,
 		Results:          results,
 	}, nil
+}
+
+// Run scans the pool set once and returns the ranked batch report.
+func Run(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	d, err := detect(ctx, Canonicalize(pools), prices, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	all := collectAll(ctx, d, cfg)
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	return assembleReport(d, cfg, all, len(d.loops), 0)
+}
+
+// collectAll runs the optimization fan-out over every detected loop and
+// returns the complete result set indexed by loop.
+func collectAll(ctx context.Context, d *detection, cfg Config) []Result {
+	all := make([]Result, len(d.loops))
+	fanOut(ctx, d.loops, d.prices, allJobs(len(d.loops)), cfg, func(r Result) bool {
+		all[r.Index] = r
+		return true
+	})
+	return all
 }
 
 // Stream scans the pool set and delivers per-loop results as they are
@@ -330,7 +441,7 @@ func Stream(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 	out := make(chan Result)
 	go func() {
 		defer close(out)
-		d, err := detect(ctx, pools, prices, cfg)
+		d, err := detect(ctx, Canonicalize(pools), prices, cfg)
 		if err != nil {
 			select {
 			case out <- Result{Index: -1, Err: err}:
@@ -338,7 +449,7 @@ func Stream(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 			}
 			return
 		}
-		fanOut(ctx, d, cfg, func(r Result) bool {
+		fanOut(ctx, d.loops, d.prices, allJobs(len(d.loops)), cfg, func(r Result) bool {
 			if r.Err == nil && r.Result.Monetized < cfg.MinProfitUSD {
 				return true
 			}

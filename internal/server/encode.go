@@ -50,6 +50,11 @@ type ReportJSON struct {
 	Failed int `json:"failed"`
 	// TopologyCacheHit reports whether detection reused cached cycles.
 	TopologyCacheHit bool `json:"topology_cache_hit"`
+	// LoopsReoptimized and LoopsReused expose the delta-scan work split:
+	// how many loops ran the optimizer this scan vs. merged from the
+	// previous scan's results.
+	LoopsReoptimized int `json:"loops_reoptimized"`
+	LoopsReused      int `json:"loops_reused"`
 	// Results is ranked by ProfitUSD descending.
 	Results []ResultJSON `json:"results"`
 }
@@ -68,6 +73,8 @@ func Encode(rep scan.Report, version uint64, height int64) ReportJSON {
 		LoopsDetected:    rep.LoopsDetected,
 		Failed:           rep.Failed,
 		TopologyCacheHit: rep.TopologyCacheHit,
+		LoopsReoptimized: rep.LoopsReoptimized,
+		LoopsReused:      rep.LoopsReused,
 		Results:          make([]ResultJSON, 0, len(rep.Results)),
 	}
 	for _, r := range rep.Results {

@@ -146,20 +146,53 @@ func (c *ChainSource) Pools(ctx context.Context) ([]*amm.Pool, error) {
 // to basis points — the one way snapshots become simulator markets, so
 // fees are never silently rewritten at the boundary. scale must match
 // the FromChain adapter reading the state back (≤ 0 selects the 1e6
-// default).
+// default). Reserves are rounded to the nearest base unit in arbitrary
+// precision, so no reserve×scale product can truncate or overflow into a
+// wrong (formerly even negative) on-chain reserve; a non-finite reserve
+// is an explicit error.
 func MirrorToChain(state *chain.State, snap *market.Snapshot, scale int64) error {
 	if scale <= 0 {
 		scale = 1_000_000
 	}
 	for _, p := range snap.Pools {
-		r0 := new(big.Int).SetInt64(int64(p.Reserve0 * float64(scale)))
-		r1 := new(big.Int).SetInt64(int64(p.Reserve1 * float64(scale)))
+		r0, err := reserveToBase(p.Reserve0, scale)
+		if err != nil {
+			return fmt.Errorf("source: mirror pool %s reserve0: %w", p.ID, err)
+		}
+		r1, err := reserveToBase(p.Reserve1, scale)
+		if err != nil {
+			return fmt.Errorf("source: mirror pool %s reserve1: %w", p.ID, err)
+		}
 		feeBps := int64(math.Round(p.Fee * amm.FeeDenominator))
 		if err := state.AddPool(p.ID, p.Token0, p.Token1, r0, r1, feeBps); err != nil {
 			return fmt.Errorf("source: mirror pool %s: %w", p.ID, err)
 		}
 	}
 	return nil
+}
+
+// reserveToBase converts a whole-token reserve to integer base units,
+// rounding half-up via big.Float so the product is exact at any
+// magnitude. The old int64(v*scale) conversion truncated toward zero and
+// silently overflowed past ~9.2e18 base units.
+func reserveToBase(v float64, scale int64) (*big.Int, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil, fmt.Errorf("source: reserve %g is not finite", v)
+	}
+	if v <= 0 {
+		return nil, fmt.Errorf("source: reserve %g must be positive", v)
+	}
+	// 128-bit precision keeps the 53-bit mantissa × 63-bit scale product
+	// exact; the default SetFloat64 precision (53) would round large
+	// products back to float64 granularity.
+	f := new(big.Float).SetPrec(128).SetFloat64(v)
+	f.Mul(f, new(big.Float).SetPrec(128).SetInt64(scale))
+	f.Add(f, big.NewFloat(0.5))
+	out, _ := f.Int(nil) // truncation after +0.5 = round half-up
+	if out.Sign() <= 0 {
+		return nil, fmt.Errorf("source: reserve %g rounds to zero at scale %d", v, scale)
+	}
+	return out, nil
 }
 
 // StaticPools is a fixed pool list satisfying PoolSource — the adapter for

@@ -2,6 +2,7 @@ package source
 
 import (
 	"context"
+	"math"
 	"math/big"
 	"testing"
 
@@ -88,6 +89,93 @@ func TestChainSource(t *testing.T) {
 	}
 	if rx != 100 || ry != 200 {
 		t.Errorf("reserves = %g, %g; want 100, 200", rx, ry)
+	}
+}
+
+// TestMirrorToChainScalesExactly is the reserve-scaling regression: the
+// old int64(reserve*scale) conversion truncated toward zero and silently
+// overflowed into negative on-chain reserves for large reserve×scale
+// products. Mirroring must round to the nearest base unit and stay exact
+// past the int64 range.
+func TestMirrorToChainScalesExactly(t *testing.T) {
+	const scale = 1_000_000
+	snap := &market.Snapshot{
+		Name:   "huge",
+		Tokens: []token.Token{{Symbol: "X"}, {Symbol: "Y"}, {Symbol: "Z"}},
+		Pools: []market.PoolRecord{
+			// 2^53−1 whole tokens × 1e6 ≈ 9.0e21 base units, far past
+			// MaxInt64 ≈ 9.22e18: the old conversion wrapped this negative
+			// and AddPool rejected it (or worse, a smaller overflow passed
+			// as a wrong reserve). The product also exceeds float64's 53
+			// mantissa bits, so the conversion must multiply at higher
+			// precision to stay exact.
+			{ID: "big", Token0: "X", Token1: "Y", Reserve0: 1 << 53, Reserve1: 9007199254740991, Fee: amm.DefaultFee},
+			// 0.2500009 × 1e6 = 250000.9 → truncation said 250000; rounding
+			// to nearest must say 250001.
+			{ID: "frac", Token0: "Y", Token1: "Z", Reserve0: 0.2500009, Reserve1: 1, Fee: amm.DefaultFee},
+		},
+		PricesUSD: map[string]float64{"X": 1, "Y": 1, "Z": 1},
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	state := chain.NewState(0)
+	if err := MirrorToChain(state, snap, scale); err != nil {
+		t.Fatal(err)
+	}
+
+	r0, r1, err := state.Reserves("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected values computed in exact integer arithmetic — not through
+	// float64 — so a lossy conversion cannot agree with them by accident.
+	want0 := new(big.Int).Mul(big.NewInt(1<<53), big.NewInt(scale))
+	want1 := new(big.Int).Mul(big.NewInt(9007199254740991), big.NewInt(scale))
+	if r0.Cmp(want0) != 0 || r1.Cmp(want1) != 0 {
+		t.Errorf("big pool reserves = %s, %s; want %s, %s", r0, r1, want0, want1)
+	}
+	if r0.Sign() <= 0 || r1.Sign() <= 0 {
+		t.Error("large reserve overflowed into a non-positive on-chain reserve")
+	}
+
+	f0, _, err := state.Reserves("frac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Int64() != 250001 {
+		t.Errorf("fractional reserve = %d base units, want 250001 (round-to-nearest)", f0.Int64())
+	}
+}
+
+// TestMirrorToChainRejectsDegenerateReserves: non-finite and
+// zero-rounding reserves surface as explicit errors, not corrupt state.
+func TestMirrorToChainRejectsDegenerateReserves(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		r0       float64
+		wantFail bool
+	}{
+		{"inf", math.Inf(1), true},
+		{"rounds-to-zero", 1e-9, true}, // 1e-9 × 1e6 = 1e-3 → 0 base units
+		{"ok", 1, false},
+	} {
+		snap := &market.Snapshot{
+			Name:   tc.name,
+			Tokens: []token.Token{{Symbol: "X"}, {Symbol: "Y"}},
+			Pools: []market.PoolRecord{
+				{ID: "p", Token0: "X", Token1: "Y", Reserve0: tc.r0, Reserve1: 1, Fee: amm.DefaultFee},
+			},
+			PricesUSD: map[string]float64{"X": 1, "Y": 1},
+		}
+		state := chain.NewState(0)
+		err := MirrorToChain(state, snap, 1_000_000)
+		if tc.wantFail && err == nil {
+			t.Errorf("%s: degenerate reserve %g accepted", tc.name, tc.r0)
+		}
+		if !tc.wantFail && err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
 	}
 }
 

@@ -18,20 +18,35 @@ type ScanReport = scan.Report
 
 // Scanner runs whole-market scans: detect arbitrage loops once from a
 // PoolSource, batch-fetch CEX prices from a PriceSource, and fan the
-// per-loop optimization out over a bounded worker pool. A Scanner is
-// immutable after construction and safe for concurrent use — any number
-// of Scan, ScanStream, ScanVersioned, and Watch calls may run at once,
-// each seeing its own point-in-time view of the sources.
+// per-loop optimization out over a bounded worker pool. A Scanner's
+// configuration is immutable after construction and safe for concurrent
+// use — any number of Scan, ScanStream, ScanVersioned, ScanDelta, and
+// Watch calls may run at once, each seeing its own point-in-time view of
+// the sources (delta scans briefly lock the scanner's delta state to
+// snapshot and commit baselines; prices and optimization always run
+// outside the lock).
 //
 // Every Scanner carries a topology cache (see WithTopologyCache): the
 // cycle-enumeration half of detection is keyed by a fingerprint of the
 // pool set's topology, so repeated scans over a market whose reserves
 // move but whose pools don't — the block-after-block case — skip
 // enumeration entirely and only re-orient and re-optimize.
+//
+// On top of that sits delta scanning (see ScanDelta and Watch): the
+// scanner remembers the previous scan's per-loop results and, for a
+// reserve-only update, re-optimizes only the loops routing through a
+// pool that actually traded (or holding a token whose CEX price moved),
+// merging every other result from the previous scan. Reports are
+// identical to full scans over the same state; Report.LoopsReoptimized
+// and Report.LoopsReused expose the work split. WithDeltaScans(false)
+// disables the path.
 type Scanner struct {
 	pools  PoolSource
 	prices PriceSource
 	cfg    scan.Config
+	// delta is the previous-scan result cache behind ScanDelta/Watch
+	// (nil when WithDeltaScans(false)).
+	delta *scan.DeltaState
 }
 
 // ScannerOption configures a Scanner.
@@ -110,6 +125,14 @@ func WithTopologyCache(capacity int) ScannerOption {
 	}
 }
 
+// WithDeltaScans toggles the delta path behind ScanDelta and Watch
+// (default on). With delta scans disabled every feed-driven scan is a
+// full scan — the pre-delta behaviour, useful for benchmarking the
+// speedup and as an escape hatch.
+func WithDeltaScans(enabled bool) ScannerOption {
+	return func(c *scan.Config) { c.DisableDelta = !enabled }
+}
+
 // NewScanner builds a scanner over a pool source and a price source.
 // A SnapshotSource (FromSnapshot) can serve as both.
 func NewScanner(pools PoolSource, prices PriceSource, opts ...ScannerOption) (*Scanner, error) {
@@ -128,7 +151,11 @@ func NewScanner(pools PoolSource, prices PriceSource, opts ...ScannerOption) (*S
 	if es, bad := cfg.Strategy.(errStrategy); bad {
 		return nil, fmt.Errorf("arbloop: unknown strategy %q (registered: %v)", es.name, StrategyNames())
 	}
-	return &Scanner{pools: pools, prices: prices, cfg: cfg}, nil
+	s := &Scanner{pools: pools, prices: prices, cfg: cfg}
+	if !cfg.DisableDelta {
+		s.delta = &scan.DeltaState{}
+	}
+	return s, nil
 }
 
 // Scan runs one batch scan: detection, parallel optimization, then
@@ -196,6 +223,36 @@ func (s *Scanner) ScanVersioned(ctx context.Context, u PoolUpdate) (VersionedRep
 	}, nil
 }
 
+// ScanDelta scans one versioned pool update on the delta path: only
+// loops affected by the update's reserve changes (widened by
+// Update.ChangedPools when the feed provides it) or by moved CEX prices
+// are re-optimized; every other result merges from the scanner's
+// previous scan. The report — results, ordering, counters — is identical
+// to ScanVersioned's full scan of the same update; LoopsReoptimized and
+// LoopsReused show the split. The scan transparently falls back to a
+// full one whenever the previous state cannot be reused: the first scan,
+// a topology change, or WithDeltaScans(false).
+//
+// Reserve changes are diffed against the scanner's own previous scan,
+// not trusted from the update, so coalesced feeds (skipped versions) and
+// stale ChangedPools sets cannot produce a wrong report.
+func (s *Scanner) ScanDelta(ctx context.Context, u PoolUpdate) (VersionedReport, error) {
+	if s.delta == nil {
+		return s.ScanVersioned(ctx, u)
+	}
+	start := time.Now()
+	rep, err := scan.RunDelta(ctx, u.Pools, u.ChangedPools, s.prices, s.cfg, s.delta)
+	if err != nil {
+		return VersionedReport{}, fmt.Errorf("arbloop: delta scan version %d: %w", u.Version, err)
+	}
+	return VersionedReport{
+		Version: u.Version,
+		Height:  u.Height,
+		Report:  rep,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
 // Watch subscribes to a pool watcher and re-scans on every update,
 // delivering one VersionedReport per consumed update until ctx is
 // cancelled or the watcher closes (the channel then closes). Updates
@@ -203,6 +260,10 @@ func (s *Scanner) ScanVersioned(ctx context.Context, u PoolUpdate) (VersionedRep
 // versions always increase but may skip — a slow strategy never builds a
 // backlog of stale blocks. A failed scan arrives with Err set and the
 // watch continues; one bad block must not take the service down.
+//
+// Scans run on the delta path (see ScanDelta): a reserve-only update
+// re-optimizes only the loops its dirty pools touch. WithDeltaScans
+// (false) restores full scans per update.
 func (s *Scanner) Watch(ctx context.Context, w *Watcher) <-chan VersionedReport {
 	out := make(chan VersionedReport)
 	updates, cancel := w.Subscribe()
@@ -217,7 +278,7 @@ func (s *Scanner) Watch(ctx context.Context, w *Watcher) <-chan VersionedReport 
 				if !ok {
 					return
 				}
-				vr, err := s.ScanVersioned(ctx, u)
+				vr, err := s.ScanDelta(ctx, u)
 				if err != nil {
 					if ctx.Err() != nil {
 						return

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -107,6 +108,55 @@ func BenchmarkScanWarmTopology(b *testing.B) {
 	}
 }
 
+// BenchmarkScanFullWarm measures the pre-delta per-block path: topology
+// cached, but every loop re-optimized on every scan, with ~10% of pools
+// trading between scans.
+func BenchmarkScanFullWarm(b *testing.B) {
+	benchmarkDeltaVsFull(b, false)
+}
+
+// BenchmarkScanDelta10pct measures the delta path on the same workload:
+// ~10% of pools trade between scans, so only the loops they touch
+// re-optimize.
+func BenchmarkScanDelta10pct(b *testing.B) {
+	benchmarkDeltaVsFull(b, true)
+}
+
+func benchmarkDeltaVsFull(b *testing.B, delta bool) {
+	market, prices := newMutableMarket(b)
+	sc, err := arbloop.NewScanner(market, prices, arbloop.WithDeltaScans(delta))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := arbloop.NewWatcher(market)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(29))
+	u, err := w.Refresh(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sc.ScanDelta(ctx, u); err != nil { // prime topology + delta state
+		b.Fatal(err)
+	}
+	dirty := len(u.Pools) / 10
+	if dirty == 0 {
+		dirty = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		market.trade(b, rng, dirty)
+		if u, err = w.Refresh(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := sc.ScanDelta(ctx, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // scanBenchRow is one BENCH_scan.json record.
 type scanBenchRow struct {
 	Strategy    string  `json:"strategy"`
@@ -187,12 +237,14 @@ func TestWriteScanBenchJSON(t *testing.T) {
 		GoMaxProc int             `json:"gomaxprocs"`
 		Rows      []scanBenchRow  `json:"rows"`
 		Cache     []cacheBenchRow `json:"topology_cache"`
+		Delta     []deltaBenchRow `json:"delta_scan"`
 		Server    serverBenchRow  `json:"server"`
 	}{
 		Benchmark: "scanner whole-market scan, §VI synthetic market",
 		GoMaxProc: n,
 		Rows:      rows,
 		Cache:     benchTopologyCache(t),
+		Delta:     benchDeltaScan(t),
 		Server:    benchServerThroughput(t),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -267,6 +319,106 @@ func benchTopologyCache(t *testing.T) []cacheBenchRow {
 		}
 		t.Logf("topology cache len %d: cold %7.0f scans/s, warm %7.0f scans/s (%.2fx)",
 			cfg.loopLen, row.ScansPerSecCold, row.ScansPerSecWarm, row.WarmSpeedup)
+		out = append(out, row)
+	}
+	return out
+}
+
+// deltaBenchRow records full-vs-delta scan throughput on a feed where
+// ~10% of pools trade between consecutive scans — the paper's per-block
+// regime. Full re-optimizes every loop each scan (topology cached);
+// delta re-optimizes only loops touching a dirty pool and merges the
+// rest from the previous scan.
+type deltaBenchRow struct {
+	Strategy          string  `json:"strategy"`
+	LoopLen           int     `json:"loop_len"`
+	Loops             int     `json:"loops"`
+	DirtyPools        int     `json:"dirty_pools_per_scan"`
+	Runs              int     `json:"runs"`
+	LoopsPerSecFull   float64 `json:"loops_per_sec_full"`
+	LoopsPerSecDelta  float64 `json:"loops_per_sec_delta"`
+	DeltaSpeedup      float64 `json:"delta_speedup"`
+	AvgReoptimizedPct float64 `json:"avg_reoptimized_pct"`
+}
+
+func benchDeltaScan(t *testing.T) []deltaBenchRow {
+	t.Helper()
+	ctx := context.Background()
+	var out []deltaBenchRow
+	for _, cfg := range []struct {
+		strat   arbloop.Strategy
+		loopLen int
+		runs    int
+	}{
+		{arbloop.MaxMaxStrategy{}, 3, 200},
+		{arbloop.MaxMaxStrategy{}, 4, 40},
+		{arbloop.ConvexStrategy{}, 3, 20},
+	} {
+		row := deltaBenchRow{Strategy: cfg.strat.Name(), LoopLen: cfg.loopLen, Runs: cfg.runs}
+		var reoptSum, detectedSum float64
+		for _, delta := range []bool{false, true} {
+			// Fresh market + identical trade sequence for both modes, so
+			// full and delta time the exact same update stream.
+			market, prices := newMutableMarket(t)
+			rng := rand.New(rand.NewSource(int64(97 + cfg.loopLen)))
+			sc, err := arbloop.NewScanner(market, prices,
+				arbloop.WithStrategy(cfg.strat),
+				arbloop.WithParallelism(1),
+				arbloop.WithLoopLengths(cfg.loopLen, cfg.loopLen),
+				arbloop.WithDeltaScans(delta),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := arbloop.NewWatcher(market)
+			u, err := w.Refresh(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vr, err := sc.ScanDelta(ctx, u) // prime topology cache + delta state
+			if err != nil {
+				t.Fatal(err)
+			}
+			row.Loops = vr.Report.LoopsDetected
+			row.DirtyPools = len(u.Pools) / 10
+			var elapsed time.Duration
+			for i := 0; i < cfg.runs; i++ {
+				market.trade(t, rng, row.DirtyPools)
+				if u, err = w.Refresh(ctx); err != nil {
+					t.Fatal(err)
+				}
+				start := time.Now()
+				if vr, err = sc.ScanDelta(ctx, u); err != nil {
+					t.Fatal(err)
+				}
+				elapsed += time.Since(start)
+				if delta {
+					reoptSum += float64(vr.Report.LoopsReoptimized)
+					detectedSum += float64(vr.Report.LoopsDetected)
+				}
+			}
+			perSec := float64(row.Loops) * float64(cfg.runs) / elapsed.Seconds()
+			if delta {
+				row.LoopsPerSecDelta = perSec
+			} else {
+				row.LoopsPerSecFull = perSec
+			}
+		}
+		row.DeltaSpeedup = row.LoopsPerSecDelta / row.LoopsPerSecFull
+		if detectedSum > 0 {
+			row.AvgReoptimizedPct = 100 * reoptSum / detectedSum
+		}
+		if row.DeltaSpeedup <= 1 {
+			t.Errorf("%s len %d: delta scans not faster than full (%.2fx)",
+				row.Strategy, row.LoopLen, row.DeltaSpeedup)
+		}
+		if row.AvgReoptimizedPct > 50 {
+			t.Errorf("%s len %d: delta scans re-optimized %.0f%% of loops on a 10%% dirty feed",
+				row.Strategy, row.LoopLen, row.AvgReoptimizedPct)
+		}
+		t.Logf("delta %-18s len %d: full %8.0f loops/s, delta %8.0f loops/s (%.2fx, %.0f%% reoptimized)",
+			row.Strategy, row.LoopLen, row.LoopsPerSecFull, row.LoopsPerSecDelta,
+			row.DeltaSpeedup, row.AvgReoptimizedPct)
 		out = append(out, row)
 	}
 	return out
