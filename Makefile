@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-go bench-delta fuzz clean
+.PHONY: all build test race vet bench bench-go bench-delta bench-shard fuzz clean
 
 all: build vet test
 
@@ -31,6 +31,11 @@ bench-go:
 # scans). Quick enough for CI.
 bench-delta:
 	$(GO) test -bench 'BenchmarkScan(FullWarm|Delta10pct)' -benchmem -run '^$$' .
+
+# Sharded delta path smoke: tiny run counts, runs on every PR so the
+# sharded engine compiles and stays delta-engaged.
+bench-shard:
+	$(GO) test -bench 'BenchmarkScanShardedDelta' -benchtime 20x -benchmem -run '^$$' .
 
 # Short fuzz of the AMM swap invariants (CI runs this on every PR).
 fuzz:

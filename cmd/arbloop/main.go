@@ -9,7 +9,7 @@
 //	arbloop detect   [-snapshot FILE] [-len N] [-top N]
 //	arbloop optimize [-snapshot FILE] [-len N] [-loop N]
 //	arbloop execute  [-snapshot FILE] [-len N] [-loop N]
-//	arbloop serve    [-addr HOST:PORT] [-snapshot FILE] [-len N] [-strategy NAME] [-block-interval D] [-noise N] ...
+//	arbloop serve    [-addr HOST:PORT] [-snapshot FILE] [-len N] [-strategy NAME] [-shards N] [-pprof HOST:PORT] [-block-interval D] [-noise N] ...
 //
 // Without -snapshot the paper-calibrated synthetic market is generated in
 // memory. `scan` is the one-shot entry point: one detection pass, then

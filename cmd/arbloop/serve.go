@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +39,8 @@ func cmdServe(args []string) error {
 	strategyName := fs.String("strategy", arbloop.StrategyMaxMax,
 		"per-loop strategy: "+strings.Join(arbloop.StrategyNames(), ", "))
 	parallel := fs.Int("parallel", 0, "optimization workers (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "delta-engine cycle shards (0 = GOMAXPROCS)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	top := fs.Int("top", 20, "serve the N most profitable loops (0 = all)")
 	minProfit := fs.Float64("min-profit", 0, "drop loops predicted below this USD profit")
 	maxCycles := fs.Int("max-cycles", 0, "fail a scan past this many enumerated cycles (0 = unlimited)")
@@ -71,6 +74,7 @@ func cmdServe(args []string) error {
 		arbloop.WithMaxCycles(*maxCycles),
 		arbloop.WithTopK(*top),
 		arbloop.WithDeltaScans(*delta),
+		arbloop.WithShards(*shards),
 	)
 	if err != nil {
 		return err
@@ -80,6 +84,7 @@ func cmdServe(args []string) error {
 	defer stop()
 	return serve(ctx, serveConfig{
 		addr:          *addr,
+		pprofAddr:     *pprofAddr,
 		state:         state,
 		scanner:       sc,
 		source:        src,
@@ -94,7 +99,10 @@ func cmdServe(args []string) error {
 // serveConfig carries the assembled service pieces; split from cmdServe
 // so tests can run the stack on an ephemeral port without flag parsing.
 type serveConfig struct {
-	addr          string
+	addr string
+	// pprofAddr, when non-empty, serves net/http/pprof on its own
+	// listener — opt-in, and never on the public report address.
+	pprofAddr     string
 	state         *chain.State
 	scanner       *arbloop.Scanner
 	source        arbloop.PoolSource
@@ -127,7 +135,36 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	cfg.state.OnBlock(func(int64) { watcher.Notify() })
 
 	srv := server.New()
+	// /v1/healthz reports the delta engine's fast-path hit rate and
+	// shard wake-ups alongside liveness.
+	srv.SetDeltaStatsProbe(cfg.scanner.DeltaStats)
 	errc := make(chan error, 1)
+
+	// Opt-in pprof on its own listener, so profiling a production
+	// service never exposes debug handlers on the report address.
+	if cfg.pprofAddr != "" {
+		pprofLn, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("serve: pprof listen %s: %w", cfg.pprofAddr, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: mux}
+		go func() {
+			<-ctx.Done()
+			_ = pprofSrv.Close()
+		}()
+		go func() {
+			cfg.logf("pprof on http://%s/debug/pprof/", pprofLn.Addr())
+			if err := pprofSrv.Serve(pprofLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				cfg.logf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	// Feed loop: every Notify (one per sealed block, plus the priming one
 	// below) becomes one versioned pool update. A feed error is fatal —

@@ -61,6 +61,7 @@ func TestServeSmoke(t *testing.T) {
 	go func() {
 		done <- serve(ctx, serveConfig{
 			addr:          "127.0.0.1:0",
+			pprofAddr:     "127.0.0.1:0",
 			state:         state,
 			scanner:       sc,
 			source:        src,
@@ -107,6 +108,24 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if h.Status != "ok" || h.Scans == 0 {
 		t.Errorf("health = %+v", h)
+	}
+	// The delta engine's counters are exposed: after warm blocks the
+	// fast path must have engaged (delta scans > 0) behind one capture.
+	if h.Delta == nil {
+		t.Fatal("healthz has no delta section")
+	}
+	if h.Delta.FullScans == 0 || h.Delta.Shards == 0 {
+		t.Errorf("delta health = %+v, want at least one capture over >0 shards", h.Delta)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for h.Delta.DeltaScans == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("delta path never engaged: %+v", h.Delta)
+		}
+		time.Sleep(25 * time.Millisecond)
+		if err := pollJSON(base+"/v1/healthz", &h); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	// Hold an SSE stream open across shutdown: serve must still exit

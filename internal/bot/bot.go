@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"runtime"
 	"sort"
 
 	"arbloop/internal/amm"
@@ -131,6 +132,10 @@ type Bot struct {
 	// own executions plus whatever retail flow moved. Equivalent reports,
 	// a fraction of the optimization work.
 	delta *scan.DeltaState
+	// pool is the persistent worker pool a Run installs for its blocks,
+	// so per-block parallel phases reuse parked goroutines instead of
+	// respawning them every block (nil outside Run: Step spawns).
+	pool *scan.Workers
 
 	// lifetime counters
 	blocks        int
@@ -199,6 +204,7 @@ func (b *Bot) findPlans(ctx context.Context) ([]plan, error) {
 		Parallelism:  b.cfg.Parallelism,
 		MinProfitUSD: b.cfg.MinProfitUSD,
 		Cache:        b.cache,
+		Workers:      b.pool,
 	}, b.delta)
 	if err != nil {
 		return nil, fmt.Errorf("bot: scan: %w", err)
@@ -420,8 +426,21 @@ func (b *Bot) stepReoptimize(ctx context.Context) (BlockReport, error) {
 	return report, nil
 }
 
-// Run executes n blocks and returns their reports.
+// Run executes n blocks and returns their reports. For the duration of
+// the run the bot keeps a persistent scan worker pool, released when Run
+// returns.
 func (b *Bot) Run(ctx context.Context, n int) ([]BlockReport, error) {
+	if b.pool == nil {
+		workers := b.cfg.Parallelism
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		b.pool = scan.NewWorkers(workers)
+		defer func() {
+			b.pool.Close()
+			b.pool = nil
+		}()
+	}
 	reports := make([]BlockReport, 0, n)
 	for i := 0; i < n; i++ {
 		select {

@@ -82,6 +82,27 @@ func Build(pools []*amm.Pool) (*Graph, error) {
 	return g, nil
 }
 
+// Rebind returns a graph sharing this graph's topology (nodes, edges,
+// adjacency) but reading reserves from the given pool slice. It is the
+// per-block fast path behind the scan engine's topology cache: when two
+// pool sets have equal fingerprints their canonical graphs are identical
+// up to reserve values, so rebuilding the node index and adjacency lists
+// per scan is pure waste. pools must be the canonical pool slice of a
+// topology-identical market (same length, same tokens per index); the
+// slice is retained, not copied, and must not be mutated afterwards.
+func (g *Graph) Rebind(pools []*amm.Pool) (*Graph, error) {
+	if len(pools) != len(g.pools) {
+		return nil, fmt.Errorf("graph: rebind %d pools onto a %d-pool topology", len(pools), len(g.pools))
+	}
+	return &Graph{
+		nodes: g.nodes,
+		index: g.index,
+		pools: pools,
+		edges: g.edges,
+		adj:   g.adj,
+	}, nil
+}
+
 // NumNodes returns the token count.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 

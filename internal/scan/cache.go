@@ -97,6 +97,11 @@ func writeField(w io.Writer, s string) {
 // fields are treated as immutable by every reader.
 type topology struct {
 	cycles []cycles.Cycle
+	// skel is the canonical graph the cycles were enumerated on. Its
+	// reserves are a snapshot, but its node index, edge list, and
+	// adjacency depend only on the topology, so warm scans Rebind it to
+	// fresh pools instead of rebuilding the graph per scan.
+	skel *graph.Graph
 	// poolCycles[i] lists the indices of cycles that route through the
 	// canonical pool index i.
 	poolCycles [][]int
@@ -111,6 +116,7 @@ type topology struct {
 func newTopology(g *graph.Graph, cs []cycles.Cycle) *topology {
 	top := &topology{
 		cycles:      cs,
+		skel:        g,
 		poolCycles:  make([][]int, g.NumEdges()),
 		tokenCycles: make(map[string][]int, g.NumNodes()),
 		poolIndex:   make(map[string]int, g.NumEdges()),

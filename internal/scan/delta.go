@@ -15,74 +15,120 @@
 //     the loop reserves and the price map).
 //   - Pool sets are canonicalized before anything else, so pool and node
 //     indices — and therefore the cached inverted indexes — are stable
-//     across scans with equal fingerprints.
+//     across scans with equal topologies.
+//
+// The engine is sharded (see shard.go): the cycle set is partitioned
+// once per captured topology, each shard owns the captured per-cycle
+// state for its cycles, and a scan touches only the shards whose dirty
+// set is non-empty — re-orienting them in parallel and committing
+// copy-on-write per shard, so clean shards cost nothing, not even a
+// baseline copy.
+//
+// The per-block path is also on an allocation diet: the topology check
+// compares pool metadata field-by-field instead of hashing a
+// fingerprint, the graph is rebound to fresh reserves instead of
+// rebuilt, and every per-scan slice and map lives in a reusable scratch
+// arena carried by the DeltaState, so a steady-state delta scan touches
+// the allocator a fixed handful of times regardless of market size.
 //
 // The dirty set is computed by diffing reserves against the previous
 // scan's (authoritative, O(pools)), optionally widened by a caller-
 // provided hint such as feed.Update.ChangedPools; prices are re-fetched
 // every scan and diffed the same way, so a moved CEX price re-optimizes
 // exactly the loops it touches. Whenever the previous state cannot be
-// reused — first scan, topology changed, different enumeration bounds —
-// RunDelta transparently falls back to a full scan and captures fresh
-// state.
+// reused — first scan, topology changed, different enumeration bounds or
+// shard count, changed strategy — RunDelta transparently falls back to a
+// full scan and captures fresh state.
 package scan
 
 import (
 	"context"
 	"fmt"
+	"reflect"
+	"slices"
 	"sync"
 
 	"arbloop/internal/amm"
-	"arbloop/internal/graph"
 	"arbloop/internal/source"
 	"arbloop/internal/strategy"
 )
 
 // DeltaState carries one scanner's memory between delta scans: the
-// topology it scanned, the reserves and prices it scanned at, and the
-// per-cycle outcome (orientation, loop, result). A zero DeltaState is
+// topology it scanned, the shard partition, the reserves and prices it
+// scanned at, and the per-shard captured outcomes. A zero DeltaState is
 // ready to use — the first scan through it is a full scan that populates
 // it. Safe for concurrent use: the mutex guards only the in-memory
-// baseline snapshot and commit, never the price fetch or the
-// optimization fan-out, so a slow scan (hung PriceSource, heavy
-// strategy) cannot stall other scans on the same state. Concurrent
-// scans each compute against the baseline they snapshotted — any
-// committed baseline is a self-consistent (reserves, prices, results)
-// capture, so last-writer-wins is correct and the next diff simply runs
-// against whichever baseline landed.
+// baseline snapshot, the scratch-arena checkout, and commit — never the
+// price fetch or the optimization fan-out, so a slow scan (hung
+// PriceSource, heavy strategy) cannot stall other scans on the same
+// state. Concurrent scans each compute against the baseline they
+// snapshotted — any committed baseline is a self-consistent (reserves,
+// prices, shards) capture, so last-writer-wins is correct and the next
+// diff simply runs against whichever baseline landed.
 type DeltaState struct {
 	mu    sync.Mutex
 	valid bool
-	key   string // deltaKey of the captured scan
 	base  baseline
+	// scr is the reusable scratch arena. At most one scan holds it at a
+	// time; a concurrent scan that finds it checked out allocates a
+	// fresh one (rare — the steady state is one scan per block).
+	scr *scratch
 	// lifetime counters (under mu).
-	fullScans, deltaScans uint64
+	fullScans, deltaScans, shardScans uint64
+}
+
+// poolMeta is the topology identity of one canonical pool — everything
+// the Fingerprint hashes, kept unhashed so the per-block topology check
+// is a field compare instead of a SHA-256 pass.
+type poolMeta struct {
+	id, token0, token1 string
+	fee                float64
+}
+
+// scanBounds are the Config fields that shape a captured baseline beyond
+// the strategy: results captured under one set must never merge into a
+// scan running another.
+type scanBounds struct {
+	minLen, maxLen, maxCycles, shards int
+}
+
+func boundsOf(cfg Config) scanBounds {
+	return scanBounds{minLen: cfg.MinLen, maxLen: cfg.MaxLen, maxCycles: cfg.MaxCycles, shards: cfg.Shards}
 }
 
 // baseline is one captured scan, immutable once committed: every field
 // is replaced wholesale by commit, never mutated in place, so readers
-// holding a snapshot need no lock.
+// holding a snapshot need no lock. Shard baselines are shared across
+// consecutive commits when clean (copy-on-write).
 type baseline struct {
-	top *topology
+	top  *topology
+	plan *shardPlan
+	// strat and stratKey identify the strategy the results were
+	// optimized with: strat for the fast identity compare (the Scanner
+	// passes the same interface value every block), stratKey — the
+	// dereferenced value rendering — for callers constructing a fresh
+	// strategy object per scan.
+	strat    strategy.Strategy
+	stratKey string
+	bounds   scanBounds
+	// meta is the canonical pool set's topology identity at capture.
+	meta []poolMeta
 	// reserves[i] holds {Reserve0, Reserve1} of canonical pool i at the
 	// captured scan — what the dirty-pool diff runs against.
 	reserves [][2]float64
 	// prices is the price map the captured results were monetized with.
 	prices strategy.PriceMap
-	// orient and entries are per-cycle: the profitable orientation and,
-	// when profitable, the optimized outcome.
-	orient  []int8
-	entries []deltaEntry
+	// shards holds each shard's captured per-cycle outcomes.
+	shards []*shardBase
 }
 
-// snapshot returns the captured baseline when it is reusable for key,
-// recording the resolution in the stats.
-func (st *DeltaState) snapshot(key string, nPools int) (baseline, bool) {
+// snapshot returns the current baseline (under mu) without judging
+// usability — the caller checks topology, strategy, and bounds against
+// its own scan inputs.
+func (st *DeltaState) snapshot() (baseline, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	ok := st.valid && st.key == key && len(st.base.reserves) == nPools
-	st.bump(!ok)
-	return st.base, ok
+	return st.base, st.valid
 }
 
 // deltaEntry is one cycle's captured outcome (meaningful only when the
@@ -94,13 +140,24 @@ type deltaEntry struct {
 }
 
 // DeltaStats counts how RunDelta resolved its calls: on the fast path or
-// through the full-scan fallback.
+// through the full-scan fallback, and how much shard work the fast path
+// did.
 type DeltaStats struct {
 	FullScans, DeltaScans uint64
+	// ShardsScanned is the cumulative number of shards rescanned by
+	// committed scans. Captures contribute every shard, delta scans only
+	// the dirty ones, so a low ShardsScanned relative to Shards×(FullScans
+	// +DeltaScans) means the sharded fast path is doing its job.
+	ShardsScanned uint64
+	// Shards is the shard count of the current baseline (0 before the
+	// first capture).
+	Shards int
 }
 
-// bump records one resolution. Called with mu held.
+// bump records one resolution. Takes the lock itself.
 func (st *DeltaState) bump(full bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if full {
 		st.fullScans++
 	} else {
@@ -112,7 +169,146 @@ func (st *DeltaState) bump(full bool) {
 func (st *DeltaState) Stats() DeltaStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return DeltaStats{FullScans: st.fullScans, DeltaScans: st.deltaScans}
+	s := DeltaStats{FullScans: st.fullScans, DeltaScans: st.deltaScans, ShardsScanned: st.shardScans}
+	if st.valid && st.base.plan != nil {
+		s.Shards = st.base.plan.n
+	}
+	return s
+}
+
+// checkoutScratch hands the reusable arena to one scan (a fresh one when
+// another scan holds it); putScratch returns it.
+func (st *DeltaState) checkoutScratch() *scratch {
+	st.mu.Lock()
+	scr := st.scr
+	st.scr = nil
+	st.mu.Unlock()
+	if scr == nil {
+		scr = &scratch{}
+	}
+	return scr
+}
+
+func (st *DeltaState) putScratch(scr *scratch) {
+	st.mu.Lock()
+	st.scr = scr
+	st.mu.Unlock()
+}
+
+// strategyKey renders a strategy's identity: its name plus the %#v
+// rendering of its *value*, dereferencing pointers first. Callers that
+// construct `&ConvexStrategy{...}` fresh every block therefore get the
+// same key every block — rendering the pointer itself would bake the
+// allocation address into the key and silently force a full scan per
+// block. Parameterized strategies sharing a name (TraditionalStrategy
+// with different Start tokens) still get distinct keys.
+func strategyKey(s strategy.Strategy) string {
+	v := reflect.ValueOf(s)
+	for v.Kind() == reflect.Pointer && !v.IsNil() {
+		v = v.Elem()
+	}
+	if v.IsValid() && v.CanInterface() {
+		return fmt.Sprintf("%s|%#v", s.Name(), v.Interface())
+	}
+	return fmt.Sprintf("%s|%#v", s.Name(), s)
+}
+
+// comparableValue reports whether the dynamic type of s supports ==.
+func comparableValue(s any) bool {
+	t := reflect.TypeOf(s)
+	return t != nil && t.Comparable()
+}
+
+// usable reports whether the captured baseline can serve a delta scan of
+// the given canonical pools under cfg: same bounds and shard count, same
+// strategy, and an identical pool topology (metadata compared
+// field-by-field — the allocation-free equivalent of a fingerprint
+// match).
+func (b *baseline) usable(pools []*amm.Pool, cfg Config) bool {
+	if b.bounds != boundsOf(cfg) || len(pools) != len(b.meta) {
+		return false
+	}
+	same := false
+	if b.strat != nil && comparableValue(b.strat) && comparableValue(cfg.Strategy) {
+		same = b.strat == cfg.Strategy
+	}
+	if !same && strategyKey(cfg.Strategy) != b.stratKey {
+		return false
+	}
+	for i, p := range pools {
+		m := &b.meta[i]
+		if p.ID != m.id || p.Token0 != m.token0 || p.Token1 != m.token1 || p.Fee != m.fee {
+			return false
+		}
+	}
+	return true
+}
+
+// scratch is the reusable per-scan arena: every slice and map the delta
+// fast path needs, sized once and recycled block after block so the
+// steady-state scan performs no per-item allocation. Nothing in here
+// outlives the scan that holds it — state that must survive (orient,
+// entries) is written into fresh copy-on-write shard baselines instead.
+type scratch struct {
+	dirtyPool  []bool // per canonical pool
+	dirtyCycle []bool // per cycle
+	// shardCycles[s] lists the reserve-dirty cycles of shard s this
+	// scan; dirtyShards lists the shards with any.
+	shardCycles [][]int
+	dirtyShards []int
+	shardErrs   []error // per dirtyShards position, set by phase-A workers
+	// newShard[s] is shard s's copy-on-write baseline this scan (nil =
+	// clean, shares the previous baseline).
+	newShard []*shardBase
+	// newLoop[ci] is the freshly built loop of a dirty profitable cycle
+	// (stale entries are never read — only cycles dirty this scan are).
+	newLoop []*strategy.Loop
+	loopIdx []int32 // per cycle: loop index this scan, or -1
+	loops   []*strategy.Loop
+	loopCycle []int  // per loop: owning cycle
+	reopt     []bool // per loop: must re-run Optimize
+	jobs      []int
+	all       []Result
+	tokenSet  map[string]struct{}
+	symbols   []string
+}
+
+// growSlice returns s resized to n, reallocating only when capacity is
+// short. Contents are unspecified.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// reset prepares the arena for one scan over nPools pools, nCycles
+// cycles, and nShards shards.
+func (s *scratch) reset(nPools, nCycles, nShards int) {
+	s.dirtyPool = growSlice(s.dirtyPool, nPools)
+	clear(s.dirtyPool)
+	s.dirtyCycle = growSlice(s.dirtyCycle, nCycles)
+	clear(s.dirtyCycle)
+	s.shardCycles = growSlice(s.shardCycles, nShards)
+	for i := range s.shardCycles {
+		s.shardCycles[i] = s.shardCycles[i][:0]
+	}
+	s.dirtyShards = s.dirtyShards[:0]
+	s.shardErrs = s.shardErrs[:0]
+	s.newShard = growSlice(s.newShard, nShards)
+	clear(s.newShard)
+	s.newLoop = growSlice(s.newLoop, nCycles)
+	s.loopIdx = growSlice(s.loopIdx, nCycles)
+	s.loops = s.loops[:0]
+	s.loopCycle = s.loopCycle[:0]
+	s.reopt = s.reopt[:0]
+	s.jobs = s.jobs[:0]
+	if s.tokenSet == nil {
+		s.tokenSet = make(map[string]struct{})
+	} else {
+		clear(s.tokenSet)
+	}
+	s.symbols = s.symbols[:0]
 }
 
 // RunDelta scans the pool set, re-optimizing only the loops affected by
@@ -120,7 +316,7 @@ func (st *DeltaState) Stats() DeltaStats {
 // the rest from the captured results. The report is identical — results,
 // ordering, counters — to a full Run over the same pools and prices,
 // except that TopologyCacheHit reflects the delta path and
-// LoopsReoptimized/LoopsReused expose the work split.
+// LoopsReoptimized/LoopsReused/ShardsScanned expose the work split.
 //
 // hint optionally names pools the caller already knows changed (e.g.
 // feed.Update.ChangedPools); it widens the self-computed dirty set and is
@@ -128,8 +324,8 @@ func (st *DeltaState) Stats() DeltaStats {
 // feed updates, a skipped version — cannot produce a wrong report.
 //
 // RunDelta falls back to a full scan (capturing fresh state) whenever st
-// has no usable baseline: the first scan, a changed topology fingerprint,
-// changed enumeration bounds, or a changed strategy.
+// has no usable baseline: the first scan, a changed topology, changed
+// enumeration bounds or shard count, or a changed strategy.
 func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices source.PriceSource, cfg Config, st *DeltaState) (Report, error) {
 	cfg = cfg.withDefaults()
 	pools = Canonicalize(pools)
@@ -137,157 +333,241 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 		return Report{}, fmt.Errorf("scan: no pools to scan")
 	}
 
-	key := deltaKey(Fingerprint(pools), cfg)
-	base, ok := st.snapshot(key, len(pools))
-	if !ok {
-		return runCapture(ctx, pools, key, prices, cfg, st)
+	base, ok := st.snapshot()
+	if !ok || !base.usable(pools, cfg) {
+		st.bump(true)
+		return runCapture(ctx, pools, prices, cfg, st)
 	}
+	st.bump(false)
 
-	g, err := graph.Build(pools)
+	top, plan := base.top, base.plan
+	g, err := top.skel.Rebind(pools)
 	if err != nil {
 		return Report{}, err
 	}
-	top := base.top
+
+	scr := st.checkoutScratch()
+	defer st.putScratch(scr)
+	scr.reset(len(pools), len(top.cycles), plan.n)
 
 	// Dirty pools: the reserve diff against the captured baseline is
 	// authoritative; the hint can only widen it.
-	dirtyPool := make([]bool, len(pools))
+	dirtyPools := 0
 	for i, p := range pools {
 		if p.Reserve0 != base.reserves[i][0] || p.Reserve1 != base.reserves[i][1] {
-			dirtyPool[i] = true
+			scr.dirtyPool[i] = true
+			dirtyPools++
 		}
 	}
 	for _, id := range hint {
-		if i, ok := top.poolIndex[id]; ok {
-			dirtyPool[i] = true
+		if i, ok := top.poolIndex[id]; ok && !scr.dirtyPool[i] {
+			scr.dirtyPool[i] = true
+			dirtyPools++
 		}
 	}
 
-	// Dirty cycles via the inverted index: any cycle routing through a
-	// dirty pool must re-orient (its price product moved).
-	dirtyCycle := make([]bool, len(top.cycles))
-	for i, dirty := range dirtyPool {
+	// Dirty cycles via the inverted index, grouped by owning shard: any
+	// cycle routing through a dirty pool must re-orient (its price
+	// product moved), and only shards with dirty cycles wake up.
+	for pi, dirty := range scr.dirtyPool {
 		if !dirty {
 			continue
 		}
-		for _, ci := range top.poolCycles[i] {
-			dirtyCycle[ci] = true
+		for _, ci := range top.poolCycles[pi] {
+			if scr.dirtyCycle[ci] {
+				continue
+			}
+			scr.dirtyCycle[ci] = true
+			s := int(plan.shardOf[ci])
+			if len(scr.shardCycles[s]) == 0 {
+				scr.dirtyShards = append(scr.dirtyShards, s)
+			}
+			scr.shardCycles[s] = append(scr.shardCycles[s], ci)
 		}
 	}
 
-	// Re-orient dirty cycles; clean cycles keep their captured
-	// orientation. Then materialize the detected loop list in cycle order
-	// — exactly the order a full scan detects in — reusing clean loops.
-	orient := make([]int8, len(top.cycles))
-	loopOf := make([]int, len(top.cycles))
-	var loops []*strategy.Loop
-	var loopCycle []int // loop index → cycle index
-	reoptLoop := make(map[int]bool)
-	tokenSet := make(map[string]struct{})
-	for ci, c := range top.cycles {
-		o := base.orient[ci]
-		if dirtyCycle[ci] {
-			if o, err = orientCycle(g, c); err != nil {
+	// Phase A — shard re-orientation, dirty shards in parallel: each
+	// dirty shard clones its baseline (copy-on-write), re-orients its
+	// dirty cycles against the fresh reserves, and rebuilds the loops of
+	// the profitable ones.
+	if n := len(scr.dirtyShards); n > 0 {
+		scr.shardErrs = growSlice(scr.shardErrs, n)
+		clear(scr.shardErrs)
+		forEachIndex(ctx, cfg.Workers, cfg.Parallelism, n, func(k int) bool {
+			s := scr.dirtyShards[k]
+			sb := cloneShardBase(base.shards[s])
+			scr.newShard[s] = sb
+			for _, ci := range scr.shardCycles[s] {
+				lo := plan.localOf[ci]
+				o, err := orientCycle(g, top.cycles[ci])
+				if err != nil {
+					scr.shardErrs[k] = err
+					return false
+				}
+				sb.orient[lo] = o
+				if o == orientNone {
+					sb.entries[lo] = deltaEntry{} // drop the stale capture
+					continue
+				}
+				loop, err := LoopFromDirected(g, directedFor(top.cycles[ci], o))
+				if err != nil {
+					scr.shardErrs[k] = err
+					return false
+				}
+				scr.newLoop[ci] = loop
+			}
+			return true
+		})
+		for _, err := range scr.shardErrs {
+			if err != nil {
 				return Report{}, err
 			}
-		}
-		orient[ci] = o
-		loopOf[ci] = -1
-		if o == orientNone {
-			continue
-		}
-		var loop *strategy.Loop
-		if dirtyCycle[ci] {
-			if loop, err = LoopFromDirected(g, directedFor(c, o)); err != nil {
-				return Report{}, err
-			}
-			reoptLoop[len(loops)] = true
-		} else {
-			loop = base.entries[ci].loop
-		}
-		loopOf[ci] = len(loops)
-		loops = append(loops, loop)
-		loopCycle = append(loopCycle, ci)
-		for _, t := range loop.Tokens() {
-			tokenSet[t] = struct{}{}
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
+	}
+
+	// Stitch: materialize the detected loop list in global cycle order —
+	// exactly the order a full scan detects in — reading each cycle's
+	// orientation from its shard (the fresh clone when dirty, the shared
+	// baseline when clean), and union the loop tokens for the price
+	// fetch.
+	for ci := range top.cycles {
+		s := plan.shardOf[ci]
+		lo := plan.localOf[ci]
+		sb := scr.newShard[s]
+		if sb == nil {
+			sb = base.shards[s]
+		}
+		o := sb.orient[lo]
+		if o == orientNone {
+			scr.loopIdx[ci] = -1
+			continue
+		}
+		dirty := scr.dirtyCycle[ci]
+		var loop *strategy.Loop
+		if dirty {
+			loop = scr.newLoop[ci]
+		} else {
+			loop = sb.entries[lo].loop
+		}
+		li := len(scr.loops)
+		scr.loopIdx[ci] = int32(li)
+		scr.loops = append(scr.loops, loop)
+		scr.loopCycle = append(scr.loopCycle, ci)
+		scr.reopt = append(scr.reopt, dirty)
+		for k := 0; k < loop.Len(); k++ {
+			scr.tokenSet[loop.Token(k)] = struct{}{}
+		}
 	}
 
 	// Prices are re-fetched every scan (one batched call, the same set a
 	// full scan would fetch). A moved price re-optimizes every loop
-	// touching the token — cached Monetized values are stale for it.
-	pm, err := fetchPrices(ctx, prices, tokenSet)
+	// touching the token — cached Monetized values are stale for it —
+	// and wakes the loop's shard for the copy-on-write commit.
+	for tok := range scr.tokenSet {
+		scr.symbols = append(scr.symbols, tok)
+	}
+	slices.Sort(scr.symbols)
+	pm, err := fetchPriceSymbols(ctx, prices, scr.symbols)
 	if err != nil {
 		return Report{}, err
 	}
-	for tok := range tokenSet {
+	priceMoved := false
+	for _, tok := range scr.symbols {
 		old, ok := base.prices[tok]
 		if ok && old == pm[tok] {
 			continue
 		}
+		priceMoved = true
 		for _, ci := range top.tokenCycles[tok] {
-			if li := loopOf[ci]; li >= 0 {
-				reoptLoop[li] = true
+			li := scr.loopIdx[ci]
+			if li < 0 || scr.reopt[li] {
+				continue
+			}
+			scr.reopt[li] = true
+			if s := plan.shardOf[ci]; scr.newShard[s] == nil {
+				scr.newShard[s] = cloneShardBase(base.shards[s])
 			}
 		}
 	}
 
-	// Fan the affected loops out over the worker pool; merge the rest.
-	jobs := make([]int, 0, len(reoptLoop))
-	for li := range loops {
-		if reoptLoop[li] {
-			jobs = append(jobs, li)
+	// Phase B — optimization fan-out over the affected loops (chunked,
+	// parallel); every clean loop merges from its shard's capture.
+	scr.all = growSlice(scr.all, len(scr.loops))
+	for li, loop := range scr.loops {
+		if scr.reopt[li] {
+			scr.jobs = append(scr.jobs, li)
+			scr.all[li] = Result{Index: li, Loop: loop}
+			continue
 		}
+		ci := scr.loopCycle[li]
+		sb := scr.newShard[plan.shardOf[ci]]
+		if sb == nil {
+			sb = base.shards[plan.shardOf[ci]]
+		}
+		e := sb.entries[plan.localOf[ci]]
+		scr.all[li] = Result{Index: li, Loop: e.loop, Result: e.result, Err: e.err}
 	}
-	all := make([]Result, len(loops))
-	fanOut(ctx, loops, pm, jobs, cfg, func(r Result) bool {
-		all[r.Index] = r
-		return true
-	})
+	optimizeInto(ctx, scr.loops, pm, scr.jobs, scr.all, cfg)
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
-	for li, ci := range loopCycle {
-		if reoptLoop[li] {
-			continue
+
+	// Write the fresh outcomes into the copy-on-write shard entries.
+	for _, li := range scr.jobs {
+		ci := scr.loopCycle[li]
+		r := scr.all[li]
+		scr.newShard[plan.shardOf[ci]].entries[plan.localOf[ci]] = deltaEntry{loop: r.Loop, result: r.Result, err: r.Err}
+	}
+	shardsScanned := 0
+	for _, sb := range scr.newShard {
+		if sb != nil {
+			shardsScanned++
 		}
-		e := base.entries[ci]
-		all[li] = Result{Index: li, Loop: e.loop, Result: e.result, Err: e.err}
 	}
 
-	d := &detection{graph: g, top: top, loops: loops, orient: orient, loopOf: loopOf, prices: pm, cacheHit: true}
-	rep, err := assembleReport(d, cfg, all, len(jobs), len(loops)-len(jobs))
+	d := &detection{graph: g, top: top, loops: scr.loops, prices: pm, cacheHit: true}
+	rep, err := assembleReport(d, cfg, scr.all, len(scr.jobs), len(scr.loops)-len(scr.jobs))
 	if err != nil {
 		return Report{}, err
 	}
+	rep.ShardsScanned = shardsScanned
 
 	// Commit the new baseline only after a fully successful scan, so a
 	// failed pass leaves the previous (still self-consistent) state for
-	// the next diff.
-	st.commit(key, top, pools, pm, orient, loopCycle, all)
+	// the next diff. A no-op scan (nothing dirty, no price moved)
+	// commits nothing — the baseline is already exact.
+	if dirtyPools > 0 || priceMoved || shardsScanned > 0 {
+		shards := base.shards
+		if shardsScanned > 0 {
+			shards = make([]*shardBase, plan.n)
+			for s := range shards {
+				if scr.newShard[s] != nil {
+					shards[s] = scr.newShard[s]
+				} else {
+					shards[s] = base.shards[s]
+				}
+			}
+		}
+		reserves := make([][2]float64, len(pools))
+		for i, p := range pools {
+			reserves[i] = [2]float64{p.Reserve0, p.Reserve1}
+		}
+		next := base
+		next.reserves = reserves
+		next.prices = pm
+		next.shards = shards
+		st.commitBase(next, shardsScanned)
+	}
 	return rep, nil
 }
 
-// deltaKey scopes a baseline by everything that shapes its captured
-// results: the topology fingerprint, the enumeration bounds (cacheKey),
-// and the strategy — results optimized by one strategy must never merge
-// into a scan running another. The strategy's identity is its name plus
-// its %#v rendering, so parameterized strategies sharing a name
-// (TraditionalStrategy with different Start tokens, ConvexStrategy with
-// different Options) get distinct baselines; a pointer strategy renders
-// its address, which can only over-invalidate (full rescan), never
-// merge wrongly.
-func deltaKey(fingerprint string, cfg Config) string {
-	return fmt.Sprintf("%s|%#v|%s", cfg.Strategy.Name(), cfg.Strategy, cacheKey(fingerprint, cfg))
-}
-
 // runCapture is the full-scan fallback: one complete detection +
-// optimization pass that also captures per-cycle state for the next delta
-// scan. pools must be canonical.
-func runCapture(ctx context.Context, pools []*amm.Pool, key string, prices source.PriceSource, cfg Config, st *DeltaState) (Report, error) {
+// optimization pass that also captures per-shard state for the next
+// delta scan. pools must be canonical.
+func runCapture(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config, st *DeltaState) (Report, error) {
 	d, err := detect(ctx, pools, prices, cfg)
 	if err != nil {
 		return Report{}, err
@@ -301,32 +581,44 @@ func runCapture(ctx context.Context, pools []*amm.Pool, key string, prices sourc
 		return Report{}, err
 	}
 
+	plan := buildShardPlan(d.top, cfg.Shards)
 	loopCycle := make([]int, len(d.loops))
 	for ci, li := range d.loopOf {
 		if li >= 0 {
 			loopCycle[li] = ci
 		}
 	}
-	st.commit(key, d.top, pools, d.prices, d.orient, loopCycle, all)
-	return rep, nil
-}
-
-// commit replaces the captured baseline with a freshly built one (the
-// slices are never shared with a previous baseline, so snapshots held by
-// concurrent scans stay immutable). Takes the lock itself.
-func (st *DeltaState) commit(key string, top *topology, pools []*amm.Pool, pm strategy.PriceMap, orient []int8, loopCycle []int, all []Result) {
+	meta := make([]poolMeta, len(pools))
+	for i, p := range pools {
+		meta[i] = poolMeta{id: p.ID, token0: p.Token0, token1: p.Token1, fee: p.Fee}
+	}
 	reserves := make([][2]float64, len(pools))
 	for i, p := range pools {
 		reserves[i] = [2]float64{p.Reserve0, p.Reserve1}
 	}
-	entries := make([]deltaEntry, len(top.cycles))
-	for li, ci := range loopCycle {
-		r := all[li]
-		entries[ci] = deltaEntry{loop: r.Loop, result: r.Result, err: r.Err}
-	}
+	st.commitBase(baseline{
+		top:      d.top,
+		plan:     plan,
+		strat:    cfg.Strategy,
+		stratKey: strategyKey(cfg.Strategy),
+		bounds:   boundsOf(cfg),
+		meta:     meta,
+		reserves: reserves,
+		prices:   d.prices,
+		shards:   splitCapture(plan, d.orient, loopCycle, all),
+	}, plan.n)
+	rep.ShardsScanned = plan.n
+	return rep, nil
+}
+
+// commitBase replaces the captured baseline with a freshly built one
+// (dirty shard baselines are fresh copies, clean ones shared — either
+// way nothing a concurrent snapshot holds is mutated). Takes the lock
+// itself.
+func (st *DeltaState) commitBase(b baseline, shardsScanned int) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.valid = true
-	st.key = key
-	st.base = baseline{top: top, reserves: reserves, prices: pm, orient: orient, entries: entries}
+	st.base = b
+	st.shardScans += uint64(shardsScanned)
 }

@@ -20,8 +20,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"arbloop/internal/amm"
 	"arbloop/internal/cycles"
@@ -73,6 +75,15 @@ type Config struct {
 	// enumeration bounds, so successive scans over topology-identical
 	// pool sets skip enumeration and only re-orient + re-optimize.
 	Cache *Cache
+	// Shards partitions the cycle set for the delta path (default
+	// GOMAXPROCS): each shard owns the captured state of its cycles, and
+	// a delta scan re-orients only the shards whose dirty set is
+	// non-empty, in parallel. Full scans ignore it. See shard.go.
+	Shards int
+	// Workers, when non-nil, runs the scan's parallel phases on a
+	// persistent goroutine pool instead of spawning goroutines per scan —
+	// the block-driven serving configuration (Scanner.Watch, Bot.Run).
+	Workers *Workers
 	// DisableDelta turns the public Scanner's delta path off (its Watch
 	// and ScanDelta fall back to full scans). The engine itself ignores
 	// it: Run is always a full scan and RunDelta is always delta-capable.
@@ -91,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -137,6 +151,10 @@ type Report struct {
 	// LoopsReused counts loops merged from the previous scan's results
 	// without re-optimization (always 0 for a full scan).
 	LoopsReused int
+	// ShardsScanned counts the shards whose state was rescanned: every
+	// shard on a capture (full) pass through the delta engine, only the
+	// dirty ones on a delta scan, 0 for a plain unsharded Run.
+	ShardsScanned int
 	// Results is sorted by monetized profit, descending, then by Index;
 	// filtered by MinProfitUSD and truncated to TopK. Failed loops are
 	// not included (they arrive only on the stream).
@@ -192,26 +210,36 @@ func directedFor(c cycles.Cycle, o int8) cycles.Directed {
 // enumeration over the token graph, the expensive half of a scan, plus
 // the pool→cycle and token→cycle inverted indexes delta scans need. With
 // a cache configured it is skipped entirely whenever an earlier scan
-// already enumerated a pool set with the same fingerprint and bounds.
+// already enumerated a pool set with the same fingerprint and bounds —
+// and the cached graph skeleton is rebound to the fresh reserves instead
+// of rebuilt, so a warm scan never pays graph construction either.
 // pools must already be canonical (Run and Stream canonicalize at entry),
 // so cached pool and node indices line up across scans.
-func enumerateTopology(g *graph.Graph, pools []*amm.Pool, cfg Config) (*topology, bool, error) {
+func enumerateTopology(pools []*amm.Pool, cfg Config) (*graph.Graph, *topology, bool, error) {
 	var key string
 	if cfg.Cache != nil {
 		key = cacheKey(Fingerprint(pools), cfg)
 		if top, ok := cfg.Cache.lookup(key); ok {
-			return top, true, nil
+			g, err := top.skel.Rebind(pools)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return g, top, true, nil
 		}
+	}
+	g, err := graph.Build(pools)
+	if err != nil {
+		return nil, nil, false, err
 	}
 	cs, err := cycles.Enumerate(g, cfg.MinLen, cfg.MaxLen, cfg.MaxCycles)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	top := newTopology(g, cs)
 	if cfg.Cache != nil {
 		cfg.Cache.store(key, top)
 	}
-	return top, false, nil
+	return g, top, false, nil
 }
 
 // detect builds the graph, enumerates cycles (topology phase, cached),
@@ -222,11 +250,7 @@ func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 	if len(pools) == 0 {
 		return nil, fmt.Errorf("scan: no pools to scan")
 	}
-	g, err := graph.Build(pools)
-	if err != nil {
-		return nil, err
-	}
-	top, hit, err := enumerateTopology(g, pools, cfg)
+	g, top, hit, err := enumerateTopology(pools, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +306,17 @@ func fetchPrices(ctx context.Context, prices source.PriceSource, tokenSet map[st
 		symbols = append(symbols, s)
 	}
 	sort.Strings(symbols)
+	return fetchPriceSymbols(ctx, prices, symbols)
+}
+
+// fetchPriceSymbols batch-fetches prices for an already sorted symbol
+// list — the delta path's variant, which reuses its scratch symbol slice
+// instead of building a fresh set per scan. The source must treat the
+// slice as read-only.
+func fetchPriceSymbols(ctx context.Context, prices source.PriceSource, symbols []string) (strategy.PriceMap, error) {
+	if len(symbols) == 0 {
+		return strategy.PriceMap{}, nil
+	}
 	fetched, err := prices.Prices(ctx, symbols)
 	if err != nil {
 		return nil, fmt.Errorf("scan: fetch prices: %w", err)
@@ -291,54 +326,85 @@ func fetchPrices(ctx context.Context, prices source.PriceSource, tokenSet map[st
 
 // fanOut optimizes the loops named by jobs (indices into loops) over a
 // bounded worker pool, delivering one Result per job to emit (in
-// arbitrary order). It returns early when the context is cancelled;
-// unprocessed jobs are skipped.
+// arbitrary order). Dispatch is chunked: workers pull job indices from a
+// shared atomic cursor instead of receiving one unbuffered-channel send
+// per loop, so per-loop dispatch costs one atomic add and the p=2
+// scaling cliff of the channel feeder is gone. It returns early when the
+// context is cancelled; unprocessed jobs are skipped.
 func fanOut(ctx context.Context, loops []*strategy.Loop, pm strategy.PriceMap, jobsList []int, cfg Config, emit func(Result) bool) {
 	if len(jobsList) == 0 {
 		return
 	}
-	// Never spawn more workers than jobs: the delta path's job list is
+	// Never run more workers than jobs: the delta path's job list is
 	// routinely a handful of loops (or none) on the per-block hot path.
 	workers := cfg.Parallelism
 	if len(jobsList) < workers {
 		workers = len(jobsList)
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	var emitMu sync.Mutex
-	done := make(chan struct{}) // closed when a consumer rejects further results
-	var closeDone sync.Once
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
-				r := Result{Index: i, Loop: loops[i], Result: res, Err: err}
-				emitMu.Lock()
-				ok := emit(r)
-				emitMu.Unlock()
-				if !ok {
-					closeDone.Do(func() { close(done) })
-					return
-				}
+	if workers <= 1 {
+		for _, i := range jobsList {
+			if ctx.Err() != nil {
+				return
 			}
-		}()
+			res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
+			if !emit(Result{Index: i, Loop: loops[i], Result: res, Err: err}) {
+				return
+			}
+		}
+		return
 	}
 
-feed:
-	for _, i := range jobsList {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break feed
-		case <-done:
-			break feed
+	var (
+		stopped atomic.Bool // a consumer rejected further results
+		emitMu  sync.Mutex
+	)
+	forEachIndex(ctx, cfg.Workers, workers, len(jobsList), func(k int) bool {
+		if stopped.Load() {
+			return false
 		}
+		i := jobsList[k]
+		res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
+		r := Result{Index: i, Loop: loops[i], Result: res, Err: err}
+		emitMu.Lock()
+		ok := stopped.Load() || emit(r)
+		emitMu.Unlock()
+		if !ok {
+			stopped.Store(true)
+			return false
+		}
+		return true
+	})
+}
+
+// optimizeInto is the batch counterpart of fanOut: it optimizes the
+// loops named by jobs and writes each outcome to out[job] directly. Job
+// indices are distinct, so workers need no emit lock, and the
+// single-worker path runs inline — zero allocations per loop and zero
+// per scan. Unprocessed jobs are left zero when ctx is cancelled.
+func optimizeInto(ctx context.Context, loops []*strategy.Loop, pm strategy.PriceMap, jobsList []int, out []Result, cfg Config) {
+	if len(jobsList) == 0 {
+		return
 	}
-	close(jobs)
-	wg.Wait()
+	workers := cfg.Parallelism
+	if len(jobsList) < workers {
+		workers = len(jobsList)
+	}
+	if workers <= 1 {
+		for _, i := range jobsList {
+			if ctx.Err() != nil {
+				return
+			}
+			res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
+			out[i] = Result{Index: i, Loop: loops[i], Result: res, Err: err}
+		}
+		return
+	}
+	forEachIndex(ctx, cfg.Workers, workers, len(jobsList), func(k int) bool {
+		i := jobsList[k]
+		res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
+		out[i] = Result{Index: i, Loop: loops[i], Result: res, Err: err}
+		return true
+	})
 }
 
 // allJobs returns [0, n) — the job list of a full scan.
@@ -382,11 +448,16 @@ func assembleReport(d *detection, cfg Config, all []Result, reoptimized, reused 
 		return Report{}, firstErr
 	}
 
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Result.Monetized != results[j].Result.Monetized {
-			return results[i].Result.Monetized > results[j].Result.Monetized
+	// slices.SortFunc instead of sort.Slice: same order, but no
+	// reflect.Swapper allocation on the per-block path.
+	slices.SortFunc(results, func(a, b Result) int {
+		if a.Result.Monetized != b.Result.Monetized {
+			if a.Result.Monetized > b.Result.Monetized {
+				return -1
+			}
+			return 1
 		}
-		return results[i].Index < results[j].Index
+		return a.Index - b.Index
 	})
 	if cfg.TopK > 0 && len(results) > cfg.TopK {
 		results = results[:cfg.TopK]
@@ -424,10 +495,7 @@ func Run(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg 
 // returns the complete result set indexed by loop.
 func collectAll(ctx context.Context, d *detection, cfg Config) []Result {
 	all := make([]Result, len(d.loops))
-	fanOut(ctx, d.loops, d.prices, allJobs(len(d.loops)), cfg, func(r Result) bool {
-		all[r.Index] = r
-		return true
-	})
+	optimizeInto(ctx, d.loops, d.prices, allJobs(len(d.loops)), all, cfg)
 	return all
 }
 

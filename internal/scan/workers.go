@@ -1,0 +1,129 @@
+// Workers is the persistent goroutine pool behind long-lived per-block
+// scanning (Scanner.Watch, arbloop serve, Bot.Run). A scan's parallel
+// phases — shard re-orientation, optimization fan-out — need a handful of
+// goroutines for a few hundred microseconds per block; spawning them
+// per scan means a block-driven service pays goroutine creation (stack
+// allocation, scheduler churn) thousands of times per minute for work
+// that is identical every block. A Workers pool keeps the goroutines
+// parked on a channel between blocks instead.
+package scan
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is a fixed-size pool of reusable goroutines. A nil *Workers is
+// valid and means "no pool": every Do spawns fresh goroutines, the
+// one-shot behaviour. Create with NewWorkers, release with Close. Safe
+// for concurrent use; concurrent batches interleave over the same
+// goroutines.
+type Workers struct {
+	tasks chan func()
+	quit  chan struct{}
+	size  int
+	once  sync.Once
+}
+
+// NewWorkers starts a pool of n parked goroutines (n <= 0 returns nil —
+// the spawn-per-call mode). Close must be called to release them.
+func NewWorkers(n int) *Workers {
+	if n <= 0 {
+		return nil
+	}
+	w := &Workers{tasks: make(chan func()), quit: make(chan struct{}), size: n}
+	for i := 0; i < n; i++ {
+		go func() {
+			for {
+				select {
+				case <-w.quit:
+					return
+				case f := <-w.tasks:
+					f()
+				}
+			}
+		}()
+	}
+	return w
+}
+
+// Size returns the number of pooled goroutines (0 for a nil pool).
+func (w *Workers) Size() int {
+	if w == nil {
+		return 0
+	}
+	return w.size
+}
+
+// Close releases the pool: every parked goroutine exits, and in-flight
+// tasks finish first. Do keeps working after Close (it falls back to
+// spawning), so a racing scan can never deadlock or panic on a closed
+// pool. Idempotent.
+func (w *Workers) Close() {
+	if w == nil {
+		return
+	}
+	w.once.Do(func() { close(w.quit) })
+}
+
+// forEachIndex runs fn(k) for every k in [0, n) over up to workers
+// concurrent goroutines pulling indices from a shared atomic cursor —
+// the one chunked-dispatch loop behind the optimization fan-outs and
+// the shard re-orientation phase, so cancellation and stop semantics
+// live in a single place. fn returning false stops the calling worker
+// (remaining indices it would have pulled are skipped by cooperating
+// workers only through their own fn results); ctx cancellation stops
+// every worker between indices. Callers on a zero-allocation budget
+// with one worker should loop inline instead — the fn closure costs an
+// allocation.
+func forEachIndex(ctx context.Context, pool *Workers, workers, n int, fn func(int) bool) {
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	pool.Do(workers, func() {
+		for ctx.Err() == nil {
+			k := cursor.Add(1) - 1
+			if k >= int64(n) {
+				return
+			}
+			if !fn(int(k)) {
+				return
+			}
+		}
+	})
+}
+
+// Do runs f on k concurrent goroutines and waits for all of them to
+// return. Pooled goroutines are preferred; when the pool is nil, busy
+// with another batch, or closed, the remainder is spawned fresh — Do
+// never blocks waiting for pool capacity, so nested or concurrent
+// batches cannot deadlock.
+func (w *Workers) Do(k int, f func()) {
+	if k <= 0 {
+		return
+	}
+	if k == 1 {
+		f()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	g := func() {
+		defer wg.Done()
+		f()
+	}
+	for i := 0; i < k; i++ {
+		if w != nil {
+			select {
+			case w.tasks <- g:
+				continue
+			default:
+				// Pool busy or closed: fall through and spawn.
+			}
+		}
+		go g()
+	}
+	wg.Wait()
+}

@@ -55,6 +55,9 @@ type ReportJSON struct {
 	// previous scan's results.
 	LoopsReoptimized int `json:"loops_reoptimized"`
 	LoopsReused      int `json:"loops_reused"`
+	// ShardsScanned counts the delta-engine shards rescanned for this
+	// report (0 for unsharded full scans).
+	ShardsScanned int `json:"shards_scanned"`
 	// Results is ranked by ProfitUSD descending.
 	Results []ResultJSON `json:"results"`
 }
@@ -75,6 +78,7 @@ func Encode(rep scan.Report, version uint64, height int64) ReportJSON {
 		TopologyCacheHit: rep.TopologyCacheHit,
 		LoopsReoptimized: rep.LoopsReoptimized,
 		LoopsReused:      rep.LoopsReused,
+		ShardsScanned:    rep.ShardsScanned,
 		Results:          make([]ResultJSON, 0, len(rep.Results)),
 	}
 	for _, r := range rep.Results {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"arbloop/internal/feed"
+	"arbloop/internal/scan"
 )
 
 // stored pairs a decoded report with its marshaled bytes so every reader
@@ -77,6 +78,24 @@ type Health struct {
 	TopologyCacheHit bool `json:"topology_cache_hit"`
 	// Strategy is the optimizer the service runs.
 	Strategy string `json:"strategy"`
+	// Delta, when the embedder registers a probe (SetDeltaStatsProbe),
+	// reports the delta engine's lifetime counters — full captures vs
+	// delta scans and the shard wake-up totals — so the fast-path hit
+	// rate is observable in production.
+	Delta *DeltaHealth `json:"delta,omitempty"`
+}
+
+// DeltaHealth is the delta-engine section of /v1/healthz.
+type DeltaHealth struct {
+	// FullScans and DeltaScans count how scans resolved: a healthy
+	// steady state is one full capture followed by delta scans.
+	FullScans  uint64 `json:"full_scans"`
+	DeltaScans uint64 `json:"delta_scans"`
+	// Shards is the current shard count; ShardsScanned the cumulative
+	// shards rescanned across all scans (captures contribute every
+	// shard, delta scans only the dirty ones).
+	Shards        int    `json:"shards"`
+	ShardsScanned uint64 `json:"shards_scanned"`
 }
 
 // Server serves scan reports. Create with New, publish with Publish, and
@@ -91,6 +110,20 @@ type Server struct {
 
 	scans        atomic.Uint64
 	lastScanNano atomic.Int64
+
+	// deltaStats, when set, is polled per healthz request.
+	deltaStats atomic.Pointer[func() scan.DeltaStats]
+}
+
+// SetDeltaStatsProbe registers a callback polled on every /v1/healthz
+// request to report the scanner's delta-engine counters (use
+// Scanner.DeltaStats). Pass nil to unregister. Safe to call at any time.
+func (s *Server) SetDeltaStatsProbe(fn func() scan.DeltaStats) {
+	if fn == nil {
+		s.deltaStats.Store(nil)
+		return
+	}
+	s.deltaStats.Store(&fn)
 }
 
 // New builds an empty server; /v1/report returns 503 until the first
@@ -192,6 +225,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.Strategy = rep.Strategy
 	}
 	h.LastScanMillis = float64(s.lastScanNano.Load()) / float64(time.Millisecond)
+	if probe := s.deltaStats.Load(); probe != nil {
+		ds := (*probe)()
+		h.Delta = &DeltaHealth{
+			FullScans:     ds.FullScans,
+			DeltaScans:    ds.DeltaScans,
+			Shards:        ds.Shards,
+			ShardsScanned: ds.ShardsScanned,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(h)
 }

@@ -130,6 +130,28 @@ func TestHealthzEndpoint(t *testing.T) {
 	if !h.TopologyCacheHit {
 		t.Error("cache hit not reflected in health")
 	}
+	if h.Delta != nil {
+		t.Errorf("delta section present without a probe: %+v", h.Delta)
+	}
+
+	// With a probe registered the delta counters appear; unregistering
+	// removes them again.
+	srv.SetDeltaStatsProbe(func() scan.DeltaStats {
+		return scan.DeltaStats{FullScans: 1, DeltaScans: 41, Shards: 4, ShardsScanned: 9}
+	})
+	get()
+	if h.Delta == nil {
+		t.Fatal("no delta section with a probe registered")
+	}
+	if h.Delta.FullScans != 1 || h.Delta.DeltaScans != 41 || h.Delta.Shards != 4 || h.Delta.ShardsScanned != 9 {
+		t.Errorf("delta health = %+v", h.Delta)
+	}
+	srv.SetDeltaStatsProbe(nil)
+	h = Health{}
+	get()
+	if h.Delta != nil {
+		t.Errorf("delta section survived unregistering: %+v", h.Delta)
+	}
 }
 
 // readEvents consumes SSE `data:` payloads from the stream until n events

@@ -30,7 +30,10 @@ type PoolSource interface {
 // it directly, as does the TTL-caching HTTP client.
 type PriceSource interface {
 	// Prices returns USD prices for all requested symbols; it fails if any
-	// symbol is unknown.
+	// symbol is unknown. The symbols slice is borrowed: implementations
+	// must not retain or mutate it after returning (the scan engine's
+	// per-block path reuses the backing array across scans) — copy it if
+	// it must outlive the call.
 	Prices(ctx context.Context, symbols []string) (map[string]float64, error)
 }
 

@@ -115,6 +115,10 @@ func (l *Loop) Hops() []Hop {
 // Hop returns hop i.
 func (l *Loop) Hop(i int) Hop { return l.hops[i] }
 
+// Token returns the input token of hop i without copying the token
+// slice — the allocation-free counterpart of Tokens() for hot paths.
+func (l *Loop) Token(i int) string { return l.tokens[i] }
+
 // HasToken reports whether the token is one of the loop's input tokens.
 func (l *Loop) HasToken(tok string) bool {
 	for _, t := range l.tokens {

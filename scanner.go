@@ -3,6 +3,7 @@ package arbloop
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"arbloop/internal/scan"
@@ -133,6 +134,32 @@ func WithDeltaScans(enabled bool) ScannerOption {
 	return func(c *scan.Config) { c.DisableDelta = !enabled }
 }
 
+// WithShards partitions the cycle set into n shards for the delta path
+// (default GOMAXPROCS). Each shard owns the remembered state of its
+// cycles — partitioned connected-component-aware over the pool→cycle
+// index — and a delta scan re-orients only the shards a dirty pool
+// touches, in parallel. Shards change how the work is organized, not
+// the results: reports are identical at every shard count.
+// WithParallelism independently bounds how many goroutines execute the
+// shard and per-loop work. Changing the shard count invalidates the
+// delta baseline (the next scan is a full capture).
+func WithShards(n int) ScannerOption {
+	return func(c *scan.Config) { c.Shards = n }
+}
+
+// DeltaStats reports how the scanner's delta state resolved its scans:
+// full captures vs delta scans, cumulative shards rescanned, and the
+// current shard count. Zero when delta scans are disabled.
+type DeltaStats = scan.DeltaStats
+
+// DeltaStats returns the scanner's delta-path counters.
+func (s *Scanner) DeltaStats() DeltaStats {
+	if s.delta == nil {
+		return DeltaStats{}
+	}
+	return s.delta.Stats()
+}
+
 // NewScanner builds a scanner over a pool source and a price source.
 // A SnapshotSource (FromSnapshot) can serve as both.
 func NewScanner(pools PoolSource, prices PriceSource, opts ...ScannerOption) (*Scanner, error) {
@@ -226,22 +253,36 @@ func (s *Scanner) ScanVersioned(ctx context.Context, u PoolUpdate) (VersionedRep
 // ScanDelta scans one versioned pool update on the delta path: only
 // loops affected by the update's reserve changes (widened by
 // Update.ChangedPools when the feed provides it) or by moved CEX prices
-// are re-optimized; every other result merges from the scanner's
-// previous scan. The report — results, ordering, counters — is identical
-// to ScanVersioned's full scan of the same update; LoopsReoptimized and
-// LoopsReused show the split. The scan transparently falls back to a
-// full one whenever the previous state cannot be reused: the first scan,
-// a topology change, or WithDeltaScans(false).
+// are re-optimized — in parallel across the shards they touch (see
+// WithShards); every other result merges from the scanner's previous
+// scan. The report — results, ordering, counters — is identical to
+// ScanVersioned's full scan of the same update; LoopsReoptimized,
+// LoopsReused, and ShardsScanned show the split. The scan transparently
+// falls back to a full one whenever the previous state cannot be reused:
+// the first scan, a topology change, or WithDeltaScans(false).
 //
 // Reserve changes are diffed against the scanner's own previous scan,
 // not trusted from the update, so coalesced feeds (skipped versions) and
 // stale ChangedPools sets cannot produce a wrong report.
 func (s *Scanner) ScanDelta(ctx context.Context, u PoolUpdate) (VersionedReport, error) {
+	return s.scanUpdate(ctx, u, s.cfg)
+}
+
+// scanUpdate runs one versioned scan under the given engine config —
+// the delta path when the scanner has delta state, a full scan
+// otherwise. Watch passes a config wired to its persistent worker pool;
+// ScanDelta passes the scanner's plain config.
+func (s *Scanner) scanUpdate(ctx context.Context, u PoolUpdate, cfg scan.Config) (VersionedReport, error) {
 	if s.delta == nil {
-		return s.ScanVersioned(ctx, u)
+		start := time.Now()
+		rep, err := scan.Run(ctx, u.Pools, s.prices, cfg)
+		if err != nil {
+			return VersionedReport{}, fmt.Errorf("arbloop: scan version %d: %w", u.Version, err)
+		}
+		return VersionedReport{Version: u.Version, Height: u.Height, Report: rep, Elapsed: time.Since(start)}, nil
 	}
 	start := time.Now()
-	rep, err := scan.RunDelta(ctx, u.Pools, u.ChangedPools, s.prices, s.cfg, s.delta)
+	rep, err := scan.RunDelta(ctx, u.Pools, u.ChangedPools, s.prices, cfg, s.delta)
 	if err != nil {
 		return VersionedReport{}, fmt.Errorf("arbloop: delta scan version %d: %w", u.Version, err)
 	}
@@ -262,14 +303,26 @@ func (s *Scanner) ScanDelta(ctx context.Context, u PoolUpdate) (VersionedReport,
 // watch continues; one bad block must not take the service down.
 //
 // Scans run on the delta path (see ScanDelta): a reserve-only update
-// re-optimizes only the loops its dirty pools touch. WithDeltaScans
-// (false) restores full scans per update.
+// re-optimizes only the loops its dirty pools touch, in parallel across
+// their shards. WithDeltaScans(false) restores full scans per update.
+//
+// Watch keeps one persistent worker pool for its lifetime, so the
+// per-block parallel phases reuse parked goroutines instead of spawning
+// fresh ones every block; the pool is released when the watch ends.
 func (s *Scanner) Watch(ctx context.Context, w *Watcher) <-chan VersionedReport {
 	out := make(chan VersionedReport)
 	updates, cancel := w.Subscribe()
+	cfg := s.cfg
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := scan.NewWorkers(workers)
+	cfg.Workers = pool
 	go func() {
 		defer close(out)
 		defer cancel()
+		defer pool.Close()
 		for {
 			select {
 			case <-ctx.Done():
@@ -278,7 +331,7 @@ func (s *Scanner) Watch(ctx context.Context, w *Watcher) <-chan VersionedReport 
 				if !ok {
 					return
 				}
-				vr, err := s.ScanDelta(ctx, u)
+				vr, err := s.scanUpdate(ctx, u, cfg)
 				if err != nil {
 					if ctx.Err() != nil {
 						return

@@ -73,6 +73,7 @@ func normalize(rep arbloop.ScanReport) server.ReportJSON {
 	rep.TopologyCacheHit = false
 	rep.LoopsReoptimized = 0
 	rep.LoopsReused = 0
+	rep.ShardsScanned = 0
 	return server.Encode(rep, 0, 0)
 }
 
