@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-go bench-delta bench-shard fuzz clean
+.PHONY: all build test race vet bench bench-go bench-convex bench-delta bench-shard fuzz clean
 
 all: build vet test
 
@@ -36,6 +36,12 @@ bench-delta:
 # sharded engine compiles and stays delta-engaged.
 bench-shard:
 	$(GO) test -bench 'BenchmarkScanShardedDelta' -benchtime 20x -benchmem -run '^$$' .
+
+# Convex solver smoke: structured O(n) fast path vs the generic dense
+# barrier solver, cold and warm-started. Tiny run counts keep it
+# CI-cheap; its job is to prove the fast path compiles and stays engaged.
+bench-convex:
+	$(GO) test -bench 'BenchmarkConvex(Generic|Structured|Warm)' -benchtime 20x -benchmem -run '^$$' .
 
 # Short fuzz of the AMM swap invariants (CI runs this on every PR).
 fuzz:

@@ -104,6 +104,12 @@ type (
 // from many workers.
 type Strategy = strategy.Strategy
 
+// WarmStarter is the optional Strategy extension the delta-scan path
+// uses: strategies implementing it re-optimize dirty loops from the
+// previous block's captured result instead of cold-starting.
+// ConvexStrategy implements it.
+type WarmStarter = strategy.WarmStarter
+
 // The paper's strategies as Strategy implementations.
 type (
 	// TraditionalStrategy fixes a start token (default: the loop anchor).
@@ -235,8 +241,13 @@ var (
 	MaxPrice = strategy.MaxPrice
 	// MaxMax takes the best Traditional start (paper eq. 6).
 	MaxMax = strategy.MaxMax
-	// Convex solves the paper's problem (8).
+	// Convex solves the paper's problem (8) on the structured O(n) fast
+	// path (ConvexOptions.Generic restores the dense reference solver).
 	Convex = strategy.Convex
+	// ConvexWarm is Convex warm-started from a previous result for the
+	// same loop (the previous block's optimum) — the entry point behind
+	// delta-scan re-optimization.
+	ConvexWarm = strategy.ConvexWarm
 	// ConvexRisky solves the shorting-allowed relaxation the paper
 	// mentions in §IV but declines to evaluate (extension).
 	ConvexRisky = strategy.ConvexRisky

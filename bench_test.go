@@ -287,6 +287,60 @@ func BenchmarkAblationProblem8(b *testing.B) {
 	}
 }
 
+// --- Convex solver paths (`make bench-convex`) ---
+//
+// The BenchmarkConvex* family compares the three ways one problem-(8)
+// solve can run: the generic dense barrier solver (closure constraints,
+// O(n³) Cholesky), the structured fast path (analytic curves, O(n)
+// cyclic Newton, pooled scratch), and the structured path warm-started
+// from a previous optimum — the delta-scan configuration.
+
+func benchmarkConvexSolve(b *testing.B, length int, opts strategy.ConvexOptions) {
+	loop, prices, err := experiments.SyntheticLoop(length)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := strategy.Convex(loop, prices, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvexGenericLen3(b *testing.B) {
+	benchmarkConvexSolve(b, 3, strategy.ConvexOptions{Generic: true})
+}
+
+func BenchmarkConvexStructuredLen3(b *testing.B) {
+	benchmarkConvexSolve(b, 3, strategy.ConvexOptions{})
+}
+
+func BenchmarkConvexGenericLen10(b *testing.B) {
+	benchmarkConvexSolve(b, 10, strategy.ConvexOptions{Generic: true})
+}
+
+func BenchmarkConvexStructuredLen10(b *testing.B) {
+	benchmarkConvexSolve(b, 10, strategy.ConvexOptions{})
+}
+
+func BenchmarkConvexWarmLen3(b *testing.B) {
+	loop, prices, err := experiments.SyntheticLoop(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, err := strategy.Convex(loop, prices, strategy.ConvexOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := strategy.ConvexWarm(loop, prices, strategy.ConvexOptions{}, &prev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationCycleDFS enumerates length-3 cycles by bounded DFS.
 func BenchmarkAblationCycleDFS(b *testing.B) {
 	len3, _ := pipelines(b)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	arbloop gen      [-seed N] [-tokens N] [-pools N] [-o FILE]
-//	arbloop scan     [-snapshot FILE] [-len N] [-strategy NAME] [-parallel N] [-top N] [-min-profit X] [-max-cycles N] [-stream] [-json]
+//	arbloop scan     [-snapshot FILE] [-len N] [-strategy NAME] [-parallel N] [-top N] [-min-profit X] [-max-cycles N] [-stream] [-json] [-cpuprofile FILE] [-runs N]
 //	arbloop detect   [-snapshot FILE] [-len N] [-top N]
 //	arbloop optimize [-snapshot FILE] [-len N] [-loop N]
 //	arbloop execute  [-snapshot FILE] [-len N] [-loop N]
@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/big"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"arbloop"
@@ -159,11 +160,19 @@ func cmdScan(args []string) error {
 	maxCycles := fs.Int("max-cycles", 0, "fail the scan past this many enumerated cycles (0 = unlimited)")
 	stream := fs.Bool("stream", false, "print results as they complete instead of a ranked table")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON (the same encoding `arbloop serve` serves)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the scan phase to this file (inspect with `go tool pprof`)")
+	runs := fs.Int("runs", 1, "repeat the scan N times (report the last; >1 gives profiles enough samples)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *stream && *jsonOut {
 		return fmt.Errorf("scan: -stream and -json are mutually exclusive")
+	}
+	if *runs < 1 {
+		return fmt.Errorf("scan: -runs must be >= 1")
+	}
+	if *stream && (*cpuprofile != "" || *runs != 1) {
+		return fmt.Errorf("scan: -cpuprofile/-runs apply to batch scans, not -stream")
 	}
 	snap, err := loadOrGenerate(*snapshot, *seed)
 	if err != nil {
@@ -198,9 +207,22 @@ func cmdScan(args []string) error {
 		return nil
 	}
 
-	report, err := sc.Scan(ctx)
-	if err != nil {
-		return err
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var report arbloop.ScanReport
+	for i := 0; i < *runs; i++ {
+		if report, err = sc.Scan(ctx); err != nil {
+			return err
+		}
 	}
 	if *jsonOut {
 		return server.Encode(report, 0, 0).WriteIndented(os.Stdout)

@@ -60,6 +60,27 @@ func TestScanSubcommand(t *testing.T) {
 	}
 }
 
+func TestScanCPUProfile(t *testing.T) {
+	path := snapshotFile(t)
+	prof := t.TempDir() + "/scan.prof"
+	if err := run([]string{"scan", "-snapshot", path, "-top", "2", "-runs", "3", "-cpuprofile", prof}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(prof)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Error("profile is empty")
+	}
+	if err := run([]string{"scan", "-snapshot", path, "-runs", "0"}); err == nil {
+		t.Error("-runs 0: want error")
+	}
+	if err := run([]string{"scan", "-snapshot", path, "-stream", "-cpuprofile", prof}); err == nil {
+		t.Error("-stream with -cpuprofile: want error")
+	}
+}
+
 func TestOptimize(t *testing.T) {
 	path := snapshotFile(t)
 	if err := run([]string{"optimize", "-snapshot", path}); err != nil {

@@ -61,7 +61,11 @@ type Problem struct {
 type Options struct {
 	// Tol is the target duality-gap bound m/t (default 1e-9).
 	Tol float64
-	// T0 is the initial barrier parameter (default 1).
+	// T0 is the initial barrier parameter. Zero selects a scale-aware
+	// default: m / (5% of |f(x0)|), capped at 1 — so the first
+	// centering's gap bound is proportionate to the objective scale and
+	// large-scale problems skip the boundary-creep phase a flat t=1
+	// would suffer (Boyd & Vandenberghe §11.3.1).
 	T0 float64
 	// Mu is the barrier growth factor per outer iteration (default 20).
 	Mu float64
@@ -78,9 +82,8 @@ func (o Options) withDefaults() Options {
 	if o.Tol <= 0 {
 		o.Tol = 1e-9
 	}
-	if o.T0 <= 0 {
-		o.T0 = 1
-	}
+	// T0 <= 0 stays zero: the solvers derive the scale-aware default
+	// from the start point (see initialT).
 	if o.Mu <= 1 {
 		o.Mu = 20
 	}
@@ -130,25 +133,49 @@ func Minimize(p Problem, x0 linalg.Vector, opts Options) (Result, error) {
 
 	x := x0.Clone()
 	m := float64(len(p.Constraints))
-	t := opts.T0
+	t := initialT(opts.T0, m, p.Objective(x0))
+	// GapBound stays +Inf until the first completed centering certifies a
+	// bound (0 for unconstrained problems, which have no gap).
 	res := Result{}
+	if m > 0 {
+		res.GapBound = math.Inf(1)
+	}
 
 	grad := linalg.NewVector(p.N)
 	cgrad := linalg.NewVector(p.N)
 	hess := linalg.NewMatrix(p.N, p.N)
+	// Per-iteration scratch, hoisted out of the Newton loop: the
+	// line-search candidate, the constraint-Hessian accumulator, and the
+	// ridged trial matrix + rhs of the Newton solve.
+	cand := linalg.NewVector(p.N)
+	hscratch := linalg.NewMatrix(p.N, p.N)
+	trial := linalg.NewMatrix(p.N, p.N)
+	rhs := linalg.NewVector(p.N)
+	// xcent snapshots the iterate after each completed centering — the
+	// rollback target when a later centering stalls at float64 resolution,
+	// so the reported gap bound m/t always describes the returned point.
+	xcent := linalg.NewVector(p.N)
+	haveCenter := false
 
 	for outer := 0; outer < opts.MaxOuter; outer++ {
 		res.OuterIters++
 
-		// Inner Newton loop on φ_t.
+		// Inner Newton loop on φ_t. centered reports whether this t's
+		// centering reached the Newton-decrement criterion; a centering
+		// that instead hits float64 resolution (failed line search,
+		// stagnation, norm-phase stall, iteration cap) leaves the iterate
+		// between central points, where the m/t gap bound does not hold —
+		// the solve then rolls back to the last completed centering and
+		// stops.
+		centered := false
 		stagnant := 0
 		for inner := 0; inner < opts.MaxNewton; inner++ {
-			phi, ok := evalBarrier(p, x, t, grad, cgrad, hess)
+			phi, ok := evalBarrier(p, x, t, grad, cgrad, hess, hscratch)
 			if !ok {
 				return res, fmt.Errorf("convexopt: barrier undefined at interior point (bug in caller's derivatives?)")
 			}
 
-			step, err := newtonStep(hess, grad)
+			step, err := newtonStep(hess, grad, trial, rhs)
 			if err != nil {
 				return res, fmt.Errorf("convexopt: newton system: %w", err)
 			}
@@ -158,6 +185,7 @@ func Minimize(p Problem, x0 linalg.Vector, opts Options) (Result, error) {
 			}
 			lambda2 = -lambda2 // step = -H⁻¹∇φ ⇒ ∇φᵀstep = -λ²
 			if lambda2/2 <= opts.NewtonTol {
+				centered = true
 				break
 			}
 			if math.IsNaN(lambda2) {
@@ -171,7 +199,9 @@ func Minimize(p Problem, x0 linalg.Vector, opts Options) (Result, error) {
 			improved := false
 			achieved := 0.0
 			for ls := 0; ls < 60; ls++ {
-				cand := x.Clone()
+				if err := cand.CopyFrom(x); err != nil {
+					return res, err
+				}
 				if err := cand.AXPY(s, step); err != nil {
 					return res, err
 				}
@@ -184,29 +214,43 @@ func Minimize(p Problem, x0 linalg.Vector, opts Options) (Result, error) {
 					s *= beta
 					continue
 				}
-				x = cand
+				x, cand = cand, x
 				improved = true
 				achieved = phi - candPhi
 				break
 			}
-			if !improved {
-				// Newton direction exhausted at this precision; accept the
-				// current centering point.
-				break
-			}
-			// Consecutive negligible decreases mean the centering has hit
-			// float64 resolution; further iterations cannot help.
-			if achieved <= 1e-10*(1+math.Abs(phi)) {
-				stagnant++
-				if stagnant >= 3 {
-					break
-				}
-			} else {
+			if improved && achieved > 1e-10*(1+math.Abs(phi)) {
 				stagnant = 0
+				continue
 			}
+			if improved {
+				// Negligible decrease; a few in a row mean φ-certified
+				// progress has hit float64 resolution.
+				stagnant++
+				if stagnant < 3 {
+					continue
+				}
+			}
+			// φ-certified progress is below float64 resolution (the t·f
+			// term swamps representable decreases at large t). Switch to
+			// the norm phase: accept Newton steps on Newton-decrement
+			// reduction instead, which is immune to the cancellation.
+			centered, err = normPhase(p, t, opts, &x, &cand, grad, cgrad, hess, hscratch, trial, rhs)
+			if err != nil {
+				return res, err
+			}
+			break
 		}
 
+		if !centered {
+			if haveCenter {
+				copy(x, xcent)
+			}
+			break
+		}
 		res.GapBound = m / t
+		copy(xcent, x)
+		haveCenter = true
 		if m == 0 || res.GapBound <= opts.Tol {
 			res.Converged = true
 			break
@@ -222,18 +266,29 @@ func Minimize(p Problem, x0 linalg.Vector, opts Options) (Result, error) {
 	return res, nil
 }
 
-// evalBarrier computes φ_t(x) and fills grad/hess. Returns ok=false when a
-// log argument is non-positive.
-func evalBarrier(p Problem, x linalg.Vector, t float64, grad, cgrad linalg.Vector, hess *linalg.Matrix) (float64, bool) {
+// initialT resolves the starting barrier parameter: the caller's t0 when
+// positive, otherwise m / (5% of |f(x0)|) capped at 1 — the first
+// centering then targets a gap bound proportionate to the objective
+// scale, instead of creeping along the boundary when |f| is many orders
+// of magnitude above 1.
+func initialT(t0, m, f0 float64) float64 {
+	if t0 > 0 {
+		return t0
+	}
+	f0 = math.Abs(f0)
+	if m > 0 && f0 > 1 {
+		return math.Min(1, m/(0.05*f0))
+	}
+	return 1
+}
+
+// evalBarrier computes φ_t(x) and fills grad/hess. scratch is an n×n
+// accumulator reused for the objective and constraint Hessians. Returns
+// ok=false when a log argument is non-positive.
+func evalBarrier(p Problem, x linalg.Vector, t float64, grad, cgrad linalg.Vector, hess, scratch *linalg.Matrix) (float64, bool) {
 	n := p.N
-	for i := range grad {
-		grad[i] = 0
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			hess.Set(i, j, 0)
-		}
-	}
+	grad.Zero()
+	hess.Zero()
 
 	phi := t * p.Objective(x)
 	p.Gradient(x, grad)
@@ -241,11 +296,11 @@ func evalBarrier(p Problem, x linalg.Vector, t float64, grad, cgrad linalg.Vecto
 		grad[i] *= t
 	}
 	if p.Hessian != nil {
-		scaled := linalg.NewMatrix(n, n)
-		p.Hessian(x, scaled)
+		scratch.Zero()
+		p.Hessian(x, scratch)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				hess.Add(i, j, t*scaled.At(i, j))
+				hess.Add(i, j, t*scratch.At(i, j))
 			}
 		}
 	}
@@ -257,9 +312,7 @@ func evalBarrier(p Problem, x linalg.Vector, t float64, grad, cgrad linalg.Vecto
 		}
 		phi -= math.Log(-g)
 
-		for i := range cgrad {
-			cgrad[i] = 0
-		}
+		cgrad.Zero()
 		c.Gradient(x, cgrad)
 
 		// ∇φ += ∇g/(−g);  ∇²φ += ∇g∇gᵀ/g² − ∇²g/g.
@@ -276,16 +329,80 @@ func evalBarrier(p Problem, x linalg.Vector, t float64, grad, cgrad linalg.Vecto
 			}
 		}
 		if c.Hessian != nil {
-			ch := linalg.NewMatrix(n, n)
-			c.Hessian(x, ch)
+			scratch.Zero()
+			c.Hessian(x, scratch)
 			for i := 0; i < n; i++ {
 				for j := 0; j < n; j++ {
-					hess.Add(i, j, ch.At(i, j)*inv)
+					hess.Add(i, j, scratch.At(i, j)*inv)
 				}
 			}
 		}
 	}
 	return phi, true
+}
+
+// normPhase finishes a centering whose φ-value line search hit float64
+// resolution: near the central point the barrier value t·f(x) − Σ log(·)
+// dwarfs the decreases a Newton step makes, so the Armijo test cannot
+// certify progress even though the iterate is still converging. The norm
+// phase instead accepts (feasibility-damped) Newton steps as long as the
+// Newton decrement λ² keeps shrinking — a quantity computed from
+// gradients, free of the cancellation — until the decrement criterion is
+// met (centered) or λ² stops improving (genuinely stalled). x and cand
+// are swapped in place as steps are accepted.
+func normPhase(p Problem, t float64, opts Options, x, cand *linalg.Vector,
+	grad, cgrad linalg.Vector, hess, hscratch, trial *linalg.Matrix, rhs linalg.Vector) (bool, error) {
+	eval := func(at linalg.Vector) (float64, error) {
+		if _, ok := evalBarrier(p, at, t, grad, cgrad, hess, hscratch); !ok {
+			return 0, fmt.Errorf("convexopt: barrier undefined at interior point (bug in caller's derivatives?)")
+		}
+		step, err := newtonStep(hess, grad, trial, rhs)
+		if err != nil {
+			return 0, err
+		}
+		l2, err := grad.Dot(step)
+		if err != nil {
+			return 0, err
+		}
+		copy(rhs, step) // keep the step; rhs doubles as its carrier
+		return -l2, nil
+	}
+	lambda2, err := eval(*x)
+	if err != nil {
+		return false, err
+	}
+	for iter := 0; iter < 40; iter++ {
+		if lambda2/2 <= opts.NewtonTol {
+			return true, nil
+		}
+		s := 1.0
+		for ; s > 1e-12; s *= 0.5 {
+			if err := (*cand).CopyFrom(*x); err != nil {
+				return false, err
+			}
+			if err := (*cand).AXPY(s, rhs); err != nil {
+				return false, err
+			}
+			if strictlyFeasible(p, *cand) {
+				break
+			}
+		}
+		if s <= 1e-12 {
+			return false, nil
+		}
+		l2, err := eval(*cand)
+		if err != nil {
+			return false, err
+		}
+		// Require genuine decrement reduction; NaN or growth means the
+		// step left the quadratic basin and the phase must stop.
+		if !(l2 < 0.9*lambda2) {
+			return false, nil
+		}
+		*x, *cand = *cand, *x
+		lambda2 = l2
+	}
+	return false, nil
 }
 
 // barrierValue computes φ_t(x) only; NaN when infeasible.
@@ -314,9 +431,12 @@ func strictlyFeasible(p Problem, x linalg.Vector) bool {
 // numerically positive definite. The ridge scales with the largest diagonal
 // entry: near-active constraints contribute rank-one barrier terms many
 // orders of magnitude above the rest of the Hessian, and only a
-// proportionate ridge restores numerical rank.
-func newtonStep(h *linalg.Matrix, grad linalg.Vector) (linalg.Vector, error) {
-	rhs := grad.Scale(-1)
+// proportionate ridge restores numerical rank. trial and rhs are
+// caller-owned scratch (overwritten).
+func newtonStep(h *linalg.Matrix, grad linalg.Vector, trial *linalg.Matrix, rhs linalg.Vector) (linalg.Vector, error) {
+	for i := range grad {
+		rhs[i] = -grad[i]
+	}
 	maxDiag := 1.0
 	for i := 0; i < h.Rows(); i++ {
 		if d := math.Abs(h.At(i, i)); d > maxDiag {
@@ -325,7 +445,9 @@ func newtonStep(h *linalg.Matrix, grad linalg.Vector) (linalg.Vector, error) {
 	}
 	ridge := 0.0
 	for attempt := 0; attempt < 16; attempt++ {
-		trial := h.Clone()
+		if err := trial.CopyFrom(h); err != nil {
+			return nil, err
+		}
 		if ridge > 0 {
 			for i := 0; i < trial.Rows(); i++ {
 				trial.Add(i, i, ridge)
@@ -342,7 +464,9 @@ func newtonStep(h *linalg.Matrix, grad linalg.Vector) (linalg.Vector, error) {
 		}
 	}
 	// Last resort: LU on a strongly ridged system (gradient-like step).
-	trial := h.Clone()
+	if err := trial.CopyFrom(h); err != nil {
+		return nil, err
+	}
 	for i := 0; i < trial.Rows(); i++ {
 		trial.Add(i, i, maxDiag)
 	}

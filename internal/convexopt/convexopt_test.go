@@ -244,8 +244,22 @@ func TestKKTResiduals(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
-	if o.Tol <= 0 || o.T0 <= 0 || o.Mu <= 1 || o.MaxNewton <= 0 || o.MaxOuter <= 0 || o.NewtonTol <= 0 {
+	if o.Tol <= 0 || o.Mu <= 1 || o.MaxNewton <= 0 || o.MaxOuter <= 0 || o.NewtonTol <= 0 {
 		t.Errorf("defaults not filled: %+v", o)
+	}
+	// T0 stays zero so the solvers derive the scale-aware start (see
+	// initialT); an explicit T0 is honored verbatim.
+	if o.T0 != 0 {
+		t.Errorf("T0 default should stay 0 (scale-aware), got %g", o.T0)
+	}
+	if got := initialT(2.5, 6, 1e9); got != 2.5 {
+		t.Errorf("explicit T0 overridden: %g", got)
+	}
+	if got := initialT(0, 6, 100); got != math.Min(1, 6/(0.05*100)) {
+		t.Errorf("scale-aware T0 = %g", got)
+	}
+	if got := initialT(0, 6, 0.5); got != 1 {
+		t.Errorf("small-scale T0 = %g, want 1", got)
 	}
 	// Explicit values survive.
 	o2 := Options{Tol: 1e-3, Mu: 5}.withDefaults()

@@ -1,0 +1,199 @@
+// Cyclic tridiagonal SPD systems in O(n). The barrier-method Newton
+// system of the reduced arbitrage-loop problem (convexopt.LoopProblem)
+// has exactly this shape: the objective Hessian is diagonal and flow
+// constraint i couples only variables i and i+1 (mod n), so the full
+// Hessian is symmetric tridiagonal plus the two cyclic corner entries
+// (0, n−1) and (n−1, 0). A dense Cholesky pays O(n³) and an allocation
+// per factor; the bordered LDLᵀ below pays O(n) and none.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// CyclicSPD is a symmetric positive-definite matrix of cyclic
+// tridiagonal form
+//
+//	A[i][i]           = Diag[i]
+//	A[i][i+1 mod n]   = A[i+1 mod n][i] = Off[i]
+//
+// with an O(n) LDLᵀ factorization. The last row/column is treated as a
+// border: eliminating the leading (n−1)×(n−1) tridiagonal block fills
+// only the border row, so factor and solve both stay linear in n. For
+// n = 2 the two off-diagonal couplings Off[0] and Off[1] address the
+// same matrix entry and are summed.
+//
+// All storage is owned by the value and recycled by Reset, so a solver
+// hot loop can refactor and resolve every Newton iteration without
+// touching the allocator.
+type CyclicSPD struct {
+	n int
+	// Diag and Off are the matrix coefficients, (re)zeroed by Reset and
+	// filled by the caller before Factor.
+	Diag, Off []float64
+	// Factorization state: l holds the subdiagonal multipliers
+	// (length max(n−2, 0)), z the border-row multipliers (length n−1),
+	// d the pivots (length n).
+	l, z, d []float64
+}
+
+// Reset prepares the matrix for order n (n ≥ 2), zeroing Diag and Off.
+// Slices are reallocated only when capacity is short.
+func (c *CyclicSPD) Reset(n int) {
+	if n < 2 {
+		panic(fmt.Sprintf("linalg: CyclicSPD needs order >= 2, got %d", n))
+	}
+	c.n = n
+	c.Diag = resize(c.Diag, n)
+	c.Off = resize(c.Off, n)
+	c.l = resize(c.l, max(n-2, 0))
+	c.z = resize(c.z, n-1)
+	c.d = resize(c.d, n)
+	clear(c.Diag)
+	clear(c.Off)
+}
+
+// resize returns s with length n, reallocating only when capacity is
+// short. Contents are unspecified.
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Order returns the matrix order set by the last Reset.
+func (c *CyclicSPD) Order() int { return c.n }
+
+// Factor computes the LDLᵀ factorization. It fails with
+// ErrNotPositiveDefinite when a pivot is non-positive (or NaN); the
+// coefficients in Diag/Off are left untouched either way, so the caller
+// can retry with a ridge (FactorRidged).
+func (c *CyclicSPD) Factor() error { return c.FactorRidged(0) }
+
+// FactorRidged factors A + ridge·I without mutating Diag.
+func (c *CyclicSPD) FactorRidged(ridge float64) error {
+	n := c.n
+	if n < 2 {
+		return fmt.Errorf("%w: CyclicSPD not Reset", ErrDimensionMismatch)
+	}
+	d, l, z := c.d, c.l, c.z
+
+	d[0] = c.Diag[0] + ridge
+	if !(d[0] > 0) {
+		return fmt.Errorf("%w: pivot 0 is %g", ErrNotPositiveDefinite, d[0])
+	}
+	// Border entry A[n−1][0]: the cyclic corner, plus — for n = 2 only —
+	// the coincident subdiagonal coupling.
+	a0 := c.Off[n-1]
+	if n == 2 {
+		a0 += c.Off[0]
+	}
+	z[0] = a0 / d[0]
+
+	for j := 1; j <= n-2; j++ {
+		lj := c.Off[j-1] / d[j-1]
+		l[j-1] = lj
+		d[j] = c.Diag[j] + ridge - c.Off[j-1]*lj
+		if !(d[j] > 0) {
+			return fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d[j])
+		}
+		aj := 0.0
+		if j == n-2 {
+			aj = c.Off[n-2]
+		}
+		z[j] = (aj - z[j-1]*d[j-1]*l[j-1]) / d[j]
+	}
+
+	last := c.Diag[n-1] + ridge
+	for j := 0; j <= n-2; j++ {
+		last -= z[j] * z[j] * d[j]
+	}
+	if !(last > 0) {
+		return fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, n-1, last)
+	}
+	d[n-1] = last
+	return nil
+}
+
+// Solve solves A·x = b using the last successful Factor. x and b must
+// have length n; x may alias b for an in-place solve.
+func (c *CyclicSPD) Solve(b, x []float64) error {
+	n := c.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("%w: order %d with rhs %d into %d", ErrDimensionMismatch, n, len(b), len(x))
+	}
+	d, l, z := c.d, c.l, c.z
+
+	// Forward: L·y = b (y stored in x).
+	x[0] = b[0]
+	for j := 1; j <= n-2; j++ {
+		x[j] = b[j] - l[j-1]*x[j-1]
+	}
+	s := b[n-1]
+	for j := 0; j <= n-2; j++ {
+		s -= z[j] * x[j]
+	}
+	x[n-1] = s
+
+	// Scale: D·c = y.
+	for j := 0; j < n; j++ {
+		x[j] /= d[j]
+	}
+
+	// Backward: Lᵀ·x = c.
+	x[n-2] -= z[n-2] * x[n-1]
+	for j := n - 3; j >= 0; j-- {
+		x[j] -= l[j]*x[j+1] + z[j]*x[n-1]
+	}
+	return nil
+}
+
+// MulVec computes y = A·x from the coefficients (not the factorization);
+// a residual-check helper for tests and diagnostics.
+func (c *CyclicSPD) MulVec(x, y []float64) error {
+	n := c.n
+	if len(x) != n || len(y) != n {
+		return fmt.Errorf("%w: order %d with x %d into %d", ErrDimensionMismatch, n, len(x), len(y))
+	}
+	if n == 2 {
+		e := c.Off[0] + c.Off[1]
+		y0 := c.Diag[0]*x[0] + e*x[1]
+		y[1] = e*x[0] + c.Diag[1]*x[1]
+		y[0] = y0
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		s := c.Diag[i] * x[i]
+		s += c.Off[i] * x[(i+1)%n]
+		s += c.Off[(i-1+n)%n] * x[(i-1+n)%n]
+		y[i] = s
+	}
+	return nil
+}
+
+// Dense expands the coefficients into a dense Matrix (for tests and
+// debugging).
+func (c *CyclicSPD) Dense() *Matrix {
+	m := NewMatrix(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		m.Add(i, i, c.Diag[i])
+		j := (i + 1) % c.n
+		m.Add(i, j, c.Off[i])
+		m.Add(j, i, c.Off[i])
+	}
+	return m
+}
+
+// MaxDiag returns the largest |Diag[i]| (at least 1), the scale a ridge
+// retry should be proportionate to.
+func (c *CyclicSPD) MaxDiag() float64 {
+	m := 1.0
+	for _, v := range c.Diag[:c.n] {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

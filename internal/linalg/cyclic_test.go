@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomCyclicSPD builds a random diagonally dominant cyclic tridiagonal
+// matrix (hence SPD) of order n.
+func randomCyclicSPD(rng *rand.Rand, n int) *CyclicSPD {
+	c := &CyclicSPD{}
+	c.Reset(n)
+	for i := 0; i < n; i++ {
+		c.Off[i] = -1 + 2*rng.Float64()
+	}
+	for i := 0; i < n; i++ {
+		// Strict diagonal dominance over the two incident couplings.
+		c.Diag[i] = math.Abs(c.Off[i]) + math.Abs(c.Off[(i-1+n)%n]) + 0.1 + rng.Float64()
+	}
+	return c
+}
+
+func TestCyclicSPDSolveMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 4, 5, 8, 16, 33} {
+		for trial := 0; trial < 50; trial++ {
+			c := randomCyclicSPD(rng, n)
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = -5 + 10*rng.Float64()
+			}
+			if err := c.Factor(); err != nil {
+				t.Fatalf("n=%d trial %d: factor: %v", n, trial, err)
+			}
+			x := make([]float64, n)
+			if err := c.Solve(b, x); err != nil {
+				t.Fatal(err)
+			}
+			want, err := c.Dense().SolveCholesky(b)
+			if err != nil {
+				t.Fatalf("n=%d trial %d: dense: %v", n, trial, err)
+			}
+			for i := range x {
+				if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("n=%d trial %d: x[%d] = %g, dense %g", n, trial, i, x[i], want[i])
+				}
+			}
+			// Residual check through the coefficients themselves.
+			y := make([]float64, n)
+			if err := c.MulVec(x, y); err != nil {
+				t.Fatal(err)
+			}
+			for i := range y {
+				if math.Abs(y[i]-b[i]) > 1e-8*(1+math.Abs(b[i])) {
+					t.Fatalf("n=%d trial %d: residual %g at %d", n, trial, y[i]-b[i], i)
+				}
+			}
+		}
+	}
+}
+
+func TestCyclicSPDSolveInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomCyclicSPD(rng, 6)
+	b := []float64{1, -2, 3, -4, 5, -6}
+	if err := c.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 6)
+	if err := c.Solve(b, x); err != nil {
+		t.Fatal(err)
+	}
+	inPlace := append([]float64(nil), b...)
+	if err := c.Solve(inPlace, inPlace); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != inPlace[i] {
+			t.Fatalf("in-place solve diverges at %d: %g vs %g", i, inPlace[i], x[i])
+		}
+	}
+}
+
+func TestCyclicSPDNotPositiveDefinite(t *testing.T) {
+	c := &CyclicSPD{}
+	c.Reset(3)
+	c.Diag[0], c.Diag[1], c.Diag[2] = 1, 1, 1
+	c.Off[0], c.Off[1], c.Off[2] = 2, 0, 0 // |off| > diag → indefinite
+	if err := c.Factor(); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("Factor = %v, want ErrNotPositiveDefinite", err)
+	}
+	// A proportionate ridge restores the factorization, Diag untouched.
+	if err := c.FactorRidged(4); err != nil {
+		t.Fatalf("FactorRidged: %v", err)
+	}
+	if c.Diag[0] != 1 {
+		t.Fatalf("FactorRidged mutated Diag: %g", c.Diag[0])
+	}
+}
+
+func TestCyclicSPDFactorSolveAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomCyclicSPD(rng, 12)
+	b := make([]float64, 12)
+	x := make([]float64, 12)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Reset(12)
+		for i := 0; i < 12; i++ {
+			c.Diag[i] = 3 + float64(i)
+			c.Off[i] = -0.5
+		}
+		if err := c.Factor(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Solve(b, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("factor+solve allocates %.0f/iter, want 0", allocs)
+	}
+}
+
+func TestVectorInPlaceOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if err := v.CopyFrom(w); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 4 || v[2] != 6 {
+		t.Fatalf("CopyFrom: %v", v)
+	}
+	v.Zero()
+	if v[0] != 0 || v[2] != 0 {
+		t.Fatalf("Zero: %v", v)
+	}
+	if err := v.CopyFrom(Vector{1}); err == nil {
+		t.Fatal("CopyFrom accepted mismatched lengths")
+	}
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 7)
+	b := m.Clone()
+	m.Zero()
+	if m.At(0, 0) != 0 {
+		t.Fatal("Matrix.Zero left data")
+	}
+	if err := m.CopyFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 7 {
+		t.Fatal("Matrix.CopyFrom lost data")
+	}
+	if err := m.CopyFrom(NewMatrix(3, 3)); err == nil {
+		t.Fatal("Matrix.CopyFrom accepted mismatched shapes")
+	}
+}

@@ -32,6 +32,23 @@ func (v Vector) Clone() Vector {
 	return out
 }
 
+// Zero sets every entry to 0 in place.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// CopyFrom overwrites v with w in place — the allocation-free
+// counterpart of Clone for solver hot loops.
+func (v Vector) CopyFrom(w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	copy(v, w)
+	return nil
+}
+
 // Add returns v + w.
 func (v Vector) Add(w Vector) (Vector, error) {
 	if len(v) != len(w) {
@@ -177,6 +194,23 @@ func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.rows, m.cols)
 	copy(out.data, m.data)
 	return out
+}
+
+// Zero sets every entry to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// CopyFrom overwrites m with b in place — the allocation-free
+// counterpart of Clone for solver hot loops.
+func (m *Matrix) CopyFrom(b *Matrix) error {
+	if m.rows != b.rows || m.cols != b.cols {
+		return fmt.Errorf("%w: %d×%d vs %d×%d", ErrDimensionMismatch, m.rows, m.cols, b.rows, b.cols)
+	}
+	copy(m.data, b.data)
+	return nil
 }
 
 // MulVec returns m·v.

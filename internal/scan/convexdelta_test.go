@@ -1,0 +1,217 @@
+package scan
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"arbloop/internal/cex"
+	"arbloop/internal/strategy"
+)
+
+// countingConvex wraps ConvexStrategy and counts cold vs warm optimize
+// calls. The counters live behind pointers so the value's %#v rendering
+// (the delta baseline's strategy key) is stable across scans.
+type countingConvex struct {
+	inner      strategy.ConvexStrategy
+	cold, warm *atomic.Int64
+}
+
+func newCountingConvex() countingConvex {
+	return countingConvex{cold: new(atomic.Int64), warm: new(atomic.Int64)}
+}
+
+func (c countingConvex) Name() string { return "CountingConvex" }
+
+func (c countingConvex) Optimize(ctx context.Context, l *strategy.Loop, pm strategy.PriceMap) (strategy.Result, error) {
+	c.cold.Add(1)
+	return c.inner.Optimize(ctx, l, pm)
+}
+
+func (c countingConvex) OptimizeWarm(ctx context.Context, l *strategy.Loop, pm strategy.PriceMap, prev *strategy.Result) (strategy.Result, error) {
+	c.warm.Add(1)
+	return c.inner.OptimizeWarm(ctx, l, pm, prev)
+}
+
+// requireReportWithinTol matches a delta report against a full report of
+// the same state loop-for-loop (by detection index), with monetized
+// profits within tol — the Convex delta contract: warm starts change the
+// solver trajectory, so reports agree to solver tolerance rather than
+// bit-for-bit (strategy.ConvexOptions.ColdStart restores bit equality).
+func requireReportWithinTol(t *testing.T, delta, full Report, tol float64) {
+	t.Helper()
+	if delta.LoopsDetected != full.LoopsDetected || delta.Failed != full.Failed ||
+		delta.CyclesExamined != full.CyclesExamined {
+		t.Fatalf("report headers differ:\ndelta %+v\nfull  %+v", delta, full)
+	}
+	if len(delta.Results) != len(full.Results) {
+		t.Fatalf("results: delta %d != full %d", len(delta.Results), len(full.Results))
+	}
+	fullByIndex := make(map[int]Result, len(full.Results))
+	for _, r := range full.Results {
+		fullByIndex[r.Index] = r
+	}
+	for _, d := range delta.Results {
+		f, ok := fullByIndex[d.Index]
+		if !ok {
+			t.Fatalf("loop %d in delta report but not full", d.Index)
+		}
+		if d.Loop.String() != f.Loop.String() {
+			t.Fatalf("loop %d: delta %s != full %s", d.Index, d.Loop, f.Loop)
+		}
+		scale := 1 + math.Abs(f.Result.Monetized)
+		if diff := math.Abs(d.Result.Monetized - f.Result.Monetized); diff > tol*scale {
+			t.Fatalf("loop %d: delta monetized %.12g vs full %.12g", d.Index, d.Result.Monetized, f.Result.Monetized)
+		}
+	}
+}
+
+// TestRunDeltaConvexWarmStartEquivalence drives the sharded delta path
+// with the convex strategy over random dirty subsets and asserts (a)
+// delta reports match full scans of the same state within solver
+// tolerance, and (b) dirty loops actually re-optimize through the
+// warm-start entry point. Runs under -race in CI, covering concurrent
+// warm-started solves sharing the workspace pool.
+func TestRunDeltaConvexWarmStartEquivalence(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(97))
+
+	for _, cfg := range []Config{
+		{Shards: 1, Parallelism: 1},
+		{Shards: 4, Parallelism: 4},
+	} {
+		counting := newCountingConvex()
+		cfg.Strategy = counting
+		st := &DeltaState{}
+		state := pools
+		if _, err := RunDelta(ctx, state, nil, src, cfg, st); err != nil { // capture
+			t.Fatal(err)
+		}
+		coldAfterCapture := counting.cold.Load()
+		for round := 0; round < 4; round++ {
+			state = perturb(t, rng, state, 1+rng.Intn(8))
+			delta, err := RunDelta(ctx, state, nil, src, cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Run(ctx, rebuild(t, state), src, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireReportWithinTol(t, delta, full, 1e-6)
+			if delta.LoopsReused == 0 {
+				t.Errorf("shards=%d round %d: delta path never reused a loop", cfg.Shards, round)
+			}
+		}
+		if counting.warm.Load() == 0 {
+			t.Errorf("shards=%d: no re-optimization went through OptimizeWarm", cfg.Shards)
+		}
+		// Full scans (the captures and the comparison runs) cold-start;
+		// delta re-optimizations of same-orientation dirty loops must not.
+		t.Logf("shards=%d: %d cold (capture) + %d cold (delta) / %d warm calls",
+			cfg.Shards, coldAfterCapture, counting.cold.Load()-coldAfterCapture, counting.warm.Load())
+	}
+}
+
+// TestRunDeltaConvexPriceMoveWarmStarts: a moved CEX price re-optimizes
+// exactly the loops holding the token — through the warm-start path,
+// since the loops themselves are clean.
+func TestRunDeltaConvexPriceMoveWarmStarts(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	ctx := context.Background()
+	counting := newCountingConvex()
+	cfg := Config{Strategy: counting, Shards: 2, Parallelism: 1}
+	st := &DeltaState{}
+
+	src := cex.NewStatic(prices)
+	rep, err := RunDelta(ctx, pools, nil, src, cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no loops detected")
+	}
+	tok := rep.Results[0].Loop.Token(0)
+	moved := make(map[string]float64, len(prices))
+	for k, v := range prices {
+		moved[k] = v
+	}
+	moved[tok] *= 1.02
+	before := counting.warm.Load()
+	rep2, err := RunDelta(ctx, rebuild(t, pools), nil, cex.NewStatic(moved), cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.LoopsReoptimized == 0 {
+		t.Fatal("moved price re-optimized nothing")
+	}
+	if got := counting.warm.Load() - before; got != int64(rep2.LoopsReoptimized) {
+		t.Errorf("%d loops re-optimized but %d warm calls — price-move path not warm-starting", rep2.LoopsReoptimized, got)
+	}
+}
+
+// TestRunDeltaConvexAllocBudget is the acceptance guard: a steady-state
+// delta scan with the convex strategy stays within a bounded, pinned
+// allocation budget — the structured solver's fixed per-result cost —
+// instead of the generic solver's unbounded per-solve churn.
+func TestRunDeltaConvexAllocBudget(t *testing.T) {
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+
+	measure := func(opts strategy.ConvexOptions) (clean, dirty, reopt float64) {
+		cfg := Config{Strategy: strategy.ConvexStrategy{Options: opts}, Parallelism: 1, Shards: 4}
+		st := &DeltaState{}
+		state := rebuild(t, pools)
+		if _, err := RunDelta(ctx, state, nil, src, cfg, st); err != nil {
+			t.Fatal(err)
+		}
+		clean = testing.AllocsPerRun(20, func() {
+			if _, err := RunDelta(ctx, state, nil, src, cfg, st); err != nil {
+				t.Fatal(err)
+			}
+		})
+		rng := rand.New(rand.NewSource(63))
+		var reoptTotal int
+		dirty = testing.AllocsPerRun(20, func() {
+			state = perturb(t, rng, state, 1)
+			rep, err := RunDelta(ctx, state, nil, src, cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reoptTotal += rep.LoopsReoptimized
+		})
+		return clean, dirty, float64(reoptTotal) / 21 // AllocsPerRun runs f N+1 times
+	}
+
+	cleanFast, dirtyFast, reopt := measure(strategy.ConvexOptions{})
+	t.Logf("structured: clean %.1f allocs, 1-dirty-pool %.1f allocs (%.1f loops reoptimized)", cleanFast, dirtyFast, reopt)
+
+	// Clean steady state: no solves at all — the same fixed budget as any
+	// other strategy (price fetch, ranked slice, no commit).
+	const cleanBudget = 32
+	if cleanFast > cleanBudget {
+		t.Errorf("clean convex delta scan allocates %.1f, budget %d", cleanFast, cleanBudget)
+	}
+	// Dirty scans pay the perturb/rebuild harness (~1 alloc per pool in
+	// the market) plus a small fixed cost per re-optimized loop.
+	perLoop := 24.0
+	budget := 300 + perLoop*reopt
+	if dirtyFast > budget {
+		t.Errorf("1-dirty-pool convex delta scan allocates %.1f, budget %.0f (%.1f loops reoptimized)",
+			dirtyFast, budget, reopt)
+	}
+
+	// The generic solver on the identical workload shows the churn the
+	// structured path eliminates; if this gap closes, the fast path has
+	// silently stopped engaging.
+	_, dirtyGeneric, _ := measure(strategy.ConvexOptions{Generic: true})
+	t.Logf("generic:    1-dirty-pool %.1f allocs", dirtyGeneric)
+	if dirtyGeneric < 2*dirtyFast {
+		t.Errorf("structured dirty scan (%.1f allocs) not clearly below generic (%.1f)", dirtyFast, dirtyGeneric)
+	}
+}

@@ -262,15 +262,19 @@ type scratch struct {
 	newShard []*shardBase
 	// newLoop[ci] is the freshly built loop of a dirty profitable cycle
 	// (stale entries are never read — only cycles dirty this scan are).
-	newLoop []*strategy.Loop
-	loopIdx []int32 // per cycle: loop index this scan, or -1
-	loops   []*strategy.Loop
+	newLoop   []*strategy.Loop
+	loopIdx   []int32 // per cycle: loop index this scan, or -1
+	loops     []*strategy.Loop
 	loopCycle []int  // per loop: owning cycle
 	reopt     []bool // per loop: must re-run Optimize
-	jobs      []int
-	all       []Result
-	tokenSet  map[string]struct{}
-	symbols   []string
+	// prevRes[li] points at the loop's captured result in the previous
+	// baseline (same orientation, no error) — the warm start handed to
+	// WarmStarter strategies; nil when the capture is unusable.
+	prevRes  []*strategy.Result
+	jobs     []int
+	all      []Result
+	tokenSet map[string]struct{}
+	symbols  []string
 }
 
 // growSlice returns s resized to n, reallocating only when capacity is
@@ -302,6 +306,7 @@ func (s *scratch) reset(nPools, nCycles, nShards int) {
 	s.loops = s.loops[:0]
 	s.loopCycle = s.loopCycle[:0]
 	s.reopt = s.reopt[:0]
+	s.prevRes = s.prevRes[:0]
 	s.jobs = s.jobs[:0]
 	if s.tokenSet == nil {
 		s.tokenSet = make(map[string]struct{})
@@ -432,7 +437,11 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 	// exactly the order a full scan detects in — reading each cycle's
 	// orientation from its shard (the fresh clone when dirty, the shared
 	// baseline when clean), and union the loop tokens for the price
-	// fetch.
+	// fetch. A dirty cycle that kept its orientation also carries a
+	// pointer to its captured result: baselines are immutable once
+	// committed, so the pointer stays valid for the scan, and WarmStarter
+	// strategies re-optimize from the previous block's optimum instead of
+	// cold-starting.
 	for ci := range top.cycles {
 		s := plan.shardOf[ci]
 		lo := plan.localOf[ci]
@@ -447,8 +456,12 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 		}
 		dirty := scr.dirtyCycle[ci]
 		var loop *strategy.Loop
+		var prevEntry *deltaEntry
 		if dirty {
 			loop = scr.newLoop[ci]
+			if old := base.shards[s]; old.orient[lo] == o && old.entries[lo].err == nil && old.entries[lo].loop != nil {
+				prevEntry = &old.entries[lo]
+			}
 		} else {
 			loop = sb.entries[lo].loop
 		}
@@ -457,6 +470,11 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 		scr.loops = append(scr.loops, loop)
 		scr.loopCycle = append(scr.loopCycle, ci)
 		scr.reopt = append(scr.reopt, dirty)
+		if prevEntry != nil {
+			scr.prevRes = append(scr.prevRes, &prevEntry.result)
+		} else {
+			scr.prevRes = append(scr.prevRes, nil)
+		}
 		for k := 0; k < loop.Len(); k++ {
 			scr.tokenSet[loop.Token(k)] = struct{}{}
 		}
@@ -487,6 +505,11 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 				continue
 			}
 			scr.reopt[li] = true
+			// The loop itself is clean (same reserves, same orientation),
+			// so its capture is a valid warm start for the re-pricing.
+			if e := &base.shards[plan.shardOf[ci]].entries[plan.localOf[ci]]; e.err == nil && e.loop != nil {
+				scr.prevRes[li] = &e.result
+			}
 			if s := plan.shardOf[ci]; scr.newShard[s] == nil {
 				scr.newShard[s] = cloneShardBase(base.shards[s])
 			}
@@ -510,7 +533,7 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 		e := sb.entries[plan.localOf[ci]]
 		scr.all[li] = Result{Index: li, Loop: e.loop, Result: e.result, Err: e.err}
 	}
-	optimizeInto(ctx, scr.loops, pm, scr.jobs, scr.all, cfg)
+	optimizeInto(ctx, scr.loops, pm, scr.jobs, scr.prevRes, scr.all, cfg)
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}

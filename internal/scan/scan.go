@@ -381,10 +381,16 @@ func fanOut(ctx context.Context, loops []*strategy.Loop, pm strategy.PriceMap, j
 // indices are distinct, so workers need no emit lock, and the
 // single-worker path runs inline — zero allocations per loop and zero
 // per scan. Unprocessed jobs are left zero when ctx is cancelled.
-func optimizeInto(ctx context.Context, loops []*strategy.Loop, pm strategy.PriceMap, jobsList []int, out []Result, cfg Config) {
+//
+// prev, when non-nil, carries each loop's previous captured result
+// (indexed like loops; nil entries mean no usable capture). Strategies
+// implementing strategy.WarmStarter re-optimize from it — the delta
+// path's cross-block warm start; other strategies ignore it.
+func optimizeInto(ctx context.Context, loops []*strategy.Loop, pm strategy.PriceMap, jobsList []int, prev []*strategy.Result, out []Result, cfg Config) {
 	if len(jobsList) == 0 {
 		return
 	}
+	warm, _ := cfg.Strategy.(strategy.WarmStarter)
 	workers := cfg.Parallelism
 	if len(jobsList) < workers {
 		workers = len(jobsList)
@@ -394,17 +400,35 @@ func optimizeInto(ctx context.Context, loops []*strategy.Loop, pm strategy.Price
 			if ctx.Err() != nil {
 				return
 			}
-			res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
+			res, err := optimizeOne(ctx, cfg.Strategy, warm, loops[i], pm, prevFor(prev, i))
 			out[i] = Result{Index: i, Loop: loops[i], Result: res, Err: err}
 		}
 		return
 	}
 	forEachIndex(ctx, cfg.Workers, workers, len(jobsList), func(k int) bool {
 		i := jobsList[k]
-		res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
+		res, err := optimizeOne(ctx, cfg.Strategy, warm, loops[i], pm, prevFor(prev, i))
 		out[i] = Result{Index: i, Loop: loops[i], Result: res, Err: err}
 		return true
 	})
+}
+
+// prevFor looks up a loop's previous result in a possibly-nil slice.
+func prevFor(prev []*strategy.Result, i int) *strategy.Result {
+	if prev == nil {
+		return nil
+	}
+	return prev[i]
+}
+
+// optimizeOne dispatches one loop's optimization: through the strategy's
+// warm-start entry point when it has one and a previous result exists,
+// the plain Optimize otherwise.
+func optimizeOne(ctx context.Context, s strategy.Strategy, warm strategy.WarmStarter, l *strategy.Loop, pm strategy.PriceMap, prev *strategy.Result) (strategy.Result, error) {
+	if warm != nil && prev != nil {
+		return warm.OptimizeWarm(ctx, l, pm, prev)
+	}
+	return s.Optimize(ctx, l, pm)
 }
 
 // allJobs returns [0, n) — the job list of a full scan.
@@ -495,7 +519,7 @@ func Run(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg 
 // returns the complete result set indexed by loop.
 func collectAll(ctx context.Context, d *detection, cfg Config) []Result {
 	all := make([]Result, len(d.loops))
-	optimizeInto(ctx, d.loops, d.prices, allJobs(len(d.loops)), all, cfg)
+	optimizeInto(ctx, d.loops, d.prices, allJobs(len(d.loops)), nil, all, cfg)
 	return all
 }
 

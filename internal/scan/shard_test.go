@@ -265,7 +265,7 @@ func TestOptimizeIntoZeroAllocPerLoop(t *testing.T) {
 	out := make([]Result, len(d.loops))
 	cfg := Config{Strategy: nullStrategy{}, Parallelism: 1}.withDefaults()
 	allocs := testing.AllocsPerRun(20, func() {
-		optimizeInto(ctx, d.loops, d.prices, jobs, out, cfg)
+		optimizeInto(ctx, d.loops, d.prices, jobs, nil, out, cfg)
 	})
 	if allocs != 0 {
 		t.Errorf("fan-out allocates %.1f per scan over %d loops, want 0", allocs, len(jobs))

@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"arbloop/internal/amm"
@@ -243,15 +242,14 @@ func (tp TradePlan) NetTokens(l *Loop) map[string]float64 {
 	return net
 }
 
-// Monetize values a net-token map in USD.
-func Monetize(net map[string]float64, prices PriceMap) (float64, error) {
-	keys := make([]string, 0, len(net))
-	for t := range net {
-		keys = append(keys, t)
-	}
-	sort.Strings(keys) // deterministic accumulation order
+// Monetize values a net-token map in USD, accumulating in the loop's
+// token order — deterministic by construction and allocation-free (the
+// map is keyed by exactly the loop's tokens, so no key sort is needed).
+// Tokens in net that are not loop tokens would be silently skipped; the
+// strategies never produce such maps (NetTokens keys are l's tokens).
+func Monetize(l *Loop, net map[string]float64, prices PriceMap) (float64, error) {
 	total := 0.0
-	for _, t := range keys {
+	for _, t := range l.tokens {
 		p, ok := prices[t]
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrMissingPrice, t)

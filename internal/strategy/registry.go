@@ -72,8 +72,26 @@ func (MaxMaxStrategy) Optimize(ctx context.Context, l *Loop, prices PriceMap) (R
 	return MaxMax(l, prices)
 }
 
+// WarmStarter is an optional Strategy extension: strategies whose
+// optimization benefits from the previous result for the same loop (the
+// previous block's optimum, say) implement it, and the delta-scan engine
+// calls OptimizeWarm instead of Optimize when it holds a previous result
+// for a loop it re-optimizes. The contract mirrors Optimize — same
+// result up to solver tolerance, safe for concurrent use — and prev is
+// read-only advice: implementations must produce a correct result for
+// any prev, including one captured under different reserves or prices.
+type WarmStarter interface {
+	Strategy
+	// OptimizeWarm optimizes the loop using prev (never nil) as a warm
+	// start.
+	OptimizeWarm(ctx context.Context, l *Loop, prices PriceMap, prev *Result) (Result, error)
+}
+
 // ConvexStrategy solves the paper's problem (8) with the log-barrier
-// interior-point method; provably ≥ MaxMax.
+// interior-point method; provably ≥ MaxMax. Solves run on the
+// structured O(n) fast path (see Convex); Options.Generic restores the
+// reference dense solver. It also implements WarmStarter, so delta scans
+// re-optimize dirty loops from the previous block's optimum.
 type ConvexStrategy struct {
 	// Options tunes the solver; the zero value uses the defaults.
 	Options ConvexOptions
@@ -88,6 +106,17 @@ func (s ConvexStrategy) Optimize(ctx context.Context, l *Loop, prices PriceMap) 
 		return Result{}, err
 	}
 	return Convex(l, prices, s.Options)
+}
+
+// OptimizeWarm implements WarmStarter: the barrier solve starts from the
+// previous plan re-feasibilized by shrinking, falling back to the MaxMax
+// warm start when the shifted point is infeasible. Options.ColdStart
+// disables the warm start (bit-reproducible scans).
+func (s ConvexStrategy) OptimizeWarm(ctx context.Context, l *Loop, prices PriceMap, prev *Result) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return ConvexWarm(l, prices, s.Options, prev)
 }
 
 // ConvexRiskyStrategy solves the shorting-allowed relaxation the paper

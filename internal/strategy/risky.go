@@ -68,7 +68,7 @@ func ConvexRisky(l *Loop, prices PriceMap) (Result, error) {
 		plan.Outputs[i] = out
 	}
 	net := plan.NetTokens(l)
-	mon, err := Monetize(net, prices)
+	mon, err := Monetize(l, net, prices)
 	if err != nil {
 		return Result{}, err
 	}

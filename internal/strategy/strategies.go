@@ -76,7 +76,7 @@ func Traditional(l *Loop, start string, prices PriceMap) (Result, error) {
 		return Result{}, err
 	}
 	net := plan.NetTokens(rot)
-	mon, err := Monetize(net, prices)
+	mon, err := Monetize(rot, net, prices)
 	if err != nil {
 		return Result{}, err
 	}

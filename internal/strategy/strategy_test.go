@@ -509,14 +509,18 @@ func TestOptimalInputAblationsOnNoArb(t *testing.T) {
 }
 
 func TestMonetizeDeterministic(t *testing.T) {
-	net := map[string]float64{"A": 1, "B": 2, "C": 3}
-	prices := PriceMap{"A": 0.1, "B": 0.2, "C": 0.3}
-	first, err := Monetize(net, prices)
+	l := paperLoop(t) // tokens X, Y, Z in loop order
+	net := map[string]float64{"X": 1, "Y": 2, "Z": 3}
+	prices := PriceMap{"X": 0.1, "Y": 0.2, "Z": 0.3}
+	first, err := Monetize(l, net, prices)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if want := 1*0.1 + 2*0.2 + 3*0.3; first != want {
+		t.Fatalf("Monetize = %g, want %g", first, want)
+	}
 	for i := 0; i < 10; i++ {
-		again, err := Monetize(net, prices)
+		again, err := Monetize(l, net, prices)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -524,8 +528,24 @@ func TestMonetizeDeterministic(t *testing.T) {
 			t.Fatal("Monetize not deterministic across map iteration orders")
 		}
 	}
-	if _, err := Monetize(map[string]float64{"Q": 1}, prices); err == nil {
+	if _, err := Monetize(l, net, PriceMap{"X": 1}); err == nil {
 		t.Error("missing price: want error")
+	}
+}
+
+// TestMonetizeAllocFree pins the satellite fix: accumulation in
+// loop-token order needs no key slice and no sort.
+func TestMonetizeAllocFree(t *testing.T) {
+	l := paperLoop(t)
+	net := map[string]float64{"X": 1, "Y": 2, "Z": 3}
+	prices := paperPrices()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := Monetize(l, net, prices); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Monetize allocates %.0f/call, want 0", allocs)
 	}
 }
 

@@ -255,15 +255,16 @@ func TestWriteScanBenchJSON(t *testing.T) {
 	}
 
 	out := struct {
-		Benchmark string            `json:"benchmark"`
-		GoMaxProc int               `json:"gomaxprocs"`
-		NumCPU    int               `json:"numcpu"`
-		Rows      []scanBenchRow    `json:"rows"`
-		Cache     []cacheBenchRow   `json:"topology_cache"`
-		Delta     []deltaBenchRow   `json:"delta_scan"`
-		Sharded   []shardedBenchRow `json:"sharded_delta"`
-		Allocs    allocsBenchRow    `json:"allocs_per_scan"`
-		Server    serverBenchRow    `json:"server"`
+		Benchmark string                 `json:"benchmark"`
+		GoMaxProc int                    `json:"gomaxprocs"`
+		NumCPU    int                    `json:"numcpu"`
+		Rows      []scanBenchRow         `json:"rows"`
+		Cache     []cacheBenchRow        `json:"topology_cache"`
+		Delta     []deltaBenchRow        `json:"delta_scan"`
+		Sharded   []shardedBenchRow      `json:"sharded_delta"`
+		Convex    []convexSolverBenchRow `json:"convex_solver"`
+		Allocs    allocsBenchRow         `json:"allocs_per_scan"`
+		Server    serverBenchRow         `json:"server"`
 	}{
 		Benchmark: "scanner whole-market scan, §VI synthetic market",
 		GoMaxProc: n,
@@ -272,6 +273,7 @@ func TestWriteScanBenchJSON(t *testing.T) {
 		Cache:     benchTopologyCache(t),
 		Delta:     benchDeltaScan(t),
 		Sharded:   benchShardedDelta(t),
+		Convex:    benchConvexSolver(t),
 		Allocs:    benchAllocsPerScan(t),
 		Server:    benchServerThroughput(t),
 	}
@@ -545,6 +547,125 @@ func benchShardedDelta(t *testing.T) []shardedBenchRow {
 			t.Logf("sharded %-18s shards %d: %8.0f loops/s (%.2fx vs 1 shard, %.1f shards scanned/block)",
 				row.Strategy, shards, row.LoopsPerSec, row.SpeedupVs1, row.AvgShardsScanned)
 			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// convexSolverBenchRow records per-loop ConvexOptimization solve
+// throughput for one solver configuration on the §VI market's detected
+// loops (single goroutine — the per-core number parallelism multiplies):
+// the generic dense barrier solver (the pre-PR-5 baseline), the
+// structured O(n) fast path, and the structured path warm-started from
+// each loop's own previous optimum (the steady-state delta-scan case).
+type convexSolverBenchRow struct {
+	LoopLen          int     `json:"loop_len"`
+	Solver           string  `json:"solver"`
+	Loops            int     `json:"loops"`
+	Runs             int     `json:"runs"`
+	LoopsPerSec      float64 `json:"loops_per_sec"`
+	SpeedupVsGeneric float64 `json:"speedup_vs_generic"`
+}
+
+func benchConvexSolver(t *testing.T) []convexSolverBenchRow {
+	t.Helper()
+	ctx := context.Background()
+	src := benchSource(t)
+	var out []convexSolverBenchRow
+	for _, cfg := range []struct{ loopLen, runs int }{{3, 8}, {4, 3}} {
+		// Collect the detected profitable loops once (strategy-agnostic —
+		// detection is the same for every optimizer).
+		sc, err := arbloop.NewScanner(src, src,
+			arbloop.WithParallelism(1),
+			arbloop.WithLoopLengths(cfg.loopLen, cfg.loopLen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sc.Scan(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loops := make([]*arbloop.Loop, 0, len(rep.Results))
+		tokenSet := map[string]struct{}{}
+		for _, r := range rep.Results {
+			loops = append(loops, r.Loop)
+			for i := 0; i < r.Loop.Len(); i++ {
+				tokenSet[r.Loop.Token(i)] = struct{}{}
+			}
+		}
+		symbols := make([]string, 0, len(tokenSet))
+		for s := range tokenSet {
+			symbols = append(symbols, s)
+		}
+		fetched, err := src.Prices(ctx, symbols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prices := arbloop.PriceMap(fetched)
+
+		solve := func(opts arbloop.ConvexOptions, prev []arbloop.Result) float64 {
+			// One warm-up pass pays cold caches, then time runs passes.
+			for li, l := range loops {
+				var err error
+				if prev != nil {
+					_, err = arbloop.ConvexWarm(l, prices, opts, &prev[li])
+				} else {
+					_, err = arbloop.Convex(l, prices, opts)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			start := time.Now()
+			for r := 0; r < cfg.runs; r++ {
+				for li, l := range loops {
+					var err error
+					if prev != nil {
+						_, err = arbloop.ConvexWarm(l, prices, opts, &prev[li])
+					} else {
+						_, err = arbloop.Convex(l, prices, opts)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			return float64(len(loops)) * float64(cfg.runs) / time.Since(start).Seconds()
+		}
+
+		generic := solve(arbloop.ConvexOptions{Generic: true}, nil)
+		structured := solve(arbloop.ConvexOptions{}, nil)
+		// Warm starts replay each loop's own optimum — the reserves-barely-
+		// moved steady state a delta scan re-optimizes under.
+		prev := make([]arbloop.Result, len(loops))
+		for li, l := range loops {
+			r, err := arbloop.Convex(l, prices, arbloop.ConvexOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev[li] = r
+		}
+		warm := solve(arbloop.ConvexOptions{}, prev)
+
+		for _, row := range []convexSolverBenchRow{
+			{LoopLen: cfg.loopLen, Solver: "generic", Loops: len(loops), Runs: cfg.runs, LoopsPerSec: generic, SpeedupVsGeneric: 1},
+			{LoopLen: cfg.loopLen, Solver: "structured", Loops: len(loops), Runs: cfg.runs, LoopsPerSec: structured, SpeedupVsGeneric: structured / generic},
+			{LoopLen: cfg.loopLen, Solver: "structured_warm", Loops: len(loops), Runs: cfg.runs, LoopsPerSec: warm, SpeedupVsGeneric: warm / generic},
+		} {
+			t.Logf("convex solver len %d %-15s: %8.0f loops/s (%.2fx vs generic)",
+				row.LoopLen, row.Solver, row.LoopsPerSec, row.SpeedupVsGeneric)
+			out = append(out, row)
+		}
+		// Engagement guard: the structured path must stay well clear of
+		// the generic solver measured in the same run. The bar is 3.5×
+		// (with noise margin), not the PR-5 acceptance's 5×, because the
+		// acceptance compares against the PR-4 *recording* (9.7k loops/s
+		// on this container) while the in-run generic baseline itself
+		// gained ~35% from the shared solver improvements (scale-aware
+		// T0, norm phase, early outer stop) — structured lands ~5.5-6×
+		// the recorded baseline.
+		if cfg.loopLen == 3 && structured < 3.5*generic {
+			t.Errorf("len-3 structured solver %.0f loops/s < 3.5x generic %.0f", structured, generic)
 		}
 	}
 	return out
