@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-go bench-convex bench-delta bench-shard fuzz clean
+.PHONY: all build test race vet bench bench-go bench-convex bench-delta bench-shard bench-server fuzz clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ bench-delta:
 # sharded engine compiles and stays delta-engaged.
 bench-shard:
 	$(GO) test -bench 'BenchmarkScanShardedDelta' -benchtime 20x -benchmem -run '^$$' .
+
+# Report-serving smoke: the distribution tier's cached read paths
+# (plain / gzip / 304 / ?top=N) plus the per-block frame build, at the
+# handler layer. Tiny run counts keep it CI-cheap; its job is to prove
+# the encode-once frame cache stays engaged on every read.
+bench-server:
+	$(GO) test -bench 'BenchmarkServer' -benchtime 100x -benchmem -run '^$$' ./internal/server
 
 # Convex solver smoke: structured O(n) fast path vs the generic dense
 # barrier solver, cold and warm-started. Tiny run counts keep it

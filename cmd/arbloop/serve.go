@@ -23,6 +23,7 @@ import (
 
 	"arbloop"
 	"arbloop/internal/chain"
+	"arbloop/internal/distrib"
 	"arbloop/internal/server"
 	"arbloop/internal/source"
 )
@@ -48,6 +49,9 @@ func cmdServe(args []string) error {
 	noise := fs.Int("noise", 4, "random retail swaps per block (moves reserves)")
 	blocks := fs.Int("blocks", 0, "stop producing blocks after N (0 = forever); the server keeps running")
 	delta := fs.Bool("delta", true, "delta scans: re-optimize only loops touching pools that traded")
+	maxConns := fs.Int("max-conns", 0, "max concurrent client connections (0 = unlimited); excess wait in the kernel accept queue")
+	writeTimeout := fs.Duration("write-timeout", server.DefaultWriteTimeout,
+		"per-client SSE write deadline; stalled consumers past it are evicted (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +96,8 @@ func cmdServe(args []string) error {
 		noise:         *noise,
 		blocks:        *blocks,
 		seed:          *seed,
+		maxConns:      *maxConns,
+		writeTimeout:  *writeTimeout,
 		logf:          func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 	})
 }
@@ -110,7 +116,12 @@ type serveConfig struct {
 	noise         int
 	blocks        int
 	seed          int64
-	logf          func(format string, a ...any)
+	// maxConns caps concurrently accepted client connections (0 =
+	// unlimited); writeTimeout is the per-client SSE write deadline
+	// past which a stalled consumer is evicted.
+	maxConns     int
+	writeTimeout time.Duration
+	logf         func(format string, a ...any)
 	// ready, when non-nil, receives the bound listen address once the
 	// HTTP server accepts connections (tests use port 0).
 	ready chan<- string
@@ -134,7 +145,14 @@ func serve(ctx context.Context, cfg serveConfig) error {
 		arbloop.WithWatcherErrorHandler(func(err error) { cfg.logf("feed refresh: %v", err) }))
 	cfg.state.OnBlock(func(int64) { watcher.Notify() })
 
-	srv := server.New()
+	// One tracker spans the whole connection tier: the limit listener
+	// counts accepts/active/peak, the SSE path counts evictions, and
+	// /v1/healthz snapshots it all (with fd headroom) in one probe.
+	tracker := distrib.NewTracker()
+	srv := server.New(
+		server.WithConnTracker(tracker),
+		server.WithWriteTimeout(cfg.writeTimeout),
+	)
 	// /v1/healthz reports the delta engine's fast-path hit rate and
 	// shard wake-ups alongside liveness.
 	srv.SetDeltaStatsProbe(cfg.scanner.DeltaStats)
@@ -225,11 +243,16 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	if err != nil {
 		return fmt.Errorf("serve: listen %s: %w", cfg.addr, err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// The accept limit back-pressures floods in the kernel queue instead
+	// of exhausting descriptors; the tracker feeds the healthz gauges.
+	ln = distrib.Limit(ln, cfg.maxConns, tracker)
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		<-ctx.Done()
-		// End SSE streams first — Shutdown waits for active requests, and
-		// /v1/stream connections are active until their channel closes.
+		// Graceful drain: end SSE streams first — Shutdown waits for
+		// active requests, and /v1/stream connections are active until
+		// their channel closes — then let in-flight reads finish.
+		cfg.logf("draining %d active connections", tracker.Active())
 		srv.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

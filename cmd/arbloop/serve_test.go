@@ -67,6 +67,8 @@ func TestServeSmoke(t *testing.T) {
 			source:        src,
 			blockInterval: 25 * time.Millisecond,
 			noise:         2,
+			maxConns:      64, // exercise the accept limiter end to end
+			writeTimeout:  server.DefaultWriteTimeout,
 			ready:         ready,
 		})
 	}()
@@ -126,6 +128,72 @@ func TestServeSmoke(t *testing.T) {
 		if err := pollJSON(base+"/v1/healthz", &h); err != nil {
 			t.Fatal(err)
 		}
+	}
+
+	// The connection tier is wired end to end: healthz carries the
+	// tracker's gauges (the limit listener counts this very poll) and,
+	// on a unix host, the fd-headroom probe.
+	if h.Connections == nil {
+		t.Fatal("healthz has no connections section")
+	}
+	if h.Connections.Accepted == 0 || h.Connections.Peak == 0 {
+		t.Errorf("connections = %+v, want accepted and peak > 0", h.Connections)
+	}
+	if h.Connections.MaxConns != 64 {
+		t.Errorf("connections max = %d, want the -max-conns value 64", h.Connections.MaxConns)
+	}
+
+	// Distribution-tier headers survive the full stack. `If-None-Match: *`
+	// matches any current ETag, so the 304 check is immune to the
+	// 25ms-block version churn.
+	resp, err := http.Get(base + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if et := resp.Header.Get("ETag"); et == "" {
+		t.Error("report response has no ETag")
+	}
+	if v := resp.Header.Get("Vary"); v != "Accept-Encoding" {
+		t.Errorf("Vary = %q", v)
+	}
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/report", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", "*")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("If-None-Match: * returned %d, want 304", resp.StatusCode)
+	}
+	req, err = http.NewRequest(http.MethodGet, base+"/v1/report?top=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err = (&http.Client{Transport: &http.Transport{DisableCompression: true}}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// Prefix slices are identity-encoded by design; only the full report
+	// has a cached gzip variant.
+	if ce := resp.Header.Get("Content-Encoding"); ce != "" {
+		t.Errorf("?top=1 Content-Encoding = %q, want identity", ce)
+	}
+	var top server.ReportJSON
+	if err := pollJSON(base+"/v1/report?top=1", &top); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Results) > 1 {
+		t.Errorf("?top=1 returned %d results", len(top.Results))
 	}
 
 	// Hold an SSE stream open across shutdown: serve must still exit

@@ -1,0 +1,168 @@
+// Connection management: the socket-side half of the distribution tier.
+// A Tracker holds the live connection gauges every layer shares (accept
+// counts, active/peak, slow-consumer evictions) plus the fd-headroom
+// probe; Limit wraps a listener with a hard cap on concurrent accepted
+// connections so a client flood degrades into kernel-queue waiting
+// instead of fd exhaustion.
+package distrib
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ConnStats is a point-in-time snapshot of the connection tier — the
+// /v1/healthz `connections` section.
+type ConnStats struct {
+	// Active is the number of currently accepted connections; Peak the
+	// high-water mark since start.
+	Active int64 `json:"active"`
+	Peak   int64 `json:"peak"`
+	// Accepted counts connections accepted since start; Evicted the slow
+	// consumers forcibly disconnected (SSE write-deadline stalls).
+	Accepted uint64 `json:"accepted"`
+	Evicted  uint64 `json:"evicted"`
+	// MaxConns is the accept limit (0 = unlimited).
+	MaxConns int64 `json:"max_conns"`
+	// FDSoftLimit is RLIMIT_NOFILE's soft limit (0 when unprobeable);
+	// FDHeadroom is how many more descriptors the process can open —
+	// soft limit minus descriptors in use (via /proc/self/fd where
+	// available, otherwise the active-connection floor). The number to
+	// alarm on before accept() starts failing with EMFILE.
+	FDSoftLimit uint64 `json:"fd_soft_limit"`
+	FDHeadroom  int64  `json:"fd_headroom"`
+}
+
+// Tracker carries the connection gauges. All methods are safe for
+// concurrent use; the zero value is ready.
+type Tracker struct {
+	active   atomic.Int64
+	peak     atomic.Int64
+	accepted atomic.Uint64
+	evicted  atomic.Uint64
+	maxConns atomic.Int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// connOpened records an accepted connection and maintains the peak.
+func (t *Tracker) connOpened() {
+	t.accepted.Add(1)
+	a := t.active.Add(1)
+	for {
+		p := t.peak.Load()
+		if a <= p || t.peak.CompareAndSwap(p, a) {
+			return
+		}
+	}
+}
+
+// connClosed records a connection teardown.
+func (t *Tracker) connClosed() { t.active.Add(-1) }
+
+// Evict records one slow-consumer eviction (the connection's close is
+// counted separately by the listener wrapper).
+func (t *Tracker) Evict() { t.evicted.Add(1) }
+
+// Evicted returns the lifetime eviction count.
+func (t *Tracker) Evicted() uint64 { return t.evicted.Load() }
+
+// Active returns the current accepted-connection gauge.
+func (t *Tracker) Active() int64 { return t.active.Load() }
+
+// Stats snapshots the gauges and probes fd headroom.
+func (t *Tracker) Stats() ConnStats {
+	s := ConnStats{
+		Active:      t.active.Load(),
+		Peak:        t.peak.Load(),
+		Accepted:    t.accepted.Load(),
+		Evicted:     t.evicted.Load(),
+		MaxConns:    t.maxConns.Load(),
+		FDSoftLimit: fdSoftLimit(),
+	}
+	if s.FDSoftLimit > 0 {
+		used := int64(openFDs())
+		if used < 0 {
+			// No /proc: the active connections are the best known floor
+			// on descriptors in use.
+			used = s.Active
+		}
+		s.FDHeadroom = int64(s.FDSoftLimit) - used
+	}
+	return s
+}
+
+// Limit wraps ln so at most max connections are accepted concurrently
+// (max <= 0 = unlimited: tracking only). Connections past the cap wait
+// in the kernel accept queue — they are never accepted, so they cost no
+// descriptor — until an accepted one closes. Every accepted connection
+// is counted on tr (which may be nil).
+func Limit(ln net.Listener, max int, tr *Tracker) net.Listener {
+	l := &limitListener{Listener: ln, tr: tr, done: make(chan struct{})}
+	if max > 0 {
+		l.sem = make(chan struct{}, max)
+	}
+	if tr != nil && max > 0 {
+		tr.maxConns.Store(int64(max))
+	}
+	return l
+}
+
+type limitListener struct {
+	net.Listener
+	sem  chan struct{} // nil when unlimited
+	tr   *Tracker
+	done chan struct{}
+	once sync.Once
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	if l.sem != nil {
+		// Acquire before accepting, so over-limit clients are back-
+		// pressured in the kernel queue; done unblocks a Close while
+		// the listener is saturated.
+		select {
+		case l.sem <- struct{}{}:
+		case <-l.done:
+			return nil, net.ErrClosed
+		}
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		if l.sem != nil {
+			<-l.sem
+		}
+		return nil, err
+	}
+	if l.tr != nil {
+		l.tr.connOpened()
+	}
+	return &limitedConn{Conn: c, l: l}, nil
+}
+
+func (l *limitListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return l.Listener.Close()
+}
+
+// limitedConn releases its accept slot (and the active gauge) exactly
+// once on Close, however many times the HTTP layer closes it.
+type limitedConn struct {
+	net.Conn
+	l        *limitListener
+	released atomic.Bool
+}
+
+func (c *limitedConn) Close() error {
+	if c.released.CompareAndSwap(false, true) {
+		if c.l.sem != nil {
+			<-c.l.sem
+		}
+		if c.l.tr != nil {
+			c.l.tr.connClosed()
+		}
+	}
+	return c.Conn.Close()
+}

@@ -1,0 +1,210 @@
+// Package distrib is the report-distribution tier: everything between
+// the scan loop and a client-facing byte. At publish time it commits one
+// immutable Frame per block — the report encoded exactly once into every
+// representation the HTTP layer serves (raw JSON, pre-gzipped JSON,
+// pre-framed SSE event bytes, top-K prefix slices, strong ETags) — and
+// swaps it behind an atomic pointer. Steady-state reads are a pointer
+// load, a header compare, and a buffer write: no JSON marshaling, no
+// compression, no per-client formatting, which is what lets one process
+// hold the paper's block-interval budget while serving millions of
+// readers. The conn.go side of the package guards the sockets themselves:
+// accept limiting, connection gauges, and fd-headroom probing.
+package distrib
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// marshalAppend appends v's compact JSON encoding to dst.
+func marshalAppend(dst []byte, v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, b...), nil
+}
+
+// frameTail closes a prefix-sliced report body: every `?top=N` response
+// is Raw[:ends[N-1]] followed by these two bytes. Results being the last
+// ReportJSON field is what makes the tail constant.
+var frameTail = []byte("]}")
+
+// Frame is one block's report committed to every wire representation at
+// once. Frames are immutable after Build: handlers share slices of the
+// same backing arrays across unbounded concurrent readers.
+type Frame struct {
+	// Report is the decoded view (healthz, logging, embedders).
+	Report ReportJSON
+	// Raw is the full report as compact JSON, byte-identical to
+	// json.Marshal(Report).
+	Raw []byte
+	// Gzip is Raw compressed once at build time; served verbatim to
+	// clients that accept gzip.
+	Gzip []byte
+	// ETag is the strong validator for the full representation, quoted
+	// per RFC 9110 (derived from version+height: a republished identical
+	// (version, height) is byte-identical by construction).
+	ETag string
+	// SSE is the pre-framed `report` event: `id:`/`event:`/`data:` lines
+	// plus the blank terminator, written verbatim to every stream
+	// subscriber. The id is the feed version, so clients resume with
+	// Last-Event-ID after a reconnect.
+	SSE []byte
+	// EventID is the SSE id line's value (the decimal feed version).
+	EventID string
+
+	// ends[i] is the offset in Raw just past the encoded Results[i];
+	// etags[i] validates the top=(i+1) representation.
+	ends  []int
+	etags []string
+}
+
+// BuildFrame encodes a report into an immutable frame. The one marshal
+// (and one gzip pass) per block happens here and nowhere else.
+func BuildFrame(r ReportJSON) (*Frame, error) {
+	f := &Frame{Report: r, EventID: strconv.FormatUint(r.Version, 10)}
+	f.ETag = fmt.Sprintf("\"v%d-h%d\"", r.Version, r.Height)
+
+	// Marshal the head (every field before Results) once, then append
+	// each result element and record its boundary. Element-wise marshal
+	// concatenated inside the head's `"results":[` is byte-identical to
+	// marshaling the whole struct, so Raw needs no second full pass and
+	// the recorded offsets are exact.
+	head := r
+	head.Results = []ResultJSON{}
+	buf, err := marshalAppend(nil, head)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: encode report: %w", err)
+	}
+	buf = buf[:len(buf)-len(frameTail)] // strip `]}`: buf now ends at `[`
+	f.ends = make([]int, len(r.Results))
+	f.etags = make([]string, len(r.Results))
+	for i, res := range r.Results {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		if buf, err = marshalAppend(buf, res); err != nil {
+			return nil, fmt.Errorf("distrib: encode result %d: %w", i, err)
+		}
+		f.ends[i] = len(buf)
+		f.etags[i] = fmt.Sprintf("\"v%d-h%d-t%d\"", r.Version, r.Height, i+1)
+	}
+	f.Raw = append(buf, frameTail...)
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(f.Raw); err != nil {
+		return nil, fmt.Errorf("distrib: gzip report: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("distrib: gzip report: %w", err)
+	}
+	f.Gzip = gz.Bytes()
+
+	var sse bytes.Buffer
+	sse.Grow(len(f.Raw) + len(f.EventID) + 32)
+	sse.WriteString("id: ")
+	sse.WriteString(f.EventID)
+	// Raw is compact JSON (no newlines), so a single data: line carries
+	// the whole report.
+	sse.WriteString("\nevent: report\ndata: ")
+	sse.Write(f.Raw)
+	sse.WriteString("\n\n")
+	f.SSE = sse.Bytes()
+	return f, nil
+}
+
+// Results returns how many ranked results the frame carries.
+func (f *Frame) Results() int { return len(f.ends) }
+
+// Top returns the body of the top-n representation as a prefix of Raw
+// plus a constant tail (write both, in order), with the representation's
+// ETag. n <= 0 or n >= Results() selects the full report (tail nil,
+// single write). No bytes are copied: this is the `?top=N` re-slice.
+func (f *Frame) Top(n int) (prefix, tail []byte, etag string) {
+	if n <= 0 || n >= len(f.ends) {
+		return f.Raw, nil, f.ETag
+	}
+	return f.Raw[:f.ends[n-1]], frameTail, f.etags[n-1]
+}
+
+// ETagMatches reports whether an If-None-Match header value revalidates
+// etag: an exact strong match in its comma-separated list, or `*`.
+// Allocation-free (steady-state 304s ride the hot path).
+func ETagMatches(header, etag string) bool {
+	for len(header) > 0 {
+		// Trim leading whitespace and commas.
+		i := 0
+		for i < len(header) && (header[i] == ' ' || header[i] == '\t' || header[i] == ',') {
+			i++
+		}
+		header = header[i:]
+		if header == "" {
+			return false
+		}
+		if header[0] == '*' {
+			return true
+		}
+		// A weak validator (W/"…") never strong-matches.
+		weak := len(header) >= 2 && header[0] == 'W' && header[1] == '/'
+		if weak {
+			header = header[2:]
+		}
+		end := len(header)
+		if len(header) > 0 && header[0] == '"' {
+			if j := strings.IndexByte(header[1:], '"'); j >= 0 {
+				end = j + 2
+			}
+		} else if j := strings.IndexByte(header, ','); j >= 0 {
+			end = j
+		}
+		if !weak && header[:end] == etag {
+			return true
+		}
+		header = header[end:]
+	}
+	return false
+}
+
+// Store holds the latest frame behind an atomic pointer. Writes (one per
+// block) build every representation once; reads are a single atomic
+// load, safe for unbounded concurrency.
+type Store struct {
+	v atomic.Pointer[Frame]
+}
+
+// Set builds a frame from the report and publishes it, replacing the
+// previous one.
+func (s *Store) Set(r ReportJSON) error {
+	f, err := BuildFrame(r)
+	if err != nil {
+		return err
+	}
+	s.v.Store(f)
+	return nil
+}
+
+// SetFrame publishes a pre-built frame (embedders that need the frame
+// and the swap without building twice).
+func (s *Store) SetFrame(f *Frame) { s.v.Store(f) }
+
+// Frame returns the current frame, or nil before the first Set.
+func (s *Store) Frame() *Frame {
+	return s.v.Load()
+}
+
+// Latest returns the current encoded report, or ok=false before the
+// first Set. (Compatibility view over Frame.)
+func (s *Store) Latest() (body []byte, report ReportJSON, ok bool) {
+	f := s.v.Load()
+	if f == nil {
+		return nil, ReportJSON{}, false
+	}
+	return f.Raw, f.Report, true
+}

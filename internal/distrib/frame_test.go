@@ -1,0 +1,253 @@
+package distrib
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testReport builds a report with n ranked results, exercising the
+// omitempty fields (maps, empty start tokens) the frame slicer must
+// reproduce byte-exactly.
+func testReport(version uint64, height int64, n int) ReportJSON {
+	r := ReportJSON{
+		Version:          version,
+		Height:           height,
+		Strategy:         "MaxMax",
+		Parallelism:      2,
+		Tokens:           7,
+		Pools:            9,
+		CyclesExamined:   40,
+		LoopsDetected:    n,
+		TopologyCacheHit: true,
+		LoopsReoptimized: 3,
+		LoopsReused:      n - 3,
+	}
+	for i := 0; i < n; i++ {
+		res := ResultJSON{
+			Index:     i,
+			Loop:      fmt.Sprintf("A→B%d→C→A", i),
+			Strategy:  "MaxMax",
+			ProfitUSD: 100.0 / float64(i+1),
+		}
+		if i%2 == 0 {
+			res.StartToken = "A"
+			res.Input = float64(i) * 1.5
+		} else {
+			res.NetTokens = map[string]float64{"A": 1.25, "B": -0.5, "C": float64(i)}
+		}
+		r.Results = append(r.Results, res)
+	}
+	return r
+}
+
+func TestFrameRawMatchesMarshal(t *testing.T) {
+	for _, n := range []int{0, 1, 5} {
+		r := testReport(3, 17, n)
+		if r.Results == nil {
+			r.Results = []ResultJSON{} // Encode never produces nil
+		}
+		f, err := BuildFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f.Raw, want) {
+			t.Errorf("n=%d: frame Raw differs from json.Marshal:\n got %s\nwant %s", n, f.Raw, want)
+		}
+	}
+
+	// nil Results normalizes to the empty array: the wire always carries
+	// `"results":[]`, never null.
+	f, err := BuildFrame(testReport(3, 17, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(f.Raw, []byte(`"results":[]}`)) {
+		t.Errorf("nil Results encoded as %s", f.Raw[max(0, len(f.Raw)-20):])
+	}
+}
+
+func TestFrameTopPrefixEquivalence(t *testing.T) {
+	r := testReport(9, 123, 6)
+	f, err := BuildFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full ReportJSON
+	if err := json.Unmarshal(f.Raw, &full); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{f.ETag: true}
+	for n := 1; n < len(r.Results); n++ {
+		prefix, tail, etag := f.Top(n)
+		if tail == nil {
+			t.Fatalf("top=%d returned the full body", n)
+		}
+		if seen[etag] {
+			t.Errorf("top=%d reuses ETag %s", n, etag)
+		}
+		seen[etag] = true
+		body := append(append([]byte{}, prefix...), tail...)
+		var got ReportJSON
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("top=%d body is not valid JSON: %v\n%s", n, err, body)
+		}
+		want := full
+		want.Results = full.Results[:n]
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("top=%d decoded report differs from full-report prefix:\n got %+v\nwant %+v", n, got, want)
+		}
+	}
+}
+
+func TestFrameTopClamps(t *testing.T) {
+	r := testReport(1, 2, 3)
+	f, err := BuildFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, -1, 3, 4, 100} {
+		prefix, tail, etag := f.Top(n)
+		if !bytes.Equal(prefix, f.Raw) || tail != nil || etag != f.ETag {
+			t.Errorf("Top(%d) did not clamp to the full report", n)
+		}
+	}
+}
+
+func TestFrameGzipRoundTrip(t *testing.T) {
+	f, err := BuildFrame(testReport(4, 44, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(f.Gzip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, f.Raw) {
+		t.Error("gzip variant does not decompress to Raw")
+	}
+}
+
+func TestFrameSSEFraming(t *testing.T) {
+	f, err := BuildFrame(testReport(7, 70, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(f.SSE)
+	wantPrefix := "id: 7\nevent: report\ndata: "
+	if !strings.HasPrefix(s, wantPrefix) {
+		t.Fatalf("SSE frame prefix = %q", s[:min(len(s), 40)])
+	}
+	if !strings.HasSuffix(s, "\n\n") {
+		t.Error("SSE frame missing blank-line terminator")
+	}
+	data := strings.TrimSuffix(strings.TrimPrefix(s, wantPrefix), "\n\n")
+	if data != string(f.Raw) {
+		t.Error("SSE data line is not the raw report bytes")
+	}
+	if strings.Count(data, "\n") != 0 {
+		t.Error("report JSON spilled over multiple SSE lines")
+	}
+	if f.EventID != "7" {
+		t.Errorf("EventID = %q, want 7", f.EventID)
+	}
+}
+
+func TestFrameETags(t *testing.T) {
+	a, err := BuildFrame(testReport(1, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildFrame(testReport(2, 11, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ETag == b.ETag {
+		t.Error("different (version, height) frames share an ETag")
+	}
+	a2, err := BuildFrame(testReport(1, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ETag != a2.ETag || !bytes.Equal(a.Raw, a2.Raw) {
+		t.Error("republished identical (version, height) is not byte-identical")
+	}
+	if !strings.HasPrefix(a.ETag, `"`) || !strings.HasSuffix(a.ETag, `"`) {
+		t.Errorf("ETag %s is not quoted", a.ETag)
+	}
+}
+
+func TestETagMatches(t *testing.T) {
+	const et = `"v1-h5"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{`"v1-h5"`, true},
+		{`"v1-h4"`, false},
+		{`"v1-h4", "v1-h5"`, true},
+		{`*`, true},
+		{`W/"v1-h5"`, false}, // weak never strong-matches
+		{``, false},
+		{`v1-h5`, false}, // unquoted is not the validator we issued
+		{`"v1-h5-t3"`, false},
+	}
+	for _, c := range cases {
+		if got := ETagMatches(c.header, et); got != c.want {
+			t.Errorf("ETagMatches(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+	if got := ETagMatches(`"v1-h5-t3"`, `"v1-h5-t3"`); !got {
+		t.Error("top-N etag failed to match itself")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ETagMatches(`"v1-h4", W/"x", "v1-h5"`, et)
+	}); n > 0 {
+		t.Errorf("ETagMatches allocates %.0f times per call", n)
+	}
+}
+
+func TestStoreSwap(t *testing.T) {
+	var st Store
+	if f := st.Frame(); f != nil {
+		t.Error("empty store returned a frame")
+	}
+	if _, _, ok := st.Latest(); ok {
+		t.Error("empty store reported a report")
+	}
+	if err := st.Set(testReport(1, 10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	body, rep, ok := st.Latest()
+	if !ok || rep.Version != 1 {
+		t.Fatalf("Latest = %v v%d", ok, rep.Version)
+	}
+	var decoded ReportJSON
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Version != 1 || decoded.Height != 10 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	f2, err := BuildFrame(testReport(2, 11, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetFrame(f2)
+	if got := st.Frame(); got != f2 {
+		t.Error("SetFrame did not swap the frame")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package distrib
+
+// fdSoftLimit has no portable probe off unix; 0 means "unknown" and the
+// healthz section reports no headroom rather than a guess.
+func fdSoftLimit() uint64 { return 0 }
+
+func openFDs() int { return -1 }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package distrib
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdSoftLimit probes RLIMIT_NOFILE's soft limit — the ceiling accept()
+// hits with EMFILE. 0 when the probe fails.
+func fdSoftLimit() uint64 {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	return uint64(rl.Cur)
+}
+
+// openFDs counts descriptors currently open via /proc/self/fd, or -1
+// where procfs is unavailable (darwin, BSDs).
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir handle itself is one of the entries.
+	return len(ents) - 1
+}

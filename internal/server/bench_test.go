@@ -1,0 +1,138 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// discardRW is the cheapest possible ResponseWriter: alloc measurements
+// and benchmarks see the handler's own cost, not a recorder's buffers.
+type discardRW struct {
+	h http.Header
+	n int64
+}
+
+func (d *discardRW) Header() http.Header { return d.h }
+func (d *discardRW) Write(p []byte) (int, error) {
+	d.n += int64(len(p))
+	return len(p), nil
+}
+func (d *discardRW) WriteHeader(int) {}
+
+// benchHandler returns the mux serving a published ~200-result report
+// (large enough that any per-request re-encode or re-compress would blow
+// the alloc budgets by orders of magnitude).
+func benchHandler(tb testing.TB) (http.Handler, *Server) {
+	tb.Helper()
+	srv := New()
+	if err := srv.Publish(bigReport(1, 9, 200), time.Millisecond); err != nil {
+		tb.Fatal(err)
+	}
+	return srv.Handler(), srv
+}
+
+// TestReportSteadyStateAllocBudget pins the read path's allocation
+// ceiling: steady-state GET /v1/report — plain, gzip-negotiated, and
+// If-None-Match revalidation — performs zero JSON marshaling and zero
+// gzip compression per request. The budgets (a handful of header-map
+// slices and the mux's routing bookkeeping) are far below what a single
+// re-encode (hundreds of allocs) or re-compress would cost, so any
+// regression that sneaks encoding back into the request path fails here.
+func TestReportSteadyStateAllocBudget(t *testing.T) {
+	h, _ := benchHandler(t)
+
+	measure := func(name string, budget float64, mk func() *http.Request) {
+		t.Helper()
+		req := mk()
+		w := &discardRW{h: make(http.Header)}
+		h.ServeHTTP(w, req) // warm-up (lazy mux state)
+		allocs := testing.AllocsPerRun(200, func() {
+			h.ServeHTTP(w, req)
+		})
+		t.Logf("%-14s %4.0f allocs/request (budget %.0f)", name, allocs, budget)
+		if allocs > budget {
+			t.Errorf("%s path allocates %.0f/request, budget %.0f — did encoding leak back into the read path?",
+				name, allocs, budget)
+		}
+	}
+
+	// Measured on the reference container: plain 6, gzip 7,
+	// not_modified 3, top5 9. Budgets leave ~2x headroom for stdlib
+	// drift while staying orders of magnitude below one re-encode.
+	measure("plain", 12, func() *http.Request {
+		return httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+	})
+	measure("gzip", 12, func() *http.Request {
+		req := httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+		req.Header.Set("Accept-Encoding", "gzip")
+		return req
+	})
+	measure("not_modified", 8, func() *http.Request {
+		req := httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+		req.Header.Set("If-None-Match", `"v1-h9"`)
+		return req
+	})
+	// ?top=N parses the query (a few more allocs) but still never
+	// re-encodes.
+	measure("top5", 18, func() *http.Request {
+		return httptest.NewRequest(http.MethodGet, "/v1/report?top=5", nil)
+	})
+}
+
+func benchmarkReport(b *testing.B, mk func() *http.Request) {
+	h, _ := benchHandler(b)
+	req := mk()
+	w := &discardRW{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	b.SetBytes(w.n / int64(b.N))
+}
+
+// `make bench-server` smoke: the four read paths at the handler layer
+// (no sockets), proving the frame fast path stays engaged.
+func BenchmarkServerReportPlain(b *testing.B) {
+	benchmarkReport(b, func() *http.Request {
+		return httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+	})
+}
+
+func BenchmarkServerReportGzip(b *testing.B) {
+	benchmarkReport(b, func() *http.Request {
+		req := httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+		req.Header.Set("Accept-Encoding", "gzip")
+		return req
+	})
+}
+
+func BenchmarkServerReportNotModified(b *testing.B) {
+	benchmarkReport(b, func() *http.Request {
+		req := httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+		req.Header.Set("If-None-Match", `"v1-h9"`)
+		return req
+	})
+}
+
+func BenchmarkServerReportTop5(b *testing.B) {
+	benchmarkReport(b, func() *http.Request {
+		return httptest.NewRequest(http.MethodGet, "/v1/report?top=5", nil)
+	})
+}
+
+// BenchmarkServerPublish prices the write side: one frame build (encode
+// + gzip + SSE framing + prefix index) per block.
+func BenchmarkServerPublish(b *testing.B) {
+	srv := New()
+	rep := bigReport(1, 9, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.Publish(rep, time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

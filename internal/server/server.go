@@ -1,64 +1,52 @@
-// Package server is the HTTP face of the live opportunity service: it
-// holds the latest ranked scan report in an atomically swapped in-memory
-// store and serves it to any number of concurrent readers without ever
-// touching the scan path, streams per-block updates over SSE, and exposes
-// a health probe. The paper's §VII time budget shapes the design — the
-// scan loop publishes once per block, readers cost one atomic load each,
-// so read traffic ("millions of users") and scan latency are completely
-// decoupled.
+// Package server is the HTTP face of the live opportunity service. Every
+// response is a thin read over an immutable distrib.Frame: the scan loop
+// publishes once per block (one JSON marshal, one gzip pass, one SSE
+// framing — in distrib.BuildFrame), and readers get the frame by atomic
+// pointer swap and serve with a header compare plus a buffer write. The
+// paper's §VII time budget shapes the design — read traffic ("millions
+// of users") and scan latency are completely decoupled, and the
+// steady-state read path performs zero per-request encoding.
 //
 // Endpoints:
 //
 //	GET /v1/report   latest ranked report (JSON; 503 until the first scan)
-//	GET /v1/stream   server-sent events; one `report` event per published scan
-//	GET /v1/healthz  service liveness: version, block height, last-scan latency
+//	                 ?top=N serves the N most profitable loops as a
+//	                 pre-sliced prefix of the cached encoding; strong
+//	                 ETag/If-None-Match revalidation (304) and cached
+//	                 gzip negotiation on the full report
+//	GET /v1/stream   server-sent events; one `report` event per published
+//	                 scan, with the feed version as event id so clients
+//	                 resume via Last-Event-ID. Slow consumers are evicted
+//	                 past the write deadline.
+//	GET /v1/healthz  service liveness: version, block height, last-scan
+//	                 latency, delta-engine and connection-tier gauges
 package server
 
 import (
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"arbloop/internal/distrib"
 	"arbloop/internal/feed"
 	"arbloop/internal/scan"
 )
 
-// stored pairs a decoded report with its marshaled bytes so every reader
-// shares one encoding.
-type stored struct {
-	report ReportJSON
-	body   []byte
-}
+// Store holds the latest report committed to every wire representation
+// at once (see distrib.Frame). Writes (one per block) encode once; reads
+// are a single atomic load, safe for unbounded concurrency.
+type Store = distrib.Store
 
-// Store holds the latest encoded report behind an atomic pointer. Writes
-// (one per block) marshal once; reads are a single atomic load, safe for
-// unbounded concurrency.
-type Store struct {
-	v atomic.Pointer[stored]
-}
-
-// Set encodes and publishes a report, replacing the previous one.
-func (s *Store) Set(r ReportJSON) error {
-	body, err := json.Marshal(r)
-	if err != nil {
-		return fmt.Errorf("server: encode report: %w", err)
-	}
-	s.v.Store(&stored{report: r, body: body})
-	return nil
-}
-
-// Latest returns the current encoded report, or ok=false before the
-// first Set.
-func (s *Store) Latest() (body []byte, report ReportJSON, ok bool) {
-	st := s.v.Load()
-	if st == nil {
-		return nil, ReportJSON{}, false
-	}
-	return st.body, st.report, true
-}
+// DefaultWriteTimeout bounds one SSE event write: a client that cannot
+// drain an event within it is evicted (the block cadence is seconds, so
+// a healthy client is never close).
+const DefaultWriteTimeout = 10 * time.Second
 
 // Health is the /v1/healthz body.
 type Health struct {
@@ -83,6 +71,12 @@ type Health struct {
 	// delta scans and the shard wake-up totals — so the fast-path hit
 	// rate is observable in production.
 	Delta *DeltaHealth `json:"delta,omitempty"`
+	// Connections, when the embedder registers a probe
+	// (SetConnStatsProbe, or WithConnTracker which registers one),
+	// reports the connection tier: active/peak/accepted connections,
+	// slow-consumer evictions, the accept limit, and fd-headroom — the
+	// gauge to alarm on before accept() hits EMFILE.
+	Connections *distrib.ConnStats `json:"connections,omitempty"`
 }
 
 // DeltaHealth is the delta-engine section of /v1/healthz.
@@ -104,15 +98,47 @@ type Server struct {
 	store Store
 
 	mu     sync.Mutex
-	subs   map[int]chan []byte
+	subs   map[int]chan *distrib.Frame
 	nextID int
 	closed bool
 
 	scans        atomic.Uint64
 	lastScanNano atomic.Int64
 
-	// deltaStats, when set, is polled per healthz request.
+	// tracker, when set, receives slow-consumer eviction counts.
+	tracker *distrib.Tracker
+	// writeTimeout bounds one SSE event write (0 = no deadline).
+	writeTimeout time.Duration
+
+	// deltaStats / connStats, when set, are polled per healthz request.
 	deltaStats atomic.Pointer[func() scan.DeltaStats]
+	connStats  atomic.Pointer[func() distrib.ConnStats]
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithConnTracker wires the connection tier's gauges: SSE slow-consumer
+// evictions are counted on t, and t.Stats backs the /v1/healthz
+// `connections` section (override or remove with SetConnStatsProbe).
+// Share the same tracker with distrib.Limit so accepts, evictions, and
+// fd headroom land in one snapshot.
+func WithConnTracker(t *distrib.Tracker) Option {
+	return func(s *Server) {
+		s.tracker = t
+		if t != nil {
+			s.SetConnStatsProbe(t.Stats)
+		}
+	}
+}
+
+// WithWriteTimeout bounds each SSE event write; a client that cannot
+// drain an event within d is evicted (its connection is closed) so a
+// stalled reader can never pin buffers or a subscription slot for the
+// life of the process. 0 disables the deadline; the default is
+// DefaultWriteTimeout.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(s *Server) { s.writeTimeout = d }
 }
 
 // SetDeltaStatsProbe registers a callback polled on every /v1/healthz
@@ -126,10 +152,28 @@ func (s *Server) SetDeltaStatsProbe(fn func() scan.DeltaStats) {
 	s.deltaStats.Store(&fn)
 }
 
+// SetConnStatsProbe registers a callback polled on every /v1/healthz
+// request to report the connection tier's gauges (use Tracker.Stats).
+// Pass nil to unregister. Safe to call at any time.
+func (s *Server) SetConnStatsProbe(fn func() distrib.ConnStats) {
+	if fn == nil {
+		s.connStats.Store(nil)
+		return
+	}
+	s.connStats.Store(&fn)
+}
+
 // New builds an empty server; /v1/report returns 503 until the first
 // Publish.
-func New() *Server {
-	return &Server{subs: make(map[int]chan []byte)}
+func New(opts ...Option) *Server {
+	s := &Server{
+		subs:         make(map[int]chan *distrib.Frame),
+		writeTimeout: DefaultWriteTimeout,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Store exposes the underlying report store (benchmarks and embedders).
@@ -137,22 +181,24 @@ func (s *Server) Store() *Store {
 	return &s.store
 }
 
-// Publish swaps in a new report and fans it out to SSE subscribers.
-// elapsed is the scan latency reported by /v1/healthz.
+// Publish commits the report to one immutable frame — the block's single
+// encode — swaps it in, and fans it out to SSE subscribers. elapsed is
+// the scan latency reported by /v1/healthz.
 func (s *Server) Publish(r ReportJSON, elapsed time.Duration) error {
-	if err := s.store.Set(r); err != nil {
+	f, err := distrib.BuildFrame(r)
+	if err != nil {
 		return err
 	}
+	s.store.SetFrame(f)
 	s.scans.Add(1)
 	s.lastScanNano.Store(int64(elapsed))
 
-	body, _, _ := s.store.Latest()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Coalesce exactly like the pool feed: a slow SSE client gets the
-	// newest report, never a backlog of dead ones.
+	// newest frame, never a backlog of dead ones.
 	for _, ch := range s.subs {
-		feed.SendCoalesce(ch, body)
+		feed.SendCoalesce(ch, f)
 	}
 	return nil
 }
@@ -175,10 +221,10 @@ func (s *Server) Close() {
 	}
 }
 
-// subscribe registers an SSE subscriber with a coalescing one-report
+// subscribe registers an SSE subscriber with a coalescing one-frame
 // buffer. After Close the channel comes back already closed.
-func (s *Server) subscribe() (<-chan []byte, func()) {
-	ch := make(chan []byte, 1)
+func (s *Server) subscribe() (<-chan *distrib.Frame, func()) {
+	ch := make(chan *distrib.Frame, 1)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -205,24 +251,84 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// writeJSONError emits an error body that is itself valid JSON with the
+// right Content-Type (http.Error would label it text/plain).
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// acceptsGzip reports whether the request negotiates gzip encoding.
+func acceptsGzip(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
+}
+
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	body, _, ok := s.store.Latest()
-	if !ok {
-		http.Error(w, `{"error":"no report yet"}`, http.StatusServiceUnavailable)
+	f := s.store.Frame()
+	if f == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, "no report yet")
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	body, tail, etag := f.Raw, []byte(nil), f.ETag
+	// The steady-state path (no query) skips parsing entirely; ?top=N
+	// re-slices the cached encoding — never a re-encode.
+	if r.URL.RawQuery != "" {
+		n, err := topParam(r)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		body, tail, etag = f.Top(n)
+	}
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Vary", "Accept-Encoding")
+	h.Set("Cache-Control", "no-cache")
+	if inm := r.Header.Get("If-None-Match"); inm != "" && distrib.ETagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	if tail == nil && acceptsGzip(r) {
+		// Full report only: the gzip variant is compressed once per
+		// block, prefix slices are served identity-encoded.
+		h.Set("Content-Encoding", "gzip")
+		h.Set("Content-Length", strconv.Itoa(len(f.Gzip)))
+		_, _ = w.Write(f.Gzip)
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)+len(tail)))
 	_, _ = w.Write(body)
+	if tail != nil {
+		_, _ = w.Write(tail)
+	}
+}
+
+// topParam extracts ?top=N. 0 (or absence) means the full report;
+// negative or malformed values are a client error.
+func topParam(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("top")
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, errors.New("top must be a non-negative integer")
+	}
+	return n, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Health{Status: "starting", Scans: s.scans.Load()}
-	if _, rep, ok := s.store.Latest(); ok {
+	if f := s.store.Frame(); f != nil {
 		h.Status = "ok"
-		h.Version = rep.Version
-		h.Height = rep.Height
-		h.TopologyCacheHit = rep.TopologyCacheHit
-		h.Strategy = rep.Strategy
+		h.Version = f.Report.Version
+		h.Height = f.Report.Height
+		h.TopologyCacheHit = f.Report.TopologyCacheHit
+		h.Strategy = f.Report.Strategy
 	}
 	h.LastScanMillis = float64(s.lastScanNano.Load()) / float64(time.Millisecond)
 	if probe := s.deltaStats.Load(); probe != nil {
@@ -234,6 +340,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			ShardsScanned: ds.ShardsScanned,
 		}
 	}
+	if probe := s.connStats.Load(); probe != nil {
+		cs := (*probe)()
+		h.Connections = &cs
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(h)
 }
@@ -241,44 +351,57 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
+	// writeFrame pushes one pre-framed event under the write deadline.
+	// A client stalled past it is evicted: the deadline poisons the
+	// connection, the handler returns, and net/http tears it down —
+	// healthy subscribers are untouched.
+	writeFrame := func(f *distrib.Frame) error {
+		if s.writeTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+		_, err := w.Write(f.SSE)
+		if err == nil {
+			err = rc.Flush()
+		}
+		if err != nil && errors.Is(err, os.ErrDeadlineExceeded) && s.tracker != nil {
+			s.tracker.Evict()
+		}
+		return err
+	}
+
 	ch, cancel := s.subscribe()
 	defer cancel()
 
 	// A fresh client sees the current report immediately instead of
-	// waiting out the rest of the block interval.
-	if body, _, ok := s.store.Latest(); ok {
-		if err := writeEvent(w, body); err != nil {
+	// waiting out the rest of the block interval — unless it reconnected
+	// with Last-Event-ID naming the frame it already has.
+	lastID := r.Header.Get("Last-Event-ID")
+	if f := s.store.Frame(); f != nil && f.EventID != lastID {
+		if err := writeFrame(f); err != nil {
 			return
 		}
-		fl.Flush()
 	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case body, ok := <-ch:
+		case f, ok := <-ch:
 			if !ok { // server closed: end the stream
 				return
 			}
-			if err := writeEvent(w, body); err != nil {
+			if err := writeFrame(f); err != nil {
 				return
 			}
-			fl.Flush()
 		}
 	}
-}
-
-// writeEvent frames one report as an SSE `report` event.
-func writeEvent(w http.ResponseWriter, body []byte) error {
-	_, err := fmt.Fprintf(w, "event: report\ndata: %s\n\n", body)
-	return err
 }
