@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-go bench-convex bench-delta bench-shard bench-server fuzz clean
+.PHONY: all build test race vet bench bench-go bench-convex bench-delta bench-shard bench-server bench-telemetry fuzz clean
 
 all: build vet test
 
@@ -43,6 +43,12 @@ bench-shard:
 # the encode-once frame cache stays engaged on every read.
 bench-server:
 	$(GO) test -bench 'BenchmarkServer' -benchtime 100x -benchmem -run '^$$' ./internal/server
+
+# Telemetry guard + overhead: the instrumented steady-state delta scan
+# must hold the 7-alloc budget, and full instrumentation must cost < 2%
+# of scan time (plus per-primitive ns/op costs for the record).
+bench-telemetry:
+	BENCH_JSON=1 $(GO) test -run 'TestTelemetry(ScanAllocs|Bench)' -count=1 -v .
 
 # Convex solver smoke: structured O(n) fast path vs the generic dense
 # barrier solver, cold and warm-started. Tiny run counts keep it

@@ -8,6 +8,7 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"math/big"
@@ -17,6 +18,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	rtpprof "runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -26,6 +29,7 @@ import (
 	"arbloop/internal/distrib"
 	"arbloop/internal/server"
 	"arbloop/internal/source"
+	"arbloop/internal/strategy"
 )
 
 // serveScale is the integer base units per whole token on the simulator.
@@ -41,7 +45,11 @@ func cmdServe(args []string) error {
 		"per-loop strategy: "+strings.Join(arbloop.StrategyNames(), ", "))
 	parallel := fs.Int("parallel", 0, "optimization workers (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "delta-engine cycle shards (0 = GOMAXPROCS)")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (empty = off)")
+	mutexProfile := fs.Int("mutex-profile", 0,
+		"mutex contention profiling: sample 1/n of contended lock events (0 = off); read via -pprof's /debug/pprof/mutex")
+	blockProfile := fs.Int("block-profile", 0,
+		"goroutine blocking profiling: sample blocking events lasting >= n ns (0 = off); read via -pprof's /debug/pprof/block")
 	top := fs.Int("top", 20, "serve the N most profitable loops (0 = all)")
 	minProfit := fs.Float64("min-profit", 0, "drop loops predicted below this USD profit")
 	maxCycles := fs.Int("max-cycles", 0, "fail a scan past this many enumerated cycles (0 = unlimited)")
@@ -89,6 +97,8 @@ func cmdServe(args []string) error {
 	return serve(ctx, serveConfig{
 		addr:          *addr,
 		pprofAddr:     *pprofAddr,
+		mutexProfile:  *mutexProfile,
+		blockProfile:  *blockProfile,
 		state:         state,
 		scanner:       sc,
 		source:        src,
@@ -106,9 +116,15 @@ func cmdServe(args []string) error {
 // so tests can run the stack on an ephemeral port without flag parsing.
 type serveConfig struct {
 	addr string
-	// pprofAddr, when non-empty, serves net/http/pprof on its own
+	// pprofAddr, when non-empty, serves net/http/pprof plus expvar
+	// (/debug/vars, including the telemetry registry summary) on its own
 	// listener — opt-in, and never on the public report address.
-	pprofAddr     string
+	pprofAddr string
+	// mutexProfile (SetMutexProfileFraction) and blockProfile
+	// (SetBlockProfileRate) enable the runtime's contention profiles;
+	// 0 leaves each off.
+	mutexProfile  int
+	blockProfile  int
 	state         *chain.State
 	scanner       *arbloop.Scanner
 	source        arbloop.PoolSource
@@ -153,10 +169,29 @@ func serve(ctx context.Context, cfg serveConfig) error {
 		server.WithConnTracker(tracker),
 		server.WithWriteTimeout(cfg.writeTimeout),
 	)
-	// /v1/healthz reports the delta engine's fast-path hit rate and
-	// shard wake-ups alongside liveness.
+	// /v1/healthz reports the delta engine's fast-path hit rate, shard
+	// wake-ups, and feed refresh/failure counts alongside liveness.
 	srv.SetDeltaStatsProbe(cfg.scanner.DeltaStats)
+	srv.SetFeedStatsProbe(watcher.Stats)
+	// Every layer's metrics mount into the server registry behind
+	// GET /v1/metrics: the scan engine's stage histograms and dirtiness
+	// EMAs, the feed's retry counters, and the convex solver's
+	// iteration/warm-start/fallback counts.
+	if m := cfg.scanner.Metrics(); m != nil {
+		m.Register(srv.Telemetry())
+	}
+	watcher.RegisterMetrics(srv.Telemetry())
+	strategy.Telemetry().Register(srv.Telemetry())
 	errc := make(chan error, 1)
+
+	// Contention profiling is opt-in (it taxes every lock operation);
+	// the profiles are served by the -pprof listener.
+	if cfg.mutexProfile > 0 {
+		runtime.SetMutexProfileFraction(cfg.mutexProfile)
+	}
+	if cfg.blockProfile > 0 {
+		runtime.SetBlockProfileRate(cfg.blockProfile)
+	}
 
 	// Opt-in pprof on its own listener, so profiling a production
 	// service never exposes debug handlers on the report address.
@@ -171,6 +206,10 @@ func serve(ctx context.Context, cfg serveConfig) error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// expvar rides the same debug listener: /debug/vars carries the
+		// telemetry registry summary next to the runtime's memstats.
+		srv.Telemetry().PublishExpvar()
+		mux.Handle("/debug/vars", expvar.Handler())
 		pprofSrv := &http.Server{Handler: mux}
 		go func() {
 			<-ctx.Done()
@@ -188,17 +227,19 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	// below) becomes one versioned pool update. A feed error is fatal —
 	// without updates every served report is a lie — so it cancels the
 	// service.
-	go func() {
+	go rtpprof.Do(ctx, rtpprof.Labels("loop", "feed"), func(ctx context.Context) {
 		if err := watcher.Run(ctx, 0); err != nil {
 			errc <- fmt.Errorf("feed: %w", err)
 			cancel()
 		}
-	}()
+	})
 	watcher.Notify() // prime: serve a report before the first block lands
 
 	// Scan loop: one topology-cached scan per consumed update, published
-	// into the atomically swapped store and fanned out over SSE.
-	go func() {
+	// into the atomically swapped store and fanned out over SSE. The
+	// pprof label tags CPU/mutex samples from this goroutine (and the
+	// optimization workers it forks) with loop=scan.
+	go rtpprof.Do(ctx, rtpprof.Labels("loop", "scan"), func(ctx context.Context) {
 		for vr := range cfg.scanner.Watch(ctx, watcher) {
 			if vr.Err != nil {
 				cfg.logf("scan v%d failed: %v", vr.Version, vr.Err)
@@ -214,11 +255,11 @@ func serve(ctx context.Context, cfg serveConfig) error {
 				vr.Report.LoopsReused, bestProfit(vr.Report),
 				vr.Elapsed.Round(time.Microsecond), vr.Report.TopologyCacheHit)
 		}
-	}()
+	})
 
 	// Block driver: seal a block every interval, preceded by retail noise
 	// swaps so reserves (and therefore opportunities) actually move.
-	go func() {
+	go rtpprof.Do(ctx, rtpprof.Labels("loop", "blocks"), func(ctx context.Context) {
 		rng := rand.New(rand.NewSource(cfg.seed + 1))
 		ids := cfg.state.PoolIDs()
 		ticker := time.NewTicker(cfg.blockInterval)
@@ -237,7 +278,7 @@ func serve(ctx context.Context, cfg serveConfig) error {
 			cfg.state.Block(nil)
 			produced++
 		}
-	}()
+	})
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"arbloop/internal/amm"
 	"arbloop/internal/scan"
 	"arbloop/internal/source"
+	"arbloop/internal/telemetry"
 )
 
 // ErrClosed is returned by Refresh after Close.
@@ -114,10 +115,25 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 
 // WithErrorHandler registers a callback Run invokes on every failed
 // refresh attempt (transient or final) — the observability hook for
-// services that log or count feed errors. The callback runs on Run's
-// goroutine; keep it fast.
+// services that log feed errors. The callback runs on Run's goroutine;
+// keep it fast. Counting happens regardless: every watcher carries a
+// default error sink that tallies failures and exhausted retry budgets
+// into its telemetry counters (Stats, RegisterMetrics), so feed health
+// is observable even when no handler is installed.
 func WithErrorHandler(fn func(error)) Option {
 	return func(w *Watcher) { w.onError = fn }
+}
+
+// WatcherStats is a snapshot of a watcher's lifetime telemetry counters.
+type WatcherStats struct {
+	// Refreshes counts successful source reads published as updates.
+	Refreshes uint64 `json:"refreshes"`
+	// Failures counts failed refresh attempts, transient ones included
+	// (every attempt a retry loop burns adds one).
+	Failures uint64 `json:"failures"`
+	// Exhausted counts triggers whose whole retry budget failed — the
+	// fatal outcomes a Run loop surfaces to its caller.
+	Exhausted uint64 `json:"exhausted"`
 }
 
 // Watcher reads a pool source on demand and fans versioned updates out to
@@ -130,6 +146,10 @@ type Watcher struct {
 	retryAttempts int
 	retryBackoff  time.Duration
 	onError       func(error)
+
+	// Lifetime counters (see WatcherStats); always on — counting one
+	// atomic add per refresh outcome costs nothing worth an option.
+	refreshes, failures, exhausted telemetry.Counter
 
 	// refreshMu serializes whole Refresh calls — source read through
 	// publish — so a pool set read later can never be published under an
@@ -212,6 +232,7 @@ func (w *Watcher) Refresh(ctx context.Context) (Update, error) {
 	}
 	pools, err := w.src.Pools(ctx)
 	if err != nil {
+		w.failures.Inc()
 		return Update{}, err
 	}
 	fp := scan.Fingerprint(pools)
@@ -221,6 +242,7 @@ func (w *Watcher) Refresh(ctx context.Context) (Update, error) {
 	if w.closed {
 		return Update{}, ErrClosed
 	}
+	w.refreshes.Inc()
 	u := Update{
 		Version:         w.last.Version + 1,
 		Height:          height,
@@ -256,6 +278,24 @@ func diffReserves(prev, cur []*amm.Pool) []string {
 	}
 	sort.Strings(changed)
 	return changed
+}
+
+// Stats returns the watcher's lifetime refresh/failure counters — the
+// probe /v1/healthz's feed section polls (server.SetFeedStatsProbe).
+func (w *Watcher) Stats() WatcherStats {
+	return WatcherStats{
+		Refreshes: w.refreshes.Load(),
+		Failures:  w.failures.Load(),
+		Exhausted: w.exhausted.Load(),
+	}
+}
+
+// RegisterMetrics exposes the watcher's counters on reg under the
+// arbloop_feed_* families.
+func (w *Watcher) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("arbloop_feed_refreshes_total", "", "successful pool-source reads published as updates", &w.refreshes)
+	reg.Counter("arbloop_feed_failures_total", "", "failed refresh attempts, transient retries included", &w.failures)
+	reg.Counter("arbloop_feed_exhausted_total", "", "triggers whose whole retry budget failed", &w.exhausted)
 }
 
 // Latest returns the most recently published update (zero Version when
@@ -327,6 +367,7 @@ func (w *Watcher) refreshWithRetry(ctx context.Context) error {
 			w.onError(err)
 		}
 		if attempt >= w.retryAttempts {
+			w.exhausted.Inc()
 			return err
 		}
 		if backoff > 0 {

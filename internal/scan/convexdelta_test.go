@@ -164,7 +164,8 @@ func TestRunDeltaConvexAllocBudget(t *testing.T) {
 	ctx := context.Background()
 
 	measure := func(opts strategy.ConvexOptions) (clean, dirty, reopt float64) {
-		cfg := Config{Strategy: strategy.ConvexStrategy{Options: opts}, Parallelism: 1, Shards: 4}
+		// Metrics on: the convex budget is measured instrumented too.
+		cfg := Config{Strategy: strategy.ConvexStrategy{Options: opts}, Parallelism: 1, Shards: 4, Metrics: NewMetrics()}
 		st := &DeltaState{}
 		state := rebuild(t, pools)
 		if _, err := RunDelta(ctx, state, nil, src, cfg, st); err != nil {

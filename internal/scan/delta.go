@@ -47,6 +47,7 @@ import (
 	"reflect"
 	"slices"
 	"sync"
+	"time"
 
 	"arbloop/internal/amm"
 	"arbloop/internal/source"
@@ -344,6 +345,17 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 		return runCapture(ctx, pools, prices, cfg, st)
 	}
 	st.bump(false)
+	m := cfg.Metrics
+	var start, t time.Time
+	timed := false
+	if m != nil {
+		m.DeltaScans.Inc()
+		// One clock read per scan keeps the dirtiness EMA gap exact; the
+		// per-stage boundary reads below are sampled (see StageSample).
+		timed = m.timedScan()
+		start = time.Now()
+		t = start
+	}
 
 	top, plan := base.top, base.plan
 	g, err := top.skel.Rebind(pools)
@@ -369,6 +381,10 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 			scr.dirtyPool[i] = true
 			dirtyPools++
 		}
+	}
+	if m != nil {
+		m.DirtyPools.Add(uint64(dirtyPools))
+		m.observeDirtiness(scr.dirtyPool, dirtyPools, start)
 	}
 
 	// Dirty cycles via the inverted index, grouped by owning shard: any
@@ -432,6 +448,11 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
+	if m != nil {
+		for _, s := range scr.dirtyShards {
+			m.shardWake(s)
+		}
+	}
 
 	// Stitch: materialize the detected loop list in global cycle order —
 	// exactly the order a full scan detects in — reading each cycle's
@@ -480,6 +501,12 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 		}
 	}
 
+	if timed {
+		now := time.Now()
+		m.StageOrient.Observe(now.Sub(t))
+		t = now
+	}
+
 	// Prices are re-fetched every scan (one batched call, the same set a
 	// full scan would fetch). A moved price re-optimizes every loop
 	// touching the token — cached Monetized values are stale for it —
@@ -512,8 +539,16 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 			}
 			if s := plan.shardOf[ci]; scr.newShard[s] == nil {
 				scr.newShard[s] = cloneShardBase(base.shards[s])
+				if m != nil {
+					m.shardWake(int(s))
+				}
 			}
 		}
+	}
+	if timed {
+		now := time.Now()
+		m.StagePrices.Observe(now.Sub(t))
+		t = now
 	}
 
 	// Phase B — optimization fan-out over the affected loops (chunked,
@@ -536,6 +571,15 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 	optimizeInto(ctx, scr.loops, pm, scr.jobs, scr.prevRes, scr.all, cfg)
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
+	}
+	if m != nil {
+		m.LoopsReoptimized.Add(uint64(len(scr.jobs)))
+		m.LoopsReused.Add(uint64(len(scr.loops) - len(scr.jobs)))
+		if timed {
+			now := time.Now()
+			m.StageOptimize.Observe(now.Sub(t))
+			t = now
+		}
 	}
 
 	// Write the fresh outcomes into the copy-on-write shard entries.
@@ -584,6 +628,11 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 		next.shards = shards
 		st.commitBase(next, shardsScanned)
 	}
+	if timed {
+		now := time.Now()
+		m.StageCommit.Observe(now.Sub(t))
+		m.ScanTotal.Observe(now.Sub(start))
+	}
 	return rep, nil
 }
 
@@ -591,13 +640,28 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 // optimization pass that also captures per-shard state for the next
 // delta scan. pools must be canonical.
 func runCapture(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config, st *DeltaState) (Report, error) {
+	m := cfg.Metrics
+	var start, t time.Time
+	if m != nil {
+		start = time.Now()
+		m.FullScans.Inc()
+	}
 	d, err := detect(ctx, pools, prices, cfg)
 	if err != nil {
 		return Report{}, err
 	}
+	if m != nil {
+		t = time.Now()
+	}
 	all := collectAll(ctx, d, cfg)
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
+	}
+	if m != nil {
+		now := time.Now()
+		m.StageOptimize.Observe(now.Sub(t))
+		m.LoopsReoptimized.Add(uint64(len(d.loops)))
+		t = now
 	}
 	rep, err := assembleReport(d, cfg, all, len(d.loops), 0)
 	if err != nil {
@@ -631,6 +695,12 @@ func runCapture(ctx context.Context, pools []*amm.Pool, prices source.PriceSourc
 		shards:   splitCapture(plan, d.orient, loopCycle, all),
 	}, plan.n)
 	rep.ShardsScanned = plan.n
+	if m != nil {
+		m.capture(pools, plan.n)
+		now := time.Now()
+		m.StageCommit.Observe(now.Sub(t))
+		m.ScanTotal.Observe(now.Sub(start))
+	}
 	return rep, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arbloop/internal/amm"
 	"arbloop/internal/cycles"
@@ -88,6 +89,12 @@ type Config struct {
 	// and ScanDelta fall back to full scans). The engine itself ignores
 	// it: Run is always a full scan and RunDelta is always delta-capable.
 	DisableDelta bool
+	// Metrics, when non-nil, receives per-stage latencies, scan/loop
+	// counters, per-pool dirtiness EMAs, and per-shard wake-up counts
+	// from every scan through this config (see Metrics). Nil disables
+	// instrumentation. The writes the engine performs against it on the
+	// steady-state delta path are allocation-free.
+	Metrics *Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -250,6 +257,11 @@ func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 	if len(pools) == 0 {
 		return nil, fmt.Errorf("scan: no pools to scan")
 	}
+	m := cfg.Metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	g, top, hit, err := enumerateTopology(pools, cfg)
 	if err != nil {
 		return nil, err
@@ -288,9 +300,18 @@ func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 		}
 	}
 
+	if m != nil {
+		// Topology + orientation so far; the price fetch is its own stage.
+		now := time.Now()
+		m.StageOrient.Observe(now.Sub(t0))
+		t0 = now
+	}
 	d.prices, err = fetchPrices(ctx, prices, tokenSet)
 	if err != nil {
 		return nil, err
+	}
+	if m != nil {
+		m.StagePrices.Observe(time.Since(t0))
 	}
 	return d, nil
 }
@@ -504,15 +525,32 @@ func assembleReport(d *detection, cfg Config, all []Result, reoptimized, reused 
 // Run scans the pool set once and returns the ranked batch report.
 func Run(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
+	m := cfg.Metrics
+	var start, t time.Time
+	if m != nil {
+		start = time.Now()
+		m.FullScans.Inc()
+	}
 	d, err := detect(ctx, Canonicalize(pools), prices, cfg)
 	if err != nil {
 		return Report{}, err
+	}
+	if m != nil {
+		t = time.Now()
 	}
 	all := collectAll(ctx, d, cfg)
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
-	return assembleReport(d, cfg, all, len(d.loops), 0)
+	if m != nil {
+		m.StageOptimize.Observe(time.Since(t))
+		m.LoopsReoptimized.Add(uint64(len(d.loops)))
+	}
+	rep, err := assembleReport(d, cfg, all, len(d.loops), 0)
+	if m != nil && err == nil {
+		m.ScanTotal.Observe(time.Since(start))
+	}
+	return rep, err
 }
 
 // collectAll runs the optimization fan-out over every detected loop and

@@ -283,7 +283,9 @@ func TestRunDeltaSteadyStateAllocBudget(t *testing.T) {
 	pools, prices := deltaMarket(t)
 	src := cex.NewStatic(prices)
 	ctx := context.Background()
-	cfg := Config{Strategy: nullStrategy{}, Parallelism: 1, Shards: 4}
+	// Telemetry stays enabled: the budget must hold with every stage
+	// histogram, dirtiness EMA, and shard wake-up counter live.
+	cfg := Config{Strategy: nullStrategy{}, Parallelism: 1, Shards: 4, Metrics: NewMetrics()}
 	st := &DeltaState{}
 	if _, err := RunDelta(ctx, pools, nil, src, cfg, st); err != nil {
 		t.Fatal(err)

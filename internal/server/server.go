@@ -18,8 +18,12 @@
 //	                 scan, with the feed version as event id so clients
 //	                 resume via Last-Event-ID. Slow consumers are evicted
 //	                 past the write deadline.
-//	GET /v1/healthz  service liveness: version, block height, last-scan
-//	                 latency, delta-engine and connection-tier gauges
+//	GET /v1/healthz  service liveness: version, block height, uptime,
+//	                 last-scan latency, delta-engine, feed, and
+//	                 connection-tier gauges, plus a flattened telemetry
+//	                 summary
+//	GET /v1/metrics  the full telemetry registry in Prometheus text
+//	                 exposition format (see Server.Telemetry)
 package server
 
 import (
@@ -36,6 +40,7 @@ import (
 	"arbloop/internal/distrib"
 	"arbloop/internal/feed"
 	"arbloop/internal/scan"
+	"arbloop/internal/telemetry"
 )
 
 // Store holds the latest report committed to every wire representation
@@ -61,6 +66,11 @@ type Health struct {
 	// LastScanMillis is the wall-clock latency of the latest scan — the
 	// number to watch against the block interval (§VII).
 	LastScanMillis float64 `json:"last_scan_ms"`
+	// LastScanDuration is LastScanMillis rendered as a Go duration
+	// string ("1.8ms") — the human-friendly twin of the float.
+	LastScanDuration string `json:"last_scan_duration"`
+	// UptimeSeconds is the time since the Server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 	// TopologyCacheHit reports whether the latest scan skipped cycle
 	// enumeration.
 	TopologyCacheHit bool `json:"topology_cache_hit"`
@@ -77,6 +87,15 @@ type Health struct {
 	// slow-consumer evictions, the accept limit, and fd-headroom — the
 	// gauge to alarm on before accept() hits EMFILE.
 	Connections *distrib.ConnStats `json:"connections,omitempty"`
+	// Feed, when the embedder registers a probe (SetFeedStatsProbe),
+	// reports the pool feed's refresh/failure counters — a rising
+	// failures count is the early sign of a flaky source before an
+	// exhausted retry budget takes the service down.
+	Feed *feed.WatcherStats `json:"feed,omitempty"`
+	// Telemetry is the flattened scalar summary of the server's metric
+	// registry (counters, gauges, histogram counts and sums in seconds —
+	// labeled per-pool/per-shard series are left to /v1/metrics).
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 // DeltaHealth is the delta-engine section of /v1/healthz.
@@ -94,8 +113,27 @@ type DeltaHealth struct {
 
 // Server serves scan reports. Create with New, publish with Publish, and
 // mount Handler on any http server. Safe for concurrent use.
+//
+// # Probes
+//
+// The server reports on subsystems it doesn't own — the scanner's delta
+// engine, the connection tier, the pool feed — through *probes*: the
+// embedder registers a stats callback (SetDeltaStatsProbe,
+// SetConnStatsProbe, SetFeedStatsProbe), the callback pointer is held
+// behind an atomic so registration is safe at any time, and each
+// /v1/healthz request polls whichever probes are present. A section is
+// simply absent from the JSON until its probe is registered, so adding
+// observability never requires a constructor change — the pattern to
+// follow for new sections.
+//
+// Metrics work the other way around: the server owns one
+// telemetry.Registry (Telemetry), subsystems register their counters
+// and histograms *into* it (scan.Metrics.Register,
+// feed.Watcher.RegisterMetrics, strategy.Telemetry().Register), and
+// GET /v1/metrics renders the whole registry in Prometheus text format.
 type Server struct {
 	store Store
+	start time.Time
 
 	mu     sync.Mutex
 	subs   map[int]chan *distrib.Frame
@@ -110,9 +148,23 @@ type Server struct {
 	// writeTimeout bounds one SSE event write (0 = no deadline).
 	writeTimeout time.Duration
 
-	// deltaStats / connStats, when set, are polled per healthz request.
+	// deltaStats / connStats / feedStats, when set, are polled per
+	// healthz request.
 	deltaStats atomic.Pointer[func() scan.DeltaStats]
 	connStats  atomic.Pointer[func() distrib.ConnStats]
+	feedStats  atomic.Pointer[func() feed.WatcherStats]
+
+	// reg is the server-owned metric registry behind /v1/metrics; the
+	// distribution tier's own metrics live alongside whatever the
+	// embedder registers.
+	reg          *telemetry.Registry
+	frameBuild   telemetry.Histogram
+	reportPlain  telemetry.Counter
+	reportGzip   telemetry.Counter
+	reportTop    telemetry.Counter
+	report304    telemetry.Counter
+	sseEvents    telemetry.Counter
+	sseEvictions telemetry.Counter
 }
 
 // Option configures a Server at construction.
@@ -163,17 +215,58 @@ func (s *Server) SetConnStatsProbe(fn func() distrib.ConnStats) {
 	s.connStats.Store(&fn)
 }
 
+// SetFeedStatsProbe registers a callback polled on every /v1/healthz
+// request to report the pool feed's refresh/failure counters (use
+// Watcher.Stats). Pass nil to unregister. Safe to call at any time.
+func (s *Server) SetFeedStatsProbe(fn func() feed.WatcherStats) {
+	if fn == nil {
+		s.feedStats.Store(nil)
+		return
+	}
+	s.feedStats.Store(&fn)
+}
+
 // New builds an empty server; /v1/report returns 503 until the first
 // Publish.
 func New(opts ...Option) *Server {
 	s := &Server{
 		subs:         make(map[int]chan *distrib.Frame),
 		writeTimeout: DefaultWriteTimeout,
+		start:        time.Now(),
+		reg:          telemetry.NewRegistry(),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.registerMetrics()
 	return s
+}
+
+// registerMetrics exposes the distribution tier's own metrics on the
+// server registry.
+func (s *Server) registerMetrics() {
+	s.reg.Gauge("arbloop_uptime_seconds", "", "seconds since the server was constructed",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.Gauge("arbloop_scans_published_total", "", "reports published into the frame store",
+		func() float64 { return float64(s.scans.Load()) })
+	s.reg.Gauge("arbloop_last_scan_seconds", "", "wall latency of the most recently published scan",
+		func() float64 { return float64(s.lastScanNano.Load()) / float64(time.Second) })
+	s.reg.Histogram("arbloop_frame_build_seconds", "", "time to encode one report into its immutable frame", &s.frameBuild)
+	const reqHelp = "/v1/report responses by served variant"
+	s.reg.Counter("arbloop_report_requests_total", `variant="plain"`, reqHelp, &s.reportPlain)
+	s.reg.Counter("arbloop_report_requests_total", `variant="gzip"`, reqHelp, &s.reportGzip)
+	s.reg.Counter("arbloop_report_requests_total", `variant="top"`, reqHelp, &s.reportTop)
+	s.reg.Counter("arbloop_report_requests_total", `variant="not_modified"`, reqHelp, &s.report304)
+	s.reg.Counter("arbloop_sse_events_total", "", "SSE report events written to subscribers", &s.sseEvents)
+	s.reg.Counter("arbloop_sse_evictions_total", "", "SSE subscribers evicted past the write deadline", &s.sseEvictions)
+}
+
+// Telemetry returns the server-owned metric registry: the mount point
+// for subsystem metrics (scanner, feed, solver) and the source behind
+// GET /v1/metrics, the healthz telemetry section, and — via
+// telemetry.Registry.PublishExpvar — the pprof listener's /debug/vars.
+func (s *Server) Telemetry() *telemetry.Registry {
+	return s.reg
 }
 
 // Store exposes the underlying report store (benchmarks and embedders).
@@ -185,10 +278,12 @@ func (s *Server) Store() *Store {
 // encode — swaps it in, and fans it out to SSE subscribers. elapsed is
 // the scan latency reported by /v1/healthz.
 func (s *Server) Publish(r ReportJSON, elapsed time.Duration) error {
+	buildStart := time.Now()
 	f, err := distrib.BuildFrame(r)
 	if err != nil {
 		return err
 	}
+	s.frameBuild.Observe(time.Since(buildStart))
 	s.store.SetFrame(f)
 	s.scans.Add(1)
 	s.lastScanNano.Store(int64(elapsed))
@@ -248,7 +343,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/report", s.handleReport)
 	mux.HandleFunc("GET /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 // writeJSONError emits an error body that is itself valid JSON with the
@@ -288,6 +389,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	h.Set("Vary", "Accept-Encoding")
 	h.Set("Cache-Control", "no-cache")
 	if inm := r.Header.Get("If-None-Match"); inm != "" && distrib.ETagMatches(inm, etag) {
+		s.report304.Inc()
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -295,10 +397,16 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if tail == nil && acceptsGzip(r) {
 		// Full report only: the gzip variant is compressed once per
 		// block, prefix slices are served identity-encoded.
+		s.reportGzip.Inc()
 		h.Set("Content-Encoding", "gzip")
 		h.Set("Content-Length", strconv.Itoa(len(f.Gzip)))
 		_, _ = w.Write(f.Gzip)
 		return
+	}
+	if tail != nil {
+		s.reportTop.Inc()
+	} else {
+		s.reportPlain.Inc()
 	}
 	h.Set("Content-Length", strconv.Itoa(len(body)+len(tail)))
 	_, _ = w.Write(body)
@@ -330,7 +438,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.TopologyCacheHit = f.Report.TopologyCacheHit
 		h.Strategy = f.Report.Strategy
 	}
-	h.LastScanMillis = float64(s.lastScanNano.Load()) / float64(time.Millisecond)
+	lastScan := time.Duration(s.lastScanNano.Load())
+	h.LastScanMillis = float64(lastScan) / float64(time.Millisecond)
+	h.LastScanDuration = lastScan.String()
+	h.UptimeSeconds = time.Since(s.start).Seconds()
+	h.Telemetry = s.reg.Summary()
+	if probe := s.feedStats.Load(); probe != nil {
+		fs := (*probe)()
+		h.Feed = &fs
+	}
 	if probe := s.deltaStats.Load(); probe != nil {
 		ds := (*probe)()
 		h.Delta = &DeltaHealth{
@@ -372,9 +488,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		_, err := w.Write(f.SSE)
 		if err == nil {
 			err = rc.Flush()
+			s.sseEvents.Inc()
 		}
-		if err != nil && errors.Is(err, os.ErrDeadlineExceeded) && s.tracker != nil {
-			s.tracker.Evict()
+		if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+			s.sseEvictions.Inc()
+			if s.tracker != nil {
+				s.tracker.Evict()
+			}
 		}
 		return err
 	}

@@ -864,3 +864,124 @@ func TestHealthzConnectionsSection(t *testing.T) {
 		t.Errorf("connections survived unregistering: %+v", h.Connections)
 	}
 }
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New()
+	// External subsystems mount into the same registry the handler
+	// renders — the scan engine's families stand in for all of them.
+	m := scan.NewMetrics()
+	m.Register(srv.Telemetry())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+			t.Errorf("content-type = %q, want Prometheus text 0.0.4", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// Pre-publish: the server's own families exist from construction.
+	body := scrape()
+	for _, want := range []string{
+		"# TYPE arbloop_uptime_seconds gauge",
+		"arbloop_scans_published_total 0",
+		"# TYPE arbloop_frame_build_seconds histogram",
+		"# TYPE arbloop_scans_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Publish + one read per variant: the publish counter, the
+	// frame-build histogram, and the request-variant counters advance.
+	// (The default client negotiates gzip; the plain read opts out.)
+	if err := srv.Publish(sampleReport(1, 5), 3*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/report", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An explicit Accept-Encoding stops the transport injecting gzip.
+	req.Header.Set("Accept-Encoding", "identity")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	body = scrape()
+	for _, want := range []string{
+		"arbloop_scans_published_total 1",
+		"arbloop_frame_build_seconds_count 1",
+		`arbloop_report_requests_total{variant="gzip"} 1`,
+		`arbloop_report_requests_total{variant="plain"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("post-publish metrics missing %q", want)
+		}
+	}
+
+	// Non-GET is rejected like every other read endpoint.
+	post, err := http.Post(ts.URL+"/v1/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/metrics = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestHealthzTelemetrySection(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := srv.Publish(sampleReport(3, 9), 4*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %g", h.UptimeSeconds)
+	}
+	if d, err := time.ParseDuration(h.LastScanDuration); err != nil || d != 4*time.Millisecond {
+		t.Errorf("last_scan_duration = %q (%v), want 4ms", h.LastScanDuration, err)
+	}
+	if h.Telemetry == nil {
+		t.Fatal("no telemetry section in healthz")
+	}
+	if got := h.Telemetry["arbloop_scans_published_total"]; got != 1 {
+		t.Errorf("telemetry scans_published = %g, want 1", got)
+	}
+	if h.Feed != nil {
+		t.Errorf("feed section present without a probe: %+v", h.Feed)
+	}
+}

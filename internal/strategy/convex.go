@@ -135,6 +135,8 @@ func growFloats(s []float64, n int) []float64 {
 // O(n) Newton steps, pooled scratch.
 func convexStructured(l *Loop, prices PriceMap, opts ConvexOptions, prev *Result) (Result, error) {
 	n := l.Len()
+	tel := Telemetry()
+	tel.Solves.Inc()
 	w := convexWSPool.Get().(*convexWS)
 	defer convexWSPool.Put(w)
 	w.reset(n)
@@ -161,12 +163,20 @@ func convexStructured(l *Loop, prices PriceMap, opts ConvexOptions, prev *Result
 	// the best single-rotation plan in w.base — the warm-start base, the
 	// quality floor, and the always-feasible fallback plan all at once.
 	started := prev != nil && w.startFromPrev(l, prev)
+	if prev != nil {
+		if started {
+			tel.WarmHits.Inc()
+		} else {
+			tel.WarmMisses.Inc()
+		}
+	}
 	mmProfit := w.bestRotation(l)
 	if !started && !w.shrinkToInterior([]float64{0.05, 0.15, 0.4, 0.75}) {
 		// Near-degenerate loop: no strictly interior point is reachable
 		// in float64 (price product barely above 1). Serve the MaxMax
 		// plan instead of aborting the scan (it walks the curves exactly,
 		// so it is feasible even when its interior has vanished).
+		tel.Fallbacks.Inc()
 		return w.resultFromInputs(l, prices, w.base)
 	}
 
@@ -176,8 +186,11 @@ func convexStructured(l *Loop, prices PriceMap, opts ConvexOptions, prev *Result
 	}
 	res, err := convexopt.SolveLoop(&w.prob, w.x0, solverOpts, &w.ws)
 	if err != nil {
+		tel.Fallbacks.Inc()
 		return w.resultFromInputs(l, prices, w.base)
 	}
+	tel.NewtonIters.Add(uint64(res.NewtonIters))
+	tel.OuterIters.Add(uint64(res.OuterIters))
 
 	solved, err := w.resultFromInputs(l, prices, res.X)
 	if err != nil {
@@ -188,6 +201,7 @@ func convexStructured(l *Loop, prices PriceMap, opts ConvexOptions, prev *Result
 		// loop whose convex optimum is the single rotation, the barrier
 		// approaches it from the interior and lands a gap below. The
 		// MaxMax plan is the better answer and preserves Convex ≥ MaxMax.
+		tel.Fallbacks.Inc()
 		return w.resultFromInputs(l, prices, w.base)
 	}
 	return solved, nil
@@ -338,6 +352,8 @@ func (w *convexWS) shrinkToInterior(etas []float64) bool {
 // warm start, the quality floor, and the fallback plan.
 func convexGeneric(l *Loop, prices PriceMap, opts ConvexOptions, prev *Result) (Result, error) {
 	n := l.Len()
+	tel := Telemetry()
+	tel.Solves.Inc()
 	prob, err := convexProblem(l, prices)
 	if err != nil {
 		return Result{}, err
@@ -351,6 +367,7 @@ func convexGeneric(l *Loop, prices PriceMap, opts ConvexOptions, prev *Result) (
 	// beat it. The convex optimum provably dominates MaxMax, so
 	// substituting it only ever under-reports profit, never fabricates.
 	fallback := func() Result {
+		tel.Fallbacks.Inc()
 		r := mm
 		r.Strategy = NameConvex
 		return r
@@ -358,6 +375,11 @@ func convexGeneric(l *Loop, prices PriceMap, opts ConvexOptions, prev *Result) (
 	var x0 linalg.Vector
 	if prev != nil {
 		x0 = warmStartFromPrev(l, prev)
+		if x0 != nil {
+			tel.WarmHits.Inc()
+		} else {
+			tel.WarmMisses.Inc()
+		}
 	}
 	if x0 == nil {
 		x0, err = warmStartFromMaxMax(l, mm)
@@ -376,6 +398,8 @@ func convexGeneric(l *Loop, prices PriceMap, opts ConvexOptions, prev *Result) (
 	if err != nil {
 		return fallback(), nil
 	}
+	tel.NewtonIters.Add(uint64(res.NewtonIters))
+	tel.OuterIters.Add(uint64(res.OuterIters))
 
 	plan := TradePlan{Inputs: make([]float64, n), Outputs: make([]float64, n)}
 	for i := 0; i < n; i++ {

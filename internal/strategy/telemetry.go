@@ -1,0 +1,48 @@
+package strategy
+
+import "arbloop/internal/telemetry"
+
+// ConvexTelemetry counts how the convex solves across the process
+// resolved: solver iteration totals (from convexopt's Result), the
+// warm-start hit rate of the delta path's cross-block starts, and how
+// often the always-feasible MaxMax plan was served instead of a barrier
+// optimum. The counters are package-global — strategies are stateless
+// values constructed ad hoc per scan, so per-instance metrics would
+// fragment the picture; one process runs one solver workload.
+//
+// Every update is one wait-free atomic add on the per-loop solve path —
+// nothing here allocates or takes a lock.
+type ConvexTelemetry struct {
+	// Solves counts convex solves attempted (profitable loops only; the
+	// §IV zero-plan short-circuit doesn't reach the solver).
+	Solves telemetry.Counter
+	// WarmHits and WarmMisses split solves that were handed a previous
+	// result: hit when the previous plan re-feasibilized as the barrier
+	// start, miss when it couldn't (reserves moved too far, orientation
+	// flipped) and the solve fell back to the MaxMax start.
+	WarmHits, WarmMisses telemetry.Counter
+	// Fallbacks counts solves whose final answer was the MaxMax plan —
+	// no interior point, a failed solve, or a barrier result below the
+	// single-rotation optimum.
+	Fallbacks telemetry.Counter
+	// NewtonIters and OuterIters accumulate the barrier solver's step
+	// counts across successful solves; divide by Solves−Fallbacks for
+	// the per-solve averages.
+	NewtonIters, OuterIters telemetry.Counter
+}
+
+var convexTelemetry ConvexTelemetry
+
+// Telemetry returns the process-wide convex solver counters.
+func Telemetry() *ConvexTelemetry { return &convexTelemetry }
+
+// Register exposes the counters on reg under the arbloop_convex_*
+// families.
+func (t *ConvexTelemetry) Register(reg *telemetry.Registry) {
+	reg.Counter("arbloop_convex_solves_total", "", "convex solves attempted on profitable loops", &t.Solves)
+	reg.Counter("arbloop_convex_warm_starts_total", `outcome="hit"`, "cross-block warm starts: previous plan re-feasibilized vs not", &t.WarmHits)
+	reg.Counter("arbloop_convex_warm_starts_total", `outcome="miss"`, "cross-block warm starts: previous plan re-feasibilized vs not", &t.WarmMisses)
+	reg.Counter("arbloop_convex_fallbacks_total", "", "solves answered with the MaxMax plan instead of a barrier optimum", &t.Fallbacks)
+	reg.Counter("arbloop_convex_newton_iters_total", "", "cumulative Newton steps across successful barrier solves", &t.NewtonIters)
+	reg.Counter("arbloop_convex_outer_iters_total", "", "cumulative barrier (outer) steps across successful solves", &t.OuterIters)
+}

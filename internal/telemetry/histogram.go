@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: powers of two
+// from 1 ns up to 2^38 ns (~4.6 min), with the last bucket catching
+// everything longer. Fixed and power-of-two for two reasons: Observe is
+// one bit-length instruction plus two atomic adds (no search, no float
+// math, no allocation), and every histogram in the process shares the
+// same bucket boundaries, so snapshots merge by plain vector addition —
+// per-shard or per-worker histograms can be kept independently and
+// summed at read time.
+const NumBuckets = 40
+
+// Histogram is a fixed-bucket streaming latency histogram. Observe is
+// wait-free and allocation-free; Snapshot copies the counters out for
+// exposition or merging. The zero value is ready to use.
+//
+// Buckets are indexed by the bit length of the observed nanosecond
+// count: bucket i holds durations in [2^(i-1), 2^i) ns (bucket 0 holds
+// exactly 0). A concurrent Snapshot is not a single atomic cut across
+// buckets — each counter is read atomically, so totals can be off by
+// the handful of observations racing the read, which is the standard
+// monitoring trade and never corrupts a bucket.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Int64 // total observed nanoseconds
+}
+
+// bucketIndex returns the bucket of a nanosecond count.
+func bucketIndex(ns int64) int {
+	i := bits.Len64(uint64(ns))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns bucket i's inclusive upper bound. The last bucket
+// is unbounded and reports the maximum duration.
+func BucketBound(i int) time.Duration {
+	if i >= NumBuckets-1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(uint64(1)<<uint(i) - 1)
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// Snapshot copies the current counters into a mergeable value.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.SumNanos = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is one histogram's counters at a point in time.
+// Snapshots taken from different histograms (same fixed buckets by
+// construction) merge by addition: the merged snapshot is exactly the
+// histogram a single stream of all observations would have produced.
+type HistogramSnapshot struct {
+	Buckets  [NumBuckets]uint64
+	SumNanos int64
+}
+
+// Merge adds o's counters into s.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.SumNanos += o.SumNanos
+}
+
+// Count returns the total number of observations.
+func (s *HistogramSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s *HistogramSnapshot) Mean() time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(s.SumNanos) / n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// reporting the upper bound of the bucket the quantile lands in — a
+// conservative estimate with power-of-two resolution, which is what a
+// latency SLO check needs from a fixed-bucket histogram.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildRegistry assembles one of everything for the exposition tests.
+func buildRegistry(t *testing.T) (*Registry, *Counter, *Histogram) {
+	t.Helper()
+	r := NewRegistry()
+	c := &Counter{}
+	c.Add(5)
+	r.Counter("test_events_total", `kind="full"`, "events processed", c)
+	d := &Counter{}
+	d.Add(7)
+	r.Counter("test_events_total", `kind="delta"`, "events processed", d)
+	r.Gauge("test_level", "", "current level", func() float64 { return 2.5 })
+	h := &Histogram{}
+	h.Observe(time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	r.Histogram("test_latency_seconds", "", "operation latency", h)
+	r.GaugeVec("test_pool_rate", "pool", "per-pool rate", func(emit func(string, float64)) {
+		emit("USDC/WETH", 0.25)
+		emit("DAI/WETH", 0.5)
+	})
+	return r, c, h
+}
+
+// sampleLine matches one Prometheus text-format sample.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$`)
+
+// TestWritePrometheusFormat is the exposition-format smoke: every
+// non-comment line parses as a sample, HELP/TYPE appear exactly once
+// per family, histogram buckets are cumulative and consistent with
+// _count, and the expected stable metric names are present.
+func TestWritePrometheusFormat(t *testing.T) {
+	r, _, _ := buildRegistry(t)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	t.Logf("exposition:\n%s", out)
+
+	helpSeen := map[string]int{}
+	var lines []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			helpSeen[strings.Fields(line)[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("unparseable sample line: %q", line)
+		}
+		lines = append(lines, line)
+	}
+	for fam, n := range helpSeen {
+		if n != 1 {
+			t.Errorf("family %s has %d HELP lines, want 1", fam, n)
+		}
+	}
+	for _, want := range []string{
+		`test_events_total{kind="full"} 5`,
+		`test_events_total{kind="delta"} 7`,
+		`test_level 2.5`,
+		`test_pool_rate{pool="USDC/WETH"} 0.25`,
+		`test_latency_seconds_count 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Histogram: cumulative buckets never decrease and end at _count;
+	// the +Inf bucket exists.
+	var prev float64
+	var infSeen bool
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "test_latency_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if v != 2 {
+				t.Errorf("+Inf bucket = %v, want 2", v)
+			}
+		}
+	}
+	if !infSeen {
+		t.Error("no le=\"+Inf\" bucket emitted")
+	}
+}
+
+func TestSummarySkipsVecs(t *testing.T) {
+	r, _, _ := buildRegistry(t)
+	sum := r.Summary()
+	if got := sum[`test_events_total{kind="full"}`]; got != 5 {
+		t.Errorf("summary counter = %v, want 5", got)
+	}
+	if got := sum["test_level"]; got != 2.5 {
+		t.Errorf("summary gauge = %v, want 2.5", got)
+	}
+	if got := sum["test_latency_seconds_count"]; got != 2 {
+		t.Errorf("summary histogram count = %v, want 2", got)
+	}
+	for k := range sum {
+		if strings.Contains(k, "pool") {
+			t.Errorf("summary contains vec entry %q; vecs must be skipped", k)
+		}
+	}
+}
+
+// TestConcurrentExposition races writers against WritePrometheus and
+// Summary — -race coverage for snapshot-on-read.
+func TestConcurrentExposition(t *testing.T) {
+	r, c, h := buildRegistry(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			c.Inc()
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		_ = r.Summary()
+	}
+	<-done
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r, _, _ := buildRegistry(t)
+	r.PublishExpvar()
+	r2 := NewRegistry()
+	c := &Counter{}
+	c.Add(99)
+	r2.Counter("swapped_total", "", "second registry", c)
+	r2.PublishExpvar() // re-publish swaps the backing registry, no panic
+	if got := expvarReg.Load(); got != r2 {
+		t.Fatal("PublishExpvar did not swap the backing registry")
+	}
+	if got := r2.Summary()["swapped_total"]; got != 99 {
+		t.Fatalf("summary = %v, want 99", got)
+	}
+}

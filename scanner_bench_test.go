@@ -270,6 +270,7 @@ func TestWriteScanBenchJSON(t *testing.T) {
 		Convex    []convexSolverBenchRow `json:"convex_solver"`
 		Allocs    allocsBenchRow         `json:"allocs_per_scan"`
 		Server    serverBenchSection     `json:"server"`
+		Telemetry telemetryBenchSection  `json:"telemetry"`
 	}{
 		Benchmark: "scanner whole-market scan, §VI synthetic market",
 		GoMaxProc: n,
@@ -281,6 +282,7 @@ func TestWriteScanBenchJSON(t *testing.T) {
 		Convex:    benchConvexSolver(t),
 		Allocs:    benchAllocsPerScan(t),
 		Server:    benchServerThroughput(t),
+		Telemetry: benchTelemetry(t),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

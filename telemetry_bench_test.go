@@ -1,0 +1,194 @@
+package arbloop_test
+
+import (
+	"context"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"arbloop"
+	"arbloop/internal/cex"
+	"arbloop/internal/scan"
+	"arbloop/internal/source"
+	"arbloop/internal/strategy"
+	"arbloop/internal/telemetry"
+)
+
+// TestTelemetryScanAllocs is the instrumentation acceptance guard: with
+// telemetry enabled (the default), a steady-state delta scan through the
+// public API must stay within the same 7-allocation budget the engine
+// held before instrumentation existed. Every stage histogram, dirtiness
+// EMA, and shard wake-up counter is live during the measurement.
+func TestTelemetryScanAllocs(t *testing.T) {
+	ctx := context.Background()
+	market, prices := newMutableMarket(t)
+	sc, err := arbloop.NewScanner(market, prices,
+		arbloop.WithParallelism(1), arbloop.WithDeltaScans(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Metrics() == nil {
+		t.Fatal("telemetry should default on")
+	}
+	w := arbloop.NewWatcher(market)
+	u, err := w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.ScanDelta(ctx, u); err != nil { // warm cache + baseline
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := sc.ScanDelta(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 7
+	if allocs > budget {
+		t.Errorf("instrumented steady-state delta scan allocates %.1f, budget %d", allocs, budget)
+	}
+	// Prove the metrics were actually live, not silently disabled: every
+	// measured scan must have hit the delta path, and the sampled stage
+	// timing (1 in scan.StageSample delta scans, plus the always-timed
+	// warm-up capture) must have recorded scan totals.
+	m := sc.Metrics()
+	if got := m.DeltaScans.Load(); got < 21 {
+		t.Errorf("DeltaScans = %d after 21+ instrumented scans", got)
+	}
+	snap := m.ScanTotal.Snapshot()
+	if want := uint64(21/scan.StageSample + 1); snap.Count() < want {
+		t.Errorf("ScanTotal observed %d scans, want >= %d (sampled)", snap.Count(), want)
+	}
+}
+
+// telemetryBenchSection is the BENCH_scan.json "telemetry" object:
+// per-primitive update costs plus the end-to-end overhead the full
+// instrumentation adds to a steady-state delta scan.
+type telemetryBenchSection struct {
+	CounterIncNsOp       float64 `json:"counter_inc_ns_op"`
+	HistogramObserveNsOp float64 `json:"histogram_observe_ns_op"`
+	EMAObserveAlphaNsOp  float64 `json:"ema_observe_alpha_ns_op"`
+	// Sec/scan for the identical steady-state delta workload with
+	// telemetry off vs on (min-of-trials, interleaved), and the relative
+	// cost. The acceptance target is < 2%.
+	UninstrumentedSecPerScan float64 `json:"uninstrumented_sec_per_scan"`
+	InstrumentedSecPerScan   float64 `json:"instrumented_sec_per_scan"`
+	OverheadPct              float64 `json:"overhead_pct"`
+}
+
+// benchTelemetry measures the telemetry section and enforces the < 2%
+// scan-overhead acceptance bound.
+func benchTelemetry(t *testing.T) telemetryBenchSection {
+	t.Helper()
+	var sec telemetryBenchSection
+
+	var c telemetry.Counter
+	sec.CounterIncNsOp = float64(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	}).NsPerOp())
+
+	var h telemetry.Histogram
+	sec.HistogramObserveNsOp = float64(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i) * 37)
+		}
+	}).NsPerOp())
+
+	e := telemetry.NewEMA(time.Second)
+	sec.EMAObserveAlphaNsOp = float64(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.ObserveAlpha(float64(i&1), 0.1)
+		}
+	}).NsPerOp())
+
+	// End-to-end overhead: ONE delta engine, one baseline, one pool set —
+	// only the Config.Metrics pointer differs between timed batches, so
+	// the comparison isolates the instrumentation writes from allocator
+	// layout and cache-warmth differences two separate scanner instances
+	// would carry. Interleaved batches, min of trials.
+	ctx := context.Background()
+	snap, err := arbloop.GenerateMarket(arbloop.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := snap.FilterPools(30_000, 100)
+	pools, err := source.FromSnapshot(filtered).Pools(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := cex.NewStatic(filtered.PricesUSD)
+	cfgOff := scan.Config{Strategy: strategy.MaxMaxStrategy{}, Parallelism: 1, Shards: 4}
+	cfgOn := cfgOff
+	cfgOn.Metrics = scan.NewMetrics()
+	st := &scan.DeltaState{}
+	if _, err := scan.RunDelta(ctx, pools, nil, src, cfgOn, st); err != nil { // warm: capture + size metric vectors
+		t.Fatal(err)
+	}
+	// Run adjacent off/on scan pairs and take the MEDIAN of the per-pair
+	// differences: scheduler and frequency noise is bursty at a much
+	// coarser grain than one ~50µs scan, so adjacent pairs absorb it
+	// equally and the median discards the pairs a burst split. The pair
+	// order alternates so "second scan runs cache-warm" bias cancels,
+	// and the whole block repeats five times with the median block
+	// reported — one block's residual noise is ~±1%, too wide against a
+	// 2% budget for a CI gate.
+	const pairs = 2000
+	run := func(cfg scan.Config) float64 {
+		start := time.Now()
+		if _, err := scan.RunDelta(ctx, pools, nil, src, cfg, st); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	offs := make([]float64, pairs)
+	deltas := make([]float64, pairs)
+	block := func() (off, delta float64) {
+		for i := 0; i < pairs; i++ {
+			if i%2 == 0 {
+				offs[i] = run(cfgOff)
+				deltas[i] = run(cfgOn) - offs[i]
+			} else {
+				on := run(cfgOn)
+				offs[i] = run(cfgOff)
+				deltas[i] = on - offs[i]
+			}
+		}
+		sort.Float64s(offs)
+		sort.Float64s(deltas)
+		return offs[pairs/2], deltas[pairs/2]
+	}
+	blockOffs := make([]float64, 5)
+	blockDeltas := make([]float64, 5)
+	for b := range blockOffs {
+		blockOffs[b], blockDeltas[b] = block()
+	}
+	sort.Float64s(blockOffs)
+	sort.Float64s(blockDeltas)
+	mid := len(blockOffs) / 2
+	sec.UninstrumentedSecPerScan = blockOffs[mid]
+	sec.InstrumentedSecPerScan = blockOffs[mid] + blockDeltas[mid]
+	sec.OverheadPct = blockDeltas[mid] / blockOffs[mid] * 100
+
+	t.Logf("telemetry ops: counter %.1fns, histogram %.1fns, ema %.1fns",
+		sec.CounterIncNsOp, sec.HistogramObserveNsOp, sec.EMAObserveAlphaNsOp)
+	t.Logf("delta scan: %.2fµs off, %.2fµs on (%.2f%% overhead)",
+		sec.UninstrumentedSecPerScan*1e6, sec.InstrumentedSecPerScan*1e6, sec.OverheadPct)
+	if sec.OverheadPct > 2 {
+		t.Errorf("telemetry adds %.2f%% to the steady-state delta scan, budget 2%%", sec.OverheadPct)
+	}
+	return sec
+}
+
+// TestTelemetryBench runs the telemetry overhead measurement standalone
+// (`make bench-telemetry`); `make bench` folds the same section into
+// BENCH_scan.json. Gated like the other recorders so regular test runs
+// stay fast.
+func TestTelemetryBench(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 (or run `make bench-telemetry`) to measure telemetry overhead")
+	}
+	benchTelemetry(t)
+}
