@@ -2,15 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-go bench-convex bench-delta bench-shard bench-server bench-telemetry fuzz clean
+.PHONY: all build test race vet lint bench bench-go bench-convex bench-delta bench-shard bench-server bench-telemetry fuzz clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Repo-native static analysis: arblint encodes the invariants this
+# codebase has already paid to learn (hot-path alloc budget, key
+# determinism, padded-copy, last-field, send-under-lock). Nonzero exit
+# on any finding; suppressions require a reasoned //arblint:ignore.
+lint:
+	$(GO) run ./cmd/arblint ./...
 
 # The scanner's concurrency contract is tested under the race detector.
 race:

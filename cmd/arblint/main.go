@@ -1,0 +1,84 @@
+// Command arblint runs arbloop's repo-native static analyzers over the
+// module. It exits 0 when clean, 1 when any diagnostic is reported, and
+// 2 on a driver error (unparseable source, failed load).
+//
+//	arblint ./...                 # everything (what make lint runs)
+//	arblint ./internal/scan       # one package
+//	arblint -only hotpath ./...   # a single analyzer
+//	arblint -list                 # print the analyzer catalogue
+//
+// See internal/lint/README.md for what each analyzer enforces and the
+// //arblint: directive syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"arbloop/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("arblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "module directory to lint from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.Lookup(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "arblint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "arblint: %v\n", err)
+		return 2
+	}
+
+	diags := lint.Run(mod, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		// Relative paths keep the output clickable from the repo root.
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "arblint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

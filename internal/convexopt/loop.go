@@ -26,10 +26,18 @@
 package convexopt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"arbloop/internal/linalg"
+)
+
+// Constant-message Newton failures, hoisted to package scope so the
+// annotated solve loop constructs no error values on the hot path.
+var (
+	errBarrierUndefined   = errors.New("convexopt: loop barrier undefined at interior point")
+	errNewtonDecrementNaN = errors.New("convexopt: loop newton decrement is NaN")
 )
 
 // LoopProblem is the reduced problem (8) over one arbitrage loop of n
@@ -196,20 +204,44 @@ type LoopResult struct {
 	Converged bool
 }
 
+// validateLoopStart checks SolveLoop's preconditions. Kept out of the
+// annotated solver body so its fmt error construction stays off the
+// hot path.
+func validateLoopStart(p *LoopProblem, x0 []float64) error {
+	n := p.N()
+	if n < 2 {
+		return fmt.Errorf("%w: loop needs >= 2 hops", ErrBadProblem)
+	}
+	if len(x0) != n {
+		return fmt.Errorf("%w: x0 has %d entries, want %d", ErrDimension, len(x0), n)
+	}
+	if !p.Interior(x0) {
+		return fmt.Errorf("%w: loop start point", ErrInfeasibleStart)
+	}
+	return nil
+}
+
+// wrapNewtonErr attributes a cyclic Newton-system failure. Cold by
+// construction: newtonStepCyclic has already retried the factorization
+// with escalating ridges before reporting an error.
+func wrapNewtonErr(err error) error {
+	return fmt.Errorf("convexopt: loop newton system: %w", err)
+}
+
 // SolveLoop runs the log-barrier method on the loop problem from the
 // strictly feasible point x0, mirroring Minimize step for step but with
 // analytic curve evaluation and the O(n) cyclic Newton solve. ws is
 // reused across calls; pass a fresh &LoopWorkspace{} the first time.
+//
+// SolveLoop is the per-loop inner solver of every scan; after workspace
+// warm-up its body must stay allocation-free (checked by arblint's
+// hotpath analyzer).
+//
+//arblint:hotpath
 func SolveLoop(p *LoopProblem, x0 []float64, opts Options, ws *LoopWorkspace) (LoopResult, error) {
 	n := p.N()
-	if n < 2 {
-		return LoopResult{}, fmt.Errorf("%w: loop needs >= 2 hops", ErrBadProblem)
-	}
-	if len(x0) != n {
-		return LoopResult{}, fmt.Errorf("%w: x0 has %d entries, want %d", ErrDimension, len(x0), n)
-	}
-	if !p.Interior(x0) {
-		return LoopResult{}, fmt.Errorf("%w: loop start point", ErrInfeasibleStart)
+	if err := validateLoopStart(p, x0); err != nil {
+		return LoopResult{}, err
 	}
 	opts = opts.withDefaults()
 
@@ -236,11 +268,11 @@ func SolveLoop(p *LoopProblem, x0 []float64, opts Options, ws *LoopWorkspace) (L
 		for inner := 0; inner < opts.MaxNewton; inner++ {
 			phi, ok := p.evalBarrier(ws.x, t, ws.grad, &ws.cyc)
 			if !ok {
-				return res, fmt.Errorf("convexopt: loop barrier undefined at interior point")
+				return res, errBarrierUndefined
 			}
 
 			if err := p.newtonStepCyclic(ws); err != nil {
-				return res, fmt.Errorf("convexopt: loop newton system: %w", err)
+				return res, wrapNewtonErr(err)
 			}
 			lambda2 := 0.0
 			for i := 0; i < n; i++ {
@@ -251,7 +283,7 @@ func SolveLoop(p *LoopProblem, x0 []float64, opts Options, ws *LoopWorkspace) (L
 				break
 			}
 			if math.IsNaN(lambda2) {
-				return res, fmt.Errorf("convexopt: loop newton decrement is NaN")
+				return res, errNewtonDecrementNaN
 			}
 			res.NewtonIters++
 
@@ -421,7 +453,7 @@ func (p *LoopProblem) normPhase(t float64, opts Options, ws *LoopWorkspace) (boo
 	n := p.N()
 	eval := func(x []float64) (float64, error) {
 		if _, ok := p.evalBarrier(x, t, ws.grad, &ws.cyc); !ok {
-			return 0, fmt.Errorf("convexopt: loop barrier undefined at interior point")
+			return 0, errBarrierUndefined
 		}
 		if err := p.newtonStepCyclic(ws); err != nil {
 			return 0, err

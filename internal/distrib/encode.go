@@ -63,7 +63,13 @@ type ReportJSON struct {
 	// ShardsScanned counts the delta-engine shards rescanned for this
 	// report (0 for unsharded full scans).
 	ShardsScanned int `json:"shards_scanned"`
-	// Results is ranked by ProfitUSD descending.
+	// Results is ranked by ProfitUSD descending. It must stay the
+	// struct's last field — the frame builder's ?top=N prefix slicer
+	// depends on its encoding closing the JSON object (enforced
+	// structurally by arblint's lastfield analyzer and at runtime by the
+	// frame equivalence tests).
+	//
+	//arblint:lastfield
 	Results []ResultJSON `json:"results"`
 }
 

@@ -66,23 +66,44 @@ func resize(s []float64, n int) []float64 {
 // Order returns the matrix order set by the last Reset.
 func (c *CyclicSPD) Order() int { return c.n }
 
+// errNotReset reports factoring before Reset; built once so the
+// annotated factorization carries no fmt machinery.
+var errNotReset = fmt.Errorf("%w: CyclicSPD not Reset", ErrDimensionMismatch)
+
+// pivotErr builds the non-positive-pivot failure. Kept out of the
+// annotated factorization loop: it only runs when the factorization is
+// already failing (and about to be retried with a ridge).
+func pivotErr(j int, v float64) error {
+	return fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, v)
+}
+
+// dimErr builds the length-mismatch failure for Solve/MulVec — a
+// cold programming-error path hoisted out of the annotated solves.
+func dimErr(what string, n, in, out int) error {
+	return fmt.Errorf("%w: order %d with %s %d into %d", ErrDimensionMismatch, n, what, in, out)
+}
+
 // Factor computes the LDLᵀ factorization. It fails with
 // ErrNotPositiveDefinite when a pivot is non-positive (or NaN); the
 // coefficients in Diag/Off are left untouched either way, so the caller
 // can retry with a ridge (FactorRidged).
 func (c *CyclicSPD) Factor() error { return c.FactorRidged(0) }
 
-// FactorRidged factors A + ridge·I without mutating Diag.
+// FactorRidged factors A + ridge·I without mutating Diag. It runs once
+// per Newton iteration of every loop solve and must stay allocation-free
+// (checked by arblint's hotpath analyzer).
+//
+//arblint:hotpath
 func (c *CyclicSPD) FactorRidged(ridge float64) error {
 	n := c.n
 	if n < 2 {
-		return fmt.Errorf("%w: CyclicSPD not Reset", ErrDimensionMismatch)
+		return errNotReset
 	}
 	d, l, z := c.d, c.l, c.z
 
 	d[0] = c.Diag[0] + ridge
 	if !(d[0] > 0) {
-		return fmt.Errorf("%w: pivot 0 is %g", ErrNotPositiveDefinite, d[0])
+		return pivotErr(0, d[0])
 	}
 	// Border entry A[n−1][0]: the cyclic corner, plus — for n = 2 only —
 	// the coincident subdiagonal coupling.
@@ -97,7 +118,7 @@ func (c *CyclicSPD) FactorRidged(ridge float64) error {
 		l[j-1] = lj
 		d[j] = c.Diag[j] + ridge - c.Off[j-1]*lj
 		if !(d[j] > 0) {
-			return fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d[j])
+			return pivotErr(j, d[j])
 		}
 		aj := 0.0
 		if j == n-2 {
@@ -111,18 +132,22 @@ func (c *CyclicSPD) FactorRidged(ridge float64) error {
 		last -= z[j] * z[j] * d[j]
 	}
 	if !(last > 0) {
-		return fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, n-1, last)
+		return pivotErr(n-1, last)
 	}
 	d[n-1] = last
 	return nil
 }
 
 // Solve solves A·x = b using the last successful Factor. x and b must
-// have length n; x may alias b for an in-place solve.
+// have length n; x may alias b for an in-place solve. Paired with
+// FactorRidged on the Newton hot loop; allocation-free (checked by
+// arblint's hotpath analyzer).
+//
+//arblint:hotpath
 func (c *CyclicSPD) Solve(b, x []float64) error {
 	n := c.n
 	if len(b) != n || len(x) != n {
-		return fmt.Errorf("%w: order %d with rhs %d into %d", ErrDimensionMismatch, n, len(b), len(x))
+		return dimErr("rhs", n, len(b), len(x))
 	}
 	d, l, z := c.d, c.l, c.z
 
@@ -155,7 +180,7 @@ func (c *CyclicSPD) Solve(b, x []float64) error {
 func (c *CyclicSPD) MulVec(x, y []float64) error {
 	n := c.n
 	if len(x) != n || len(y) != n {
-		return fmt.Errorf("%w: order %d with x %d into %d", ErrDimensionMismatch, n, len(x), len(y))
+		return dimErr("x", n, len(x), len(y))
 	}
 	if n == 2 {
 		e := c.Off[0] + c.Off[1]

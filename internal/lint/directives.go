@@ -1,0 +1,152 @@
+// arblint directives: machine-readable comments that carry the repo's
+// invariants to the analyzers.
+//
+//	//arblint:hotpath            (func decl)  allocation-causing constructs are diagnosed
+//	//arblint:nocopy             (type decl)  by-value copies of the type are diagnosed
+//	//arblint:lastfield          (struct field) the field must stay last in its struct
+//	//arblint:ignore <analyzer> <reason>      suppress that analyzer on this (or the next) line
+//
+// A directive is a // comment whose text starts exactly with "arblint:"
+// (no space after //, mirroring go:build and go:generate).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	dirHotpath   = "hotpath"
+	dirNoCopy    = "nocopy"
+	dirLastField = "lastfield"
+	dirIgnore    = "ignore"
+)
+
+// directive is one parsed //arblint: comment.
+type directive struct {
+	pos  token.Pos
+	name string // hotpath, nocopy, lastfield, ignore
+	args string // rest of the line, space-trimmed
+}
+
+// parseDirective decodes an //arblint: comment, or ok=false.
+func parseDirective(c *ast.Comment) (directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//arblint:")
+	if !ok {
+		return directive{}, false
+	}
+	name, args, _ := strings.Cut(strings.TrimSpace(text), " ")
+	return directive{pos: c.Pos(), name: name, args: strings.TrimSpace(args)}, true
+}
+
+// hasDirective reports whether the comment group carries the named
+// directive.
+func hasDirective(g *ast.CommentGroup, name string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if d, ok := parseDirective(c); ok && d.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreRule is one //arblint:ignore suppression: it silences analyzer
+// diagnostics reported on its own line or the line directly below.
+type ignoreRule struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+// fileIgnores collects the ignore rules of one file. Rules with no
+// analyzer name or no reason are returned as malformed positions so the
+// driver can reject them — an unexplained suppression is itself a
+// finding.
+func fileIgnores(fset *token.FileSet, f *ast.File) (rules []ignoreRule, malformed []token.Position) {
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			d, ok := parseDirective(c)
+			if !ok || d.name != dirIgnore {
+				continue
+			}
+			analyzer, reason, _ := strings.Cut(d.args, " ")
+			if analyzer == "" || strings.TrimSpace(reason) == "" {
+				malformed = append(malformed, fset.Position(d.pos))
+				continue
+			}
+			rules = append(rules, ignoreRule{
+				line:     fset.Position(d.pos).Line,
+				analyzer: analyzer,
+				reason:   strings.TrimSpace(reason),
+			})
+		}
+	}
+	return rules, malformed
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at
+// the given line is covered by a rule (same line, or the rule sits on
+// the line above the diagnostic).
+func suppressed(rules []ignoreRule, analyzer string, line int) bool {
+	for _, r := range rules {
+		if r.analyzer != analyzer && r.analyzer != "all" {
+			continue
+		}
+		if r.line == line || r.line == line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// hotpathFuncs returns the functions in f marked //arblint:hotpath.
+func hotpathFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && hasDirective(fd.Doc, dirHotpath) {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// Facts are cross-package conclusions drawn from directives before any
+// analyzer runs: loading ./... makes every module package's markings
+// visible to every other package's analysis.
+type Facts struct {
+	// NoCopy holds "pkgpath.TypeName" for every //arblint:nocopy type.
+	NoCopy map[string]bool
+}
+
+// collectFacts scans every loaded package (targets and module-internal
+// dependencies alike) for declaration directives.
+func collectFacts(m *Module) *Facts {
+	facts := &Facts{NoCopy: make(map[string]bool)}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					// The directive may sit on the type spec itself or,
+					// for single-spec decls, on the GenDecl doc.
+					if hasDirective(ts.Doc, dirNoCopy) || hasDirective(ts.Comment, dirNoCopy) ||
+						(len(gd.Specs) == 1 && hasDirective(gd.Doc, dirNoCopy)) {
+						facts.NoCopy[pkg.Path+"."+ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return facts
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata golden files")
+
+// TestGolden runs each analyzer alone over its fixture package —
+// a minimal reproduction of the historical bug the analyzer encodes —
+// and compares the diagnostics against the checked-in golden file.
+// Run with -update to regenerate.
+func TestGolden(t *testing.T) {
+	for _, a := range All {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			m, _, err := LoadDir(dir, ".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			for _, d := range Run(m, []*Analyzer{a}) {
+				d.Pos.Filename = filepath.Base(d.Pos.Filename)
+				buf.WriteString(d.String())
+				buf.WriteByte('\n')
+			}
+			golden := filepath.Join(dir, a.Name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("diagnostics differ from %s\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenNonEmpty guards the harness itself: every fixture must
+// actually reproduce its bug. An empty golden file means the analyzer
+// went blind, not that the fixture is clean.
+func TestGoldenNonEmpty(t *testing.T) {
+	for _, a := range All {
+		golden := filepath.Join("testdata", a.Name, a.Name+".golden")
+		data, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bytes.TrimSpace(data)) == 0 {
+			t.Errorf("%s: golden file is empty — the fixture no longer triggers the analyzer", golden)
+		}
+	}
+}
+
+// TestSelfLint runs the full suite over the repository itself. The
+// codebase must stay clean: every deliberate violation carries a
+// reasoned //arblint:ignore, so any diagnostic here is a regression.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint type-checks the whole module; skipped with -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(m, All) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,199 @@
+// hotpath: functions annotated //arblint:hotpath must not contain
+// allocation-causing constructs.
+//
+// Historical context (PR 4/7): the steady-state delta scan runs at ~7
+// allocations per block, guarded at runtime by testing.AllocsPerRun.
+// Those guards only cover the exact path a test drives; a fmt call or a
+// captured closure added three layers down silently blows the budget on
+// a path the guard misses. This analyzer makes the budget a static
+// property of every annotated function body:
+//
+//   - any call into package fmt (formatting always allocates)
+//   - closures (func literals capture and escape)
+//   - map and channel literals / make(map), make(chan)
+//   - &T{...} composite literals (escape-prone heap allocation)
+//   - interface conversions of non-pointer values (boxing allocates)
+//   - go statements (a new goroutine is not a hot-path construct)
+//   - unconditional time.Now (clock reads dominate the delta profile;
+//     PR 7 samples stage timings 1-in-8 — a time.Now under an if is
+//     assumed sampled/gated and allowed)
+//
+// Intentional cold-branch allocations (error paths, the copy-on-write
+// commit) are suppressed per line with //arblint:ignore hotpath <why>,
+// which doubles as in-source documentation of every deliberate
+// allocation on the path.
+//
+// The check is intraprocedural: callees are not followed. Annotate the
+// functions that form the path, not just its entry point.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath flags allocation-causing constructs in //arblint:hotpath
+// functions.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flags allocating constructs (fmt, closures, map literals, boxing, unsampled time.Now) in //arblint:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	for _, f := range p.Files {
+		for _, fd := range hotpathFuncs(f) {
+			if fd.Body != nil {
+				checkHotBody(p, fd)
+			}
+		}
+	}
+}
+
+func checkHotBody(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure in hot path: the func literal captures variables and escapes, allocating per call")
+			// The literal's body is its own (already-flagged) world.
+			return false
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "go statement in hot path: spawning a goroutine allocates its stack and churns the scheduler")
+		case *ast.CompositeLit:
+			t := info.Types[n].Type
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal in hot path allocates; hoist it to a package-level var or the scratch arena")
+			case *types.Slice:
+				if len(n.Elts) > 0 {
+					p.Reportf(n.Pos(), "non-empty slice literal in hot path allocates; use a reusable buffer from the scratch arena")
+				}
+			default:
+				if len(stack) > 0 {
+					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op.String() == "&" && u.X == ast.Expr(n) {
+						p.Reportf(n.Pos(), "&%s{...} in hot path heap-allocates when it escapes; reuse a workspace value instead", types.ExprString(n.Type))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, info, n, stack)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				lt := info.Types[n.Lhs[i]].Type
+				if lt == nil {
+					// New variables in := carry the type on the Ident def.
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							lt = obj.Type()
+						}
+					}
+				}
+				if boxes(info, lt, rhs) {
+					p.Reportf(rhs.Pos(), "assignment boxes %s into %s in hot path: converting a non-pointer value to an interface allocates", typeOf(info, rhs), lt)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall applies the call-shaped rules: fmt.*, unsampled
+// time.Now, make(map/chan), and interface-boxing arguments.
+func checkHotCall(p *Pass, info *types.Info, call *ast.CallExpr, stack []ast.Node) {
+	// Conversions: T(x) where T is an interface boxes x.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxes(info, tv.Type, call.Args[0]) {
+			p.Reportf(call.Pos(), "conversion boxes %s into %s in hot path", typeOf(info, call.Args[0]), tv.Type)
+		}
+		return
+	}
+	// Builtins: make(map[...]...), make(chan ...).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if t := info.Types[call.Args[0]].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					p.Reportf(call.Pos(), "make(map) in hot path allocates; hoist to setup or the scratch arena")
+				case *types.Chan:
+					p.Reportf(call.Pos(), "make(chan) in hot path allocates; channels belong to setup, not the per-block path")
+				}
+			}
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			p.Reportf(call.Pos(), "fmt.%s in hot path: fmt always allocates (boxing + buffer); move it off the per-block path or behind a cold branch with //arblint:ignore", fn.Name())
+			return
+		case "time":
+			if fn.Name() == "Now" && !underIf(stack) {
+				p.Reportf(call.Pos(), "unconditional time.Now in hot path: clock reads dominate the delta profile; gate it behind a sampling branch (see scan.Metrics.StageSample)")
+				return
+			}
+		}
+	}
+	// Interface-boxing arguments.
+	sig, ok := typeOf(info, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing here
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		if boxes(info, pt, arg) {
+			p.Reportf(arg.Pos(), "argument boxes %s into %s in hot path: converting a non-pointer value to an interface allocates", typeOf(info, arg), pt)
+		}
+	}
+}
+
+// boxes reports whether passing arg as dst performs an allocating
+// interface conversion: dst is an interface, arg's static type is a
+// concrete non-pointer-shaped value (structs, numbers, strings box;
+// pointers, maps, chans, funcs are word-sized and do not).
+func boxes(info *types.Info, dst types.Type, arg ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv := info.Types[arg]
+	at := tv.Type
+	if at == nil || tv.IsNil() || types.IsInterface(at) {
+		return false
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// underIf reports whether any ancestor (within the function body) is an
+// if statement — the analyzer's notion of "sampled or gated".
+func underIf(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.IfStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	return info.Types[e].Type
+}

@@ -1,0 +1,56 @@
+// lastfield: //arblint:lastfield fields must stay the last field of
+// their struct.
+//
+// Historical context (PR 6): the distribution tier's ?top=N fast path
+// serves a truncated report as a *prefix re-slice* of the full encoded
+// frame — Raw[:ends[N-1]] + "]}" — which is byte-identical to
+// marshaling the truncated report only because ReportJSON.Results is
+// the struct's final field, so its JSON array is the final element of
+// the object. A well-meaning "add the new field at the end" edit breaks
+// every top=N response at once. A test enforces it at runtime; this
+// directive enforces it structurally, at the declaration site, with the
+// reason attached to the field itself.
+package lint
+
+import (
+	"go/ast"
+)
+
+// LastField verifies that every //arblint:lastfield-marked struct field
+// is the last field of its struct declaration.
+var LastField = &Analyzer{
+	Name: "lastfield",
+	Doc:  "enforces that //arblint:lastfield struct fields stay last (prefix-slicer wire invariant)",
+	Run:  runLastField,
+}
+
+func runLastField(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			fields := st.Fields.List
+			for i, field := range fields {
+				if !hasDirective(field.Doc, dirLastField) && !hasDirective(field.Comment, dirLastField) {
+					continue
+				}
+				if i != len(fields)-1 {
+					name := "embedded field"
+					if len(field.Names) > 0 {
+						name = field.Names[0].Name
+					}
+					p.Reportf(field.Pos(), "//arblint:lastfield field %s is followed by %d other field(s): it must stay the struct's last field (the ?top=N prefix slicer depends on its encoding closing the object)",
+						name, len(fields)-1-i)
+				}
+				// Multiple names in one marked field: only the final name
+				// can be last.
+				if i == len(fields)-1 && len(field.Names) > 1 {
+					p.Reportf(field.Pos(), "//arblint:lastfield field declares %d names; split them so the marked field is a single trailing field", len(field.Names))
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,147 @@
+// Package lint is arbloop's repo-native static-analysis suite. Each
+// analyzer encodes an invariant this codebase has already paid to learn
+// — bug classes that runtime guards (AllocsPerRun budgets, equivalence
+// property tests, the last-field slicer test) only catch when the exact
+// path is exercised. arblint makes them compile-review-time properties:
+//
+//   - pointerfmt: %v/%#v of pointer-bearing values feeding keys
+//     (the PR-4 deltaKey full-scan-every-block bug)
+//   - hotpath: allocation-causing constructs in //arblint:hotpath funcs
+//     (the 7-alloc steady-state delta budget, PR 4/7)
+//   - mapiter: map iteration feeding hashes or ordered output
+//     (the PR-3 fingerprint-order cache-thrash bug)
+//   - nocopy: by-value copies of //arblint:nocopy padded telemetry
+//     primitives (the PR-7 cache-line padding contract)
+//   - lastfield: //arblint:lastfield fields must stay last
+//     (the PR-6 ?top=N prefix-slicer invariant)
+//   - sendhold: channel operations while a sync mutex is held
+//     (the PR-6 SSE fan-out stall class)
+//
+// See README.md in this directory for the full catalogue, the directive
+// syntax, and how to add an analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer checks one invariant over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier — what //arblint:ignore names.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the pass's package and reports diagnostics through
+	// it.
+	Run func(*Pass)
+}
+
+// All lists every analyzer, in reporting order.
+var All = []*Analyzer{PointerFmt, HotPath, MapIter, NoCopy, LastField, SendHold}
+
+// Lookup resolves an analyzer by name.
+func Lookup(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional
+// file:line:col: analyzer: message shape.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *Package
+	Facts *Facts
+
+	analyzer *Analyzer
+	found    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.found = append(*p.found, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over every target package of m, applies
+// //arblint:ignore suppressions, and returns the surviving diagnostics
+// sorted by position. Malformed ignore directives (missing analyzer
+// name or reason) are themselves reported, attributed to the driver.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	facts := collectFacts(m)
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		if !pkg.Target {
+			continue
+		}
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     m.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg,
+				Facts:    facts,
+				analyzer: a,
+				found:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		// Suppressions are per file: build each file's rule set once and
+		// drop the diagnostics they cover.
+		rulesByFile := make(map[string][]ignoreRule)
+		for _, f := range pkg.Files {
+			name := m.Fset.Position(f.Pos()).Filename
+			rules, malformed := fileIgnores(m.Fset, f)
+			rulesByFile[name] = rules
+			for _, pos := range malformed {
+				diags = append(diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "arblint",
+					Message:  "malformed //arblint:ignore: want \"//arblint:ignore <analyzer> <reason>\"",
+				})
+			}
+		}
+		for _, d := range pkgDiags {
+			if suppressed(rulesByFile[d.Pos.Filename], d.Analyzer, d.Pos.Line) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,237 @@
+// Package loading for arblint, stdlib-only. Packages are discovered
+// with `go list -export -json -deps`, which both resolves the build
+// context (build tags, platform file lists) and compiles export data
+// for every dependency into the build cache. Module packages are then
+// parsed from source and type-checked with go/types, importing
+// everything else — stdlib included — from that export data via the gc
+// importer, so the loader needs no GOPATH layout, no vendoring, and no
+// third-party packages driver.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package ready for analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Files are the parsed non-test source files, comments attached.
+	Files []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+	// Target reports whether the package matched the load patterns
+	// (false = loaded only as a module-internal dependency, so its
+	// directives contribute facts but its code is not analyzed).
+	Target bool
+}
+
+// Module is a loaded set of packages sharing one FileSet.
+type Module struct {
+	Fset *token.FileSet
+	// Pkgs holds every module-local package in the dependency closure,
+	// dependencies first.
+	Pkgs []*Package
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load discovers the packages matching patterns (relative to dir, e.g.
+// "./...") and type-checks every module-local package in their
+// dependency closure. Test files are not loaded: arblint analyzes the
+// shipped source; the analyzers themselves are exercised on test
+// fixtures via LoadDir.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var mod []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			mod = append(mod, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	m := &Module{Fset: fset}
+	// go list -deps emits dependencies before dependents, but every
+	// import is satisfied from export data regardless, so order only
+	// affects determinism of the output — keep the listed order.
+	for _, lp := range mod {
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = !lp.DepOnly
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	return m, nil
+}
+
+// LoadDir type-checks the single package rooted at dir (every .go file
+// in it, test fixtures included) against the module in modDir for
+// export data. This is the analyzer test harness: golden fixtures live
+// in testdata directories the go tool ignores, yet still get full type
+// information for any stdlib import.
+func LoadDir(dir, modDir string) (*Module, *Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+
+	// Parse first to learn the import set, then ask go list for export
+	// data of exactly those packages (and their deps).
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for _, im := range f.Imports {
+			imports[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		args := []string{"list", "-export", "-json", "-deps", "--"}
+		for p := range imports {
+			args = append(args, p)
+		}
+		sort.Strings(args[5:])
+		cmd := exec.Command("go", args...)
+		cmd.Dir = modDir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: go list imports: %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	pkg, err := checkFiles(fset, exportImporter(fset, exports), dir, files)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg.Target = true
+	return &Module{Fset: fset, Pkgs: []*Package{pkg}}, pkg, nil
+}
+
+// exportImporter returns a gc importer that reads export data from the
+// files go list compiled into the build cache. go/types resolves
+// "unsafe" itself and never asks the importer for it.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// checkPackage parses the named files of one package and type-checks
+// them.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, err := checkFiles(fset, imp, path, files)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// checkFiles runs go/types over already-parsed files.
+func checkFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", path, err)
+	}
+	return &Package{Path: tpkg.Path(), Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,83 @@
+// mapiter: map iteration must not feed order-sensitive sinks.
+//
+// Historical bug (PR 3): the topology fingerprint hashed pool IDs in
+// map-iteration order. Two scans over the same pool set hashed in
+// different orders, so equal topologies produced different
+// fingerprints — the topology cache thrashed (a full cycle enumeration
+// per block) and the feed reported spurious topology changes. The fix
+// canonicalizes (sorts) before hashing; this analyzer flags any range
+// over a map whose body writes into a hash, strings.Builder,
+// bytes.Buffer, or other ordered byte sink.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `range` over a map whose loop body performs
+// order-sensitive writes (hash/builder/buffer writes, fmt.Fprint*).
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration feeding hashes, builders, or ordered output (iteration order is nondeterministic)",
+	Run:  runMapIter,
+}
+
+func runMapIter(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.Types[rs.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink, at := orderedSink(info, rs.Body); sink != "" {
+				p.Reportf(at.Pos(), "%s inside range over %s: map iteration order is nondeterministic, so the output differs run to run — collect and sort keys first (PR-3 fingerprint-order bug class)",
+					sink, types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+}
+
+// orderedSink finds the first order-sensitive write in a loop body:
+// a Write/WriteString/WriteByte/WriteRune/Sum call on a value with an
+// io.Writer-shaped Write method (hash.Hash, strings.Builder,
+// bytes.Buffer, encoders), or an fmt.Fprint* call.
+func orderedSink(info *types.Info, body *ast.BlockStmt) (string, ast.Node) {
+	var sink string
+	var at ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				sink, at = "ordered output (fmt."+fn.Name()+")", call
+				return false
+			}
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isWriteName(sel.Sel.Name) {
+			return true
+		}
+		if t := info.Types[sel.X].Type; t != nil && hasWriteMethod(t) {
+			sink, at = "write to "+types.ExprString(sel.X)+" ("+sel.Sel.Name+")", call
+			return false
+		}
+		return true
+	})
+	return sink, at
+}

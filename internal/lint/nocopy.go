@@ -1,0 +1,136 @@
+// nocopy: //arblint:nocopy types must not be copied by value.
+//
+// Historical context (PR 7): internal/telemetry's Counter, Gauge,
+// FloatGauge, Histogram, and EMA are cache-line-padded atomics, shared
+// by address between the hot path that writes them and the exposition
+// that reads them. A by-value copy silently forks the state — the copy
+// counts, the original (the one the registry exports) stays flat — and
+// throws away the padding contract that keeps adjacent counters from
+// false-sharing. This is vet's copylocks, retargeted at the repo's own
+// padding/sharing contract: marked types (and anything embedding them)
+// may only travel by pointer.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoCopy flags by-value copies of //arblint:nocopy types: assignments,
+// range value variables, value arguments, and by-value parameters,
+// results, or receivers.
+var NoCopy = &Analyzer{
+	Name: "nocopy",
+	Doc:  "flags by-value copies of //arblint:nocopy types (padded telemetry primitives travel by pointer only)",
+	Run:  runNoCopy,
+}
+
+func runNoCopy(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkNoCopySignature(p, n)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkNoCopyExpr(p, info, rhs, "assignment copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					t := typeOf(info, n.Value)
+					if t == nil {
+						// A `:=` range value is a definition, recorded in
+						// Defs rather than Types.
+						if id, ok := n.Value.(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								t = obj.Type()
+							}
+						}
+					}
+					if name, bad := noCopyType(p.Facts, t); bad {
+						p.Reportf(n.Value.Pos(), "range value copies %s by value each iteration; range by index and take the address", name)
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					checkNoCopyExpr(p, info, arg, "argument passes")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkNoCopyExpr(p, info, r, "return copies")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkNoCopyExpr flags e when evaluating it copies a nocopy value out
+// of an existing location: a variable, field, dereference, or index of
+// marked type. Composite literals and calls are construction, not
+// copying, and stay legal (their by-value travel is caught at the
+// signature or assignment that moves them next).
+func checkNoCopyExpr(p *Pass, info *types.Info, e ast.Expr, how string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	if name, bad := noCopyType(p.Facts, typeOf(info, e)); bad {
+		p.Reportf(e.Pos(), "%s %s by value: the type is //arblint:nocopy (padded/shared atomic state) — pass a pointer", how, name)
+	}
+}
+
+// checkNoCopySignature flags by-value parameters, results, and
+// receivers of nocopy-containing type.
+func checkNoCopySignature(p *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Pkg.Info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if name, bad := noCopyType(p.Facts, t); bad {
+				p.Reportf(field.Type.Pos(), "%s of %s receives %s by value — declare it *%s", what, fd.Name.Name, name, name)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// noCopyType reports whether t is (or transitively contains, through
+// structs and arrays) a marked nocopy type, returning the marked type's
+// name. Pointers, slices, and maps stop the walk: they share, not copy.
+func noCopyType(facts *Facts, t types.Type) (string, bool) {
+	return noCopySeen(facts, t, make(map[types.Type]bool))
+}
+
+func noCopySeen(facts *Facts, t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if path := namedPath(t); path != "" && facts.NoCopy[path] {
+		return path, true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, bad := noCopySeen(facts, u.Field(i).Type(), seen); bad {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return noCopySeen(facts, u.Elem(), seen)
+	}
+	return "", false
+}

@@ -1,0 +1,251 @@
+// pointerfmt: %v/%#v renderings of pointer-bearing values must not
+// feed keys.
+//
+// Historical bug (PR 4): scan's delta baseline key was built with
+// fmt.Sprintf("%s|%#v", s.Name(), s) over a strategy interface value.
+// Callers constructing &ConvexStrategy{...} fresh each block rendered a
+// new allocation address into the key every time, so the baseline never
+// matched and every scan silently fell back to a full scan — correct
+// output, ~800x the steady-state cost, and invisible to every test that
+// didn't count scans. The fix derives the key from dereferenced values;
+// this analyzer keeps the bug class out permanently.
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PointerFmt flags fmt renderings (%v, %+v, %#v, and the Sprint family)
+// of values whose type transitively contains pointers, when the
+// rendered string feeds a map key, a comparison, or a key/fingerprint/
+// hash-shaped sink.
+var PointerFmt = &Analyzer{
+	Name: "pointerfmt",
+	Doc:  "flags %v/%#v of pointer-bearing values used as map keys, comparisons, or fingerprints",
+	Run:  runPointerFmt,
+}
+
+// sprintFuncs maps fmt functions that produce a string (or byte
+// rendering) to whether they take a format string; functions whose
+// result is an error (Errorf) are excluded — errors are not keys.
+var sprintFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Appendf":  true,
+	"Sprint":   false,
+	"Sprintln": false,
+	"Append":   false,
+	"Appendln": false,
+}
+
+func runPointerFmt(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+				return true
+			}
+			formatted, ok := sprintFuncs[fn.Name()]
+			if !ok {
+				return true
+			}
+			sink := keySink(info, call, stack)
+			if sink == "" {
+				return true
+			}
+			for _, arg := range verbArgs(info, call, formatted) {
+				t := info.Types[arg].Type
+				if t == nil || !containsPointer(t) {
+					continue
+				}
+				p.Reportf(arg.Pos(), "%s rendering of %s (pointer-bearing) feeds %s: pointer fields render as addresses, so the string differs across allocations of equal values (PR-4 deltaKey bug class)",
+					"fmt."+fn.Name(), t.String(), sink)
+			}
+			return true
+		})
+	}
+}
+
+// verbArgs returns the call arguments rendered with a %v-family verb:
+// for format functions, the operands matched to %v/%+v/%#v in the
+// constant format string; for the Sprint family, every non-format
+// argument (Sprint renders everything with %v).
+func verbArgs(info *types.Info, call *ast.CallExpr, formatted bool) []ast.Expr {
+	if !formatted {
+		return call.Args
+	}
+	// Appendf's format string is arg 1 (after the []byte); Sprintf's is
+	// arg 0. Find the first string-typed constant argument.
+	fmtIdx := -1
+	for i, a := range call.Args {
+		tv := info.Types[a]
+		if tv.Value != nil && tv.Value.Kind() == constant.String {
+			fmtIdx = i
+			break
+		}
+	}
+	if fmtIdx < 0 || fmtIdx+1 > len(call.Args) {
+		return nil
+	}
+	format := constant.StringVal(info.Types[call.Args[fmtIdx]].Value)
+	operands := call.Args[fmtIdx+1:]
+	var out []ast.Expr
+	argi := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Scan flags, width, precision up to the verb character.
+		verbFlags := ""
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.*", rune(format[i])) {
+			verbFlags += string(format[i])
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if verb == '%' {
+			continue
+		}
+		if argi < len(operands) {
+			if verb == 'v' {
+				out = append(out, operands[argi])
+			}
+			argi++
+		}
+	}
+	return out
+}
+
+// keySink classifies the context the call result flows into, returning
+// a human-readable description of the sink, or "" when the rendering is
+// display-only (logs, messages) and pointer addresses are harmless.
+func keySink(info *types.Info, call *ast.CallExpr, stack []ast.Node) string {
+	// Walk outward through value-preserving wrappers (parens, type
+	// conversions, string concatenation) until the context classifies.
+	var child ast.Node = call
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = parent
+			continue
+		case *ast.CallExpr:
+			if tv, ok := info.Types[parent.Fun]; ok && tv.IsType() {
+				// A conversion like []byte(...) preserves the value.
+				child = parent
+				continue
+			}
+			// Keyish when the callee name is key-shaped or the call is an
+			// ordered write into a hasher/builder.
+			if fn := calleeFunc(info, parent); fn != nil {
+				if keyishName(fn.Name()) {
+					return "a call to " + fn.Name()
+				}
+				if isWriteName(fn.Name()) {
+					if sel, ok := ast.Unparen(parent.Fun).(*ast.SelectorExpr); ok {
+						if t := info.Types[sel.X].Type; t != nil && hasWriteMethod(t) {
+							return "a hash/builder write (" + types.ExprString(sel.X) + "." + fn.Name() + ")"
+						}
+					}
+				}
+			}
+			return ""
+		case *ast.IndexExpr:
+			if ast.Node(parent.Index) == child {
+				if t := info.Types[parent.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						return "a map key"
+					}
+				}
+			}
+			return ""
+		case *ast.BinaryExpr:
+			switch parent.Op {
+			case token.EQL, token.NEQ:
+				return "a string comparison"
+			case token.ADD:
+				// Concatenation preserves the rendering; keep walking.
+				child = parent
+				continue
+			}
+			return ""
+		case *ast.KeyValueExpr:
+			if ast.Node(parent.Key) == child && i > 0 {
+				if lit, ok := stack[i-1].(*ast.CompositeLit); ok {
+					if t := info.Types[lit].Type; t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							return "a map key"
+						}
+					}
+				}
+			}
+			return ""
+		case *ast.AssignStmt:
+			for j, rhs := range parent.Rhs {
+				if ast.Node(rhs) != child || j >= len(parent.Lhs) {
+					continue
+				}
+				if name := lhsName(parent.Lhs[j]); keyishName(name) {
+					return "the key-shaped variable " + name
+				}
+			}
+			return ""
+		case *ast.ReturnStmt:
+			// Keyish when the enclosing function is key-shaped.
+			for j := i - 1; j >= 0; j-- {
+				if fd, ok := stack[j].(*ast.FuncDecl); ok {
+					if keyishName(fd.Name.Name) {
+						return "the result of " + fd.Name.Name
+					}
+					break
+				}
+				if _, ok := stack[j].(*ast.FuncLit); ok {
+					break
+				}
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+	return ""
+}
+
+// keyishName reports whether an identifier names a key-like value.
+func keyishName(name string) bool {
+	l := strings.ToLower(name)
+	for _, kw := range []string{"key", "fingerprint", "hash", "digest"} {
+		if strings.Contains(l, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func isWriteName(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Sum":
+		return true
+	}
+	return false
+}
+
+func lhsName(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,232 @@
+// sendhold: no channel operations while a sync mutex is held.
+//
+// Historical context (PR 6): the SSE fan-out sends one frame per block
+// to every subscriber. A send into a full channel of one stalled
+// consumer, performed under the subscriber-registry mutex, blocks every
+// other stream — and /v1/report publishes too, if they share the lock.
+// The runtime guards against this with coalescing sends, per-write
+// deadlines, and slow-consumer eviction; this analyzer removes the
+// remaining footgun by flagging any channel send, receive, or blocking
+// select (and time.Sleep) that sits lexically between a mutex Lock and
+// its Unlock — including to the end of the function when the Unlock is
+// deferred.
+//
+// The analysis is lexical, not a CFG: Lock/Unlock pairing is by
+// receiver expression text within one function body, which matches how
+// the repo writes mutex code (lock, short critical section, unlock or
+// defer). Channel operations that are deliberately non-blocking
+// (select with default) are not flagged.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SendHold flags channel sends/receives, blocking selects, and sleeps
+// performed while a sync.Mutex or sync.RWMutex is held.
+var SendHold = &Analyzer{
+	Name: "sendhold",
+	Doc:  "flags channel operations and sleeps while a sync mutex is held (fan-out stall class)",
+	Run:  runSendHold,
+}
+
+func runSendHold(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkSendHold(p, n.Body)
+				}
+			case *ast.FuncLit:
+				// Each function literal is its own lock scope; nested
+				// literals are reached as the traversal descends.
+				checkSendHold(p, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// lockEvent is one Lock/Unlock call in source order.
+type lockEvent struct {
+	pos      token.Pos
+	key      string // receiver expression text, e.g. "st.mu"
+	read     bool   // RLock/RUnlock
+	unlock   bool
+	deferred bool
+}
+
+// blockOp is one potentially blocking operation.
+type blockOp struct {
+	pos  token.Pos
+	what string
+}
+
+func checkSendHold(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	var locks []lockEvent
+	var ops []blockOp
+
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				// Nested function bodies have their own lock scopes;
+				// runSendHold visits them separately. A deferred
+				// func(){ mu.Unlock() }() still counts: scan just for the
+				// unlock below.
+				if len(stack) > 0 {
+					if def, ok := stack[len(stack)-1].(*ast.CallExpr); ok && def.Fun == ast.Expr(n) {
+						if len(stack) > 1 {
+							if _, isDefer := stack[len(stack)-2].(*ast.DeferStmt); isDefer {
+								for _, ev := range lockCallsIn(info, n.Body) {
+									if ev.unlock {
+										ev.deferred = true
+										locks = append(locks, ev)
+									}
+								}
+							}
+						}
+					}
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			if ev, ok := lockCall(info, n); ok {
+				ev.deferred = underDefer(stack)
+				locks = append(locks, ev)
+				return true
+			}
+			if isPkgFunc(info, n, "time", "Sleep") {
+				ops = append(ops, blockOp{n.Pos(), "time.Sleep"})
+			}
+		case *ast.SendStmt:
+			if !inSelectComm(stack) {
+				ops = append(ops, blockOp{n.Arrow, "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inSelectComm(stack) {
+				ops = append(ops, blockOp{n.OpPos, "channel receive"})
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				ops = append(ops, blockOp{n.Select, "blocking select"})
+			}
+		}
+		return true
+	})
+	if len(locks) == 0 || len(ops) == 0 {
+		return
+	}
+
+	sort.Slice(locks, func(i, j int) bool { return locks[i].pos < locks[j].pos })
+	// Build held intervals: each Lock holds until the next matching
+	// Unlock after it; a deferred Unlock (or none) holds to body end.
+	type interval struct {
+		from, to token.Pos
+		key      string
+		line     int
+	}
+	var held []interval
+	for i, ev := range locks {
+		if ev.unlock {
+			continue
+		}
+		to := body.End()
+		for j := i + 1; j < len(locks); j++ {
+			u := locks[j]
+			if u.unlock && !u.deferred && u.key == ev.key && u.read == ev.read {
+				to = u.pos
+				break
+			}
+		}
+		held = append(held, interval{from: ev.pos, to: to, key: ev.key, line: p.Fset.Position(ev.pos).Line})
+	}
+	for _, op := range ops {
+		for _, iv := range held {
+			if op.pos > iv.from && op.pos < iv.to {
+				p.Reportf(op.pos, "%s while %s is held (Lock at line %d): a blocked peer stalls every path through this mutex — send outside the critical section or use a coalescing/non-blocking send (PR-6 fan-out stall class)",
+					op.what, iv.key, iv.line)
+				break
+			}
+		}
+	}
+}
+
+// lockCall decodes a (R)Lock/(R)Unlock call on a sync.Mutex/RWMutex
+// (directly or promoted through embedding).
+func lockCall(info *types.Info, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var read, unlock bool
+	switch sel.Sel.Name {
+	case "Lock":
+	case "RLock":
+		read = true
+	case "Unlock":
+		unlock = true
+	case "RUnlock":
+		read, unlock = true, true
+	default:
+		return lockEvent{}, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	return lockEvent{pos: call.Pos(), key: types.ExprString(sel.X), read: read, unlock: unlock}, true
+}
+
+// lockCallsIn collects lock events anywhere under root (used for
+// deferred closures that unlock).
+func lockCallsIn(info *types.Info, root ast.Node) []lockEvent {
+	var out []lockEvent
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ev, ok := lockCall(info, call); ok {
+				out = append(out, ev)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func underDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// inSelectComm reports whether the operation is the communication
+// clause of an enclosing select — those are accounted to the select
+// itself (flagged only when it has no default), not double-counted as
+// standalone sends/receives.
+func inSelectComm(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if cc, ok := stack[i].(*ast.CommClause); ok {
+			// Inside the clause body (after the comm statement) the ops
+			// are ordinary statements again.
+			return i == len(stack)-1 || stack[i+1] == ast.Node(cc.Comm)
+		}
+	}
+	return false
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

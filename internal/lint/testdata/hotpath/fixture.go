@@ -1,0 +1,67 @@
+// Fixture for the hotpath analyzer, reproducing the PR-4/PR-7 budget
+// regressions: the steady-state delta scan runs at ~7 allocations per
+// block, and a fmt call, captured closure, or boxing conversion added
+// three layers down blows the budget on a path the AllocsPerRun guard
+// never drives.
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+type result struct{ profit float64 }
+
+type state struct {
+	seen map[string]bool
+	out  []result
+}
+
+// scanBlock stands in for the delta-scan commit loop: every construct
+// below allocates per block.
+//
+//arblint:hotpath
+func scanBlock(st *state, ids []string) {
+	start := time.Now()
+	for _, id := range ids {
+		if st.seen[id] {
+			continue
+		}
+		st.seen[id] = true
+		msg := fmt.Sprintf("new pool %s", id)
+		_ = msg
+		st.out = append(st.out, result{})
+	}
+	probe := &result{}
+	_ = probe
+	fn := func() { _ = start }
+	fn()
+	extra := map[string]int{}
+	_ = extra
+	sink := any(result{})
+	_ = sink
+}
+
+// sampled shows the legal shapes: a gated clock read and a documented
+// cold-branch allocation.
+//
+//arblint:hotpath
+func sampled(st *state, n int) {
+	if n%8 == 0 {
+		_ = time.Now()
+	}
+	if st.seen == nil {
+		st.seen = make(map[string]bool) //arblint:ignore hotpath lazy first-block init, never on the steady path
+	}
+}
+
+// cold is unannotated: fmt off the hot path is fine.
+func cold(ids []string) string {
+	return fmt.Sprint(len(ids))
+}
+
+// malformedSuppression carries an ignore with no reason — itself a
+// finding (an unexplained suppression is the next silent regression).
+func malformedSuppression() {
+	_ = len("x") //arblint:ignore hotpath
+}

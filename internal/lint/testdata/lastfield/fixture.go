@@ -1,0 +1,23 @@
+// Fixture for the lastfield analyzer, reproducing the PR-6 prefix
+// slicer break: ?top=N responses are served as a byte prefix of the
+// full encoded report plus a constant tail, which is only valid while
+// the Results array is the final element of the JSON object — i.e.
+// while Results is the struct's last field.
+package fixture
+
+// reportJSON is the bug shape: a well-meaning "add the new field at the
+// end" edit lands after the marked field and breaks every top=N
+// response at once.
+type reportJSON struct {
+	Version uint64 `json:"version"`
+	//arblint:lastfield
+	Results []int  `json:"results"`
+	Extra   string `json:"extra"`
+}
+
+// okJSON is the legal shape.
+type okJSON struct {
+	Version uint64
+	//arblint:lastfield
+	Results []int
+}

@@ -1,0 +1,45 @@
+// Fixture for the mapiter analyzer, reproducing the PR-3 topology
+// fingerprint bug: pool IDs hashed in map-iteration order, so equal
+// topologies produced different fingerprints and the topology cache
+// thrashed — a full cycle enumeration per block.
+package fixture
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+type pool struct{ id string }
+
+// fingerprint is the bug shape verbatim: hash input taken in map order.
+func fingerprint(pools map[string]pool) uint64 {
+	h := fnv.New64a()
+	for id := range pools {
+		h.Write([]byte(id))
+	}
+	return h.Sum64()
+}
+
+// render streams map keys into a builder — same class, ordered text.
+func render(pools map[string]pool) string {
+	var b strings.Builder
+	for id := range pools {
+		b.WriteString(id)
+	}
+	return b.String()
+}
+
+// sorted is the fix: canonicalize, then hash.
+func sorted(pools map[string]pool) uint64 {
+	ids := make([]string, 0, len(pools))
+	for id := range pools {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	h := fnv.New64a()
+	for _, id := range ids {
+		h.Write([]byte(id))
+	}
+	return h.Sum64()
+}

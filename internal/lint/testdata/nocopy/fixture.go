@@ -1,0 +1,48 @@
+// Fixture for the nocopy analyzer, reproducing the PR-7 padded-copy
+// bug class: telemetry primitives are cache-line-padded atomics shared
+// by address; a by-value copy silently forks the state — the copy
+// counts, the registry's original stays flat.
+package fixture
+
+import "sync/atomic"
+
+// Counter mirrors telemetry.Counter: padded, shared by address.
+//
+//arblint:nocopy
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+type metrics struct {
+	scans Counter
+	fails Counter
+}
+
+// snapshot copies the counter out by value — the forked-state bug.
+func snapshot(m *metrics) int64 {
+	c := m.scans
+	return c.v.Load()
+}
+
+// observe receives the counter by value: increments land on the copy.
+func observe(c Counter) {
+	c.v.Add(1)
+}
+
+// tick passes the counter by value into observe.
+func tick(m *metrics) {
+	observe(m.scans)
+}
+
+// sweep copies each counter out of the slice per iteration.
+func sweep(cs []Counter) {
+	for _, c := range cs {
+		c.v.Add(1)
+	}
+}
+
+// ok is the legal shape: read through the shared address.
+func ok(m *metrics) int64 {
+	return m.scans.v.Load()
+}

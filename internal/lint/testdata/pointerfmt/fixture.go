@@ -1,0 +1,42 @@
+// Fixture for the pointerfmt analyzer, reproducing the PR-4 deltaKey
+// bug: the delta baseline key was fmt.Sprintf("%s|%#v", s.Name(), s)
+// over a strategy interface. Callers constructing the strategy fresh
+// each block rendered a new pointer address into the key every time, so
+// the baseline never matched and every scan fell back to a full scan.
+package fixture
+
+import "fmt"
+
+type strategy interface{ Name() string }
+
+type convex struct {
+	Tol  float64
+	prev *convex
+}
+
+func (c *convex) Name() string { return "convex" }
+
+// deltaKey is the bug shape verbatim: a %#v rendering of a
+// pointer-bearing interface value assigned to a key-named variable.
+func deltaKey(s strategy) string {
+	key := fmt.Sprintf("%s|%#v", s.Name(), s)
+	return key
+}
+
+// lookup renders the strategy straight into a map index.
+func lookup(cache map[string]int, s strategy) int {
+	return cache[fmt.Sprint(s)]
+}
+
+// same compares two renderings — equal configs at different addresses
+// compare unequal.
+func same(a, b strategy) bool {
+	return fmt.Sprintf("%v", a) == fmt.Sprintf("%v", b)
+}
+
+// logLine is the legal counterpart: a display-only rendering, where a
+// pointer address is harmless.
+func logLine(s strategy) string {
+	msg := fmt.Sprintf("scanning with %v", s)
+	return msg
+}

@@ -1,0 +1,56 @@
+// Fixture for the sendhold analyzer, reproducing the PR-6 SSE fan-out
+// stall: one frame sent per block to every subscriber, under the
+// registry mutex — a single stalled consumer's full channel blocks
+// every other stream (and the report publisher, if it shares the lock).
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type hub struct {
+	mu   sync.Mutex
+	subs []chan []byte
+}
+
+// broadcast is the bug shape verbatim: sends under a deferred unlock.
+func (h *hub) broadcast(frame []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs {
+		ch <- frame
+	}
+}
+
+// throttle sleeps inside the critical section.
+func (h *hub) throttle() {
+	h.mu.Lock()
+	time.Sleep(time.Millisecond)
+	h.mu.Unlock()
+}
+
+// snapshotThenSend is the fix: copy the registry under the lock, send
+// outside it.
+func (h *hub) snapshotThenSend(frame []byte) {
+	h.mu.Lock()
+	subs := make([]chan []byte, len(h.subs))
+	copy(subs, h.subs)
+	h.mu.Unlock()
+	for _, ch := range subs {
+		ch <- frame
+	}
+}
+
+// tryBroadcast is also legal: the select has a default, so the send
+// never blocks.
+func (h *hub) tryBroadcast(frame []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- frame:
+		default:
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Shared type and AST predicates used by several analyzers.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// containsPointer reports whether rendering a value of type t with
+// %v/%#v can leak a machine address into the output: the type is, or
+// transitively contains, a pointer, map, channel, function, or
+// interface (whose dynamic value may be any of those). Strings and
+// slices render their contents, so only their element types matter.
+func containsPointer(t types.Type) bool {
+	return containsPointerSeen(t, make(map[types.Type]bool))
+}
+
+func containsPointerSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Map:
+		// Map values render element-wise, but iteration order is
+		// nondeterministic too — either way the rendering is not a
+		// stable key.
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsPointerSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Slice:
+		return containsPointerSeen(u.Elem(), seen)
+	case *types.Array:
+		return containsPointerSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// inspectStack walks root depth-first, calling fn with each node and
+// the stack of its ancestors (outermost first, not including n). fn
+// returning false prunes the subtree.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves the *types.Func a call invokes (method or
+// package-level), or nil for builtins, conversions, and indirect calls
+// through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call resolves to pkgPath.name (any name
+// when name is empty).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	return name == "" || f.Name() == name
+}
+
+// hasWriteMethod reports whether t (or *t) has a Write([]byte) (int,
+// error) method — the io.Writer shape shared by strings.Builder,
+// bytes.Buffer, hash.Hash, and every streaming encoder the repo feeds
+// ordered bytes into.
+func hasWriteMethod(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Write")
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	s, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// namedPath returns "pkgpath.Name" for a named type, or "".
+func namedPath(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}

@@ -43,9 +43,10 @@ package scan
 
 import (
 	"context"
-	"fmt"
 	"reflect"
 	"slices"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -107,11 +108,14 @@ type baseline struct {
 	// strat and stratKey identify the strategy the results were
 	// optimized with: strat for the fast identity compare (the Scanner
 	// passes the same interface value every block), stratKey — the
-	// dereferenced value rendering — for callers constructing a fresh
-	// strategy object per scan.
-	strat    strategy.Strategy
-	stratKey string
-	bounds   scanBounds
+	// recursive deterministic rendering — for callers constructing a
+	// fresh strategy object per scan. stratKeyOK records whether the
+	// strategy was keyable at capture; when false only the identity
+	// compare can match.
+	strat      strategy.Strategy
+	stratKey   string
+	stratKeyOK bool
+	bounds     scanBounds
 	// meta is the canonical pool set's topology identity at capture.
 	meta []poolMeta
 	// reserves[i] holds {Reserve0, Reserve1} of canonical pool i at the
@@ -196,22 +200,123 @@ func (st *DeltaState) putScratch(scr *scratch) {
 	st.mu.Unlock()
 }
 
-// strategyKey renders a strategy's identity: its name plus the %#v
-// rendering of its *value*, dereferencing pointers first. Callers that
-// construct `&ConvexStrategy{...}` fresh every block therefore get the
-// same key every block — rendering the pointer itself would bake the
-// allocation address into the key and silently force a full scan per
-// block. Parameterized strategies sharing a name (TraditionalStrategy
-// with different Start tokens) still get distinct keys.
-func strategyKey(s strategy.Strategy) string {
-	v := reflect.ValueOf(s)
-	for v.Kind() == reflect.Pointer && !v.IsNil() {
-		v = v.Elem()
+// maxKeyDepth bounds the recursive strategy-key renderer. Real
+// strategies are one or two levels of config structs; anything deeper
+// (or self-referential) is declared unkeyable rather than risking an
+// unbounded walk.
+const maxKeyDepth = 8
+
+// strategyKey renders a strategy's identity deterministically: its name
+// plus a recursive rendering of its configuration value that follows
+// pointers at *every* level, so two separately allocated strategies
+// with equal parameters always produce equal keys. The predecessor of
+// this function formatted the value with %#v after dereferencing only
+// the top level — a strategy with a *nested* pointer field still
+// rendered that field as an address, and a caller constructing the
+// strategy fresh each block silently forced a full scan every block
+// (the PR-4 deltaKey bug, one level down; arblint's pointerfmt analyzer
+// now rejects the old shape outright).
+//
+// ok=false means the strategy is not deterministically keyable (it
+// carries a map, channel, function, or unsafe field, or nests deeper
+// than maxKeyDepth). Unkeyable strategies still ride the delta path
+// when the caller passes the same Strategy value every scan (interface
+// identity match in usable); a fresh-constructed unkeyable strategy
+// falls back to full scans, which is the safe direction.
+func strategyKey(s strategy.Strategy) (key string, ok bool) {
+	var b strings.Builder
+	b.WriteString(s.Name())
+	b.WriteByte('|')
+	if !appendKeyValue(&b, reflect.ValueOf(s), 0) {
+		return "", false
 	}
-	if v.IsValid() && v.CanInterface() {
-		return fmt.Sprintf("%s|%#v", s.Name(), v.Interface())
+	return b.String(), true
+}
+
+// appendKeyValue renders v into b, returning false when v (or anything
+// it reaches) has no deterministic rendering. Pointers and interfaces
+// are followed, never printed: no machine address can reach the key.
+func appendKeyValue(b *strings.Builder, v reflect.Value, depth int) bool {
+	if depth > maxKeyDepth {
+		return false
 	}
-	return fmt.Sprintf("%s|%#v", s.Name(), s)
+	if !v.IsValid() {
+		b.WriteString("nil")
+		return true
+	}
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return true
+		}
+		// Transparent dereference: a strategy held by pointer and the
+		// same strategy held by value are the same configuration.
+		return appendKeyValue(b, v.Elem(), depth+1)
+	case reflect.Interface:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return true
+		}
+		// The dynamic type is part of the identity (two strategies may
+		// hold different implementations with equal field sets).
+		b.WriteString(v.Elem().Type().String())
+		b.WriteByte(':')
+		return appendKeyValue(b, v.Elem(), depth+1)
+	case reflect.Struct:
+		t := v.Type()
+		b.WriteString(t.String())
+		b.WriteByte('{')
+		for i := 0; i < t.NumField(); i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(t.Field(i).Name)
+			b.WriteByte(':')
+			if !appendKeyValue(b, v.Field(i), depth+1) {
+				return false
+			}
+		}
+		b.WriteByte('}')
+		return true
+	case reflect.Slice:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return true
+		}
+		fallthrough
+	case reflect.Array:
+		b.WriteByte('[')
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			if !appendKeyValue(b, v.Index(i), depth+1) {
+				return false
+			}
+		}
+		b.WriteByte(']')
+		return true
+	case reflect.Bool:
+		b.WriteString(strconv.FormatBool(v.Bool()))
+		return true
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+		return true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		b.WriteString(strconv.FormatUint(v.Uint(), 10))
+		return true
+	case reflect.Float32, reflect.Float64:
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+		return true
+	case reflect.String:
+		b.WriteString(strconv.Quote(v.String()))
+		return true
+	default:
+		// Map (nondeterministic iteration), chan, func, complex, unsafe:
+		// no deterministic identity.
+		return false
+	}
 }
 
 // comparableValue reports whether the dynamic type of s supports ==.
@@ -233,8 +338,14 @@ func (b *baseline) usable(pools []*amm.Pool, cfg Config) bool {
 	if b.strat != nil && comparableValue(b.strat) && comparableValue(cfg.Strategy) {
 		same = b.strat == cfg.Strategy
 	}
-	if !same && strategyKey(cfg.Strategy) != b.stratKey {
-		return false
+	if !same {
+		if !b.stratKeyOK {
+			return false
+		}
+		key, ok := strategyKey(cfg.Strategy)
+		if !ok || key != b.stratKey {
+			return false
+		}
 	}
 	for i, p := range pools {
 		m := &b.meta[i]
@@ -276,6 +387,9 @@ type scratch struct {
 	all      []Result
 	tokenSet map[string]struct{}
 	symbols  []string
+	// det is the report-assembly view of the scan, rebuilt in place each
+	// block so the steady-state path does not heap-allocate a detection.
+	det detection
 }
 
 // growSlice returns s resized to n, reallocating only when capacity is
@@ -332,11 +446,19 @@ func (s *scratch) reset(nPools, nCycles, nShards int) {
 // RunDelta falls back to a full scan (capturing fresh state) whenever st
 // has no usable baseline: the first scan, a changed topology, changed
 // enumeration bounds or shard count, or a changed strategy.
+//
+// RunDelta is the steady-state per-block path, pinned to a ~7-alloc
+// budget (TestDeltaScanAllocBudget, TestTelemetryScanAllocs). Every
+// deliberate allocation below carries an //arblint:ignore with its
+// reason; anything new must either ride the scratch arena or justify
+// itself the same way.
+//
+//arblint:hotpath
 func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices source.PriceSource, cfg Config, st *DeltaState) (Report, error) {
 	cfg = cfg.withDefaults()
 	pools = Canonicalize(pools)
 	if len(pools) == 0 {
-		return Report{}, fmt.Errorf("scan: no pools to scan")
+		return Report{}, errNoPools
 	}
 
 	base, ok := st.snapshot()
@@ -414,6 +536,7 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 	if n := len(scr.dirtyShards); n > 0 {
 		scr.shardErrs = growSlice(scr.shardErrs, n)
 		clear(scr.shardErrs)
+		//arblint:ignore hotpath dirty-shard fan-out only: clean steady-state scans never reach this branch, and the capture is one closure per dirty scan
 		forEachIndex(ctx, cfg.Workers, cfg.Parallelism, n, func(k int) bool {
 			s := scr.dirtyShards[k]
 			sb := cloneShardBase(base.shards[s])
@@ -595,8 +718,10 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 		}
 	}
 
-	d := &detection{graph: g, top: top, loops: scr.loops, prices: pm, cacheHit: true}
-	rep, err := assembleReport(d, cfg, scr.all, len(scr.jobs), len(scr.loops)-len(scr.jobs))
+	// assembleReport only reads the detection within the call, so the
+	// scratch arena carries it across blocks instead of the heap.
+	scr.det = detection{graph: g, top: top, loops: scr.loops, prices: pm, cacheHit: true}
+	rep, err := assembleReport(&scr.det, cfg, scr.all, len(scr.jobs), len(scr.loops)-len(scr.jobs))
 	if err != nil {
 		return Report{}, err
 	}
@@ -683,16 +808,18 @@ func runCapture(ctx context.Context, pools []*amm.Pool, prices source.PriceSourc
 	for i, p := range pools {
 		reserves[i] = [2]float64{p.Reserve0, p.Reserve1}
 	}
+	key, keyOK := strategyKey(cfg.Strategy)
 	st.commitBase(baseline{
-		top:      d.top,
-		plan:     plan,
-		strat:    cfg.Strategy,
-		stratKey: strategyKey(cfg.Strategy),
-		bounds:   boundsOf(cfg),
-		meta:     meta,
-		reserves: reserves,
-		prices:   d.prices,
-		shards:   splitCapture(plan, d.orient, loopCycle, all),
+		top:        d.top,
+		plan:       plan,
+		strat:      cfg.Strategy,
+		stratKey:   key,
+		stratKeyOK: keyOK,
+		bounds:     boundsOf(cfg),
+		meta:       meta,
+		reserves:   reserves,
+		prices:     d.prices,
+		shards:     splitCapture(plan, d.orient, loopCycle, all),
 	}, plan.n)
 	rep.ShardsScanned = plan.n
 	if m != nil {

@@ -18,6 +18,7 @@ package scan
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -32,6 +33,10 @@ import (
 	"arbloop/internal/source"
 	"arbloop/internal/strategy"
 )
+
+// errNoPools is preallocated: it is returned from the hot per-block
+// path (RunDelta), which must not construct errors per call.
+var errNoPools = errors.New("scan: no pools to scan")
 
 // LoopFromDirected converts a detected directed cycle into a strategy
 // loop, resolving pools and token keys through the graph.
@@ -255,7 +260,7 @@ func enumerateTopology(pools []*amm.Pool, cfg Config) (*graph.Graph, *topology, 
 // canonical.
 func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg Config) (*detection, error) {
 	if len(pools) == 0 {
-		return nil, fmt.Errorf("scan: no pools to scan")
+		return nil, errNoPools
 	}
 	m := cfg.Metrics
 	var t0 time.Time

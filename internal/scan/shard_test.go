@@ -3,6 +3,7 @@ package scan
 import (
 	"context"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"arbloop/internal/amm"
@@ -202,17 +203,116 @@ func TestRunDeltaShardCountChangeFallsBack(t *testing.T) {
 // address into the baseline key, so callers constructing
 // &ConvexStrategy{...} per block silently got a full scan every block.
 func TestStrategyKeyDereferencesPointers(t *testing.T) {
-	if got, want := strategyKey(&strategy.ConvexStrategy{}), strategyKey(strategy.ConvexStrategy{}); got != want {
+	got := mustKey(t, &strategy.ConvexStrategy{})
+	want := mustKey(t, strategy.ConvexStrategy{})
+	if got != want {
 		t.Errorf("pointer key %q != value key %q", got, want)
 	}
-	a := strategyKey(&strategy.ConvexStrategy{})
-	b := strategyKey(&strategy.ConvexStrategy{})
+	a := mustKey(t, &strategy.ConvexStrategy{})
+	b := mustKey(t, &strategy.ConvexStrategy{})
 	if a != b {
 		t.Errorf("two fresh pointers render different keys:\n%q\n%q", a, b)
 	}
 	// Parameterized strategies sharing a name must still differ.
-	if strategyKey(strategy.TraditionalStrategy{}) == strategyKey(strategy.TraditionalStrategy{Start: "WETH"}) {
+	if mustKey(t, strategy.TraditionalStrategy{}) == mustKey(t, strategy.TraditionalStrategy{Start: "WETH"}) {
 		t.Error("different Start parameters share a key")
+	}
+}
+
+func mustKey(t *testing.T, s strategy.Strategy) string {
+	t.Helper()
+	key, ok := strategyKey(s)
+	if !ok {
+		t.Fatalf("strategyKey(%T) not keyable", s)
+	}
+	return key
+}
+
+// nestedPtrStrategy has a pointer field one level down — the shape the
+// PR-4 fix still mishandled: dereferencing only the top level left %#v
+// to render Inner as an address.
+type nestedPtrStrategy struct {
+	Inner *nestedParams
+}
+
+type nestedParams struct {
+	Start string
+	Fee   float64
+}
+
+func (nestedPtrStrategy) Name() string { return "nested-ptr-test" }
+
+func (s nestedPtrStrategy) Optimize(ctx context.Context, l *strategy.Loop, prices strategy.PriceMap) (strategy.Result, error) {
+	return strategy.MaxMaxStrategy{}.Optimize(ctx, l, prices)
+}
+
+// unkeyableStrategy carries a map field: no deterministic rendering
+// exists, so strategyKey must reject it rather than guess.
+type unkeyableStrategy struct {
+	Overrides map[string]float64
+}
+
+func (unkeyableStrategy) Name() string { return "unkeyable-test" }
+
+func (s unkeyableStrategy) Optimize(ctx context.Context, l *strategy.Loop, prices strategy.PriceMap) (strategy.Result, error) {
+	return strategy.MaxMaxStrategy{}.Optimize(ctx, l, prices)
+}
+
+// TestStrategyKeyNestedPointerFields is the regression test for the
+// second-order deltaKey bug: strategies whose config nests pointers
+// must key by the pointed-to values, never by addresses.
+func TestStrategyKeyNestedPointerFields(t *testing.T) {
+	a := mustKey(t, nestedPtrStrategy{Inner: &nestedParams{Start: "WETH", Fee: 0.003}})
+	b := mustKey(t, nestedPtrStrategy{Inner: &nestedParams{Start: "WETH", Fee: 0.003}})
+	if a != b {
+		t.Errorf("equal nested configs render different keys:\n%q\n%q", a, b)
+	}
+	if strings.Contains(a, "0x") {
+		t.Errorf("key renders a machine address: %q", a)
+	}
+	if a == mustKey(t, nestedPtrStrategy{Inner: &nestedParams{Start: "DAI", Fee: 0.003}}) {
+		t.Error("different nested parameters share a key")
+	}
+	if a == mustKey(t, nestedPtrStrategy{}) {
+		t.Error("nil and non-nil nested pointers share a key")
+	}
+}
+
+// TestStrategyKeyUnkeyableFallsBackToFullScans: a strategy with no
+// deterministic rendering is rejected by strategyKey, and a fresh
+// construction per scan therefore runs full scans (identity matching
+// still keeps one long-lived value on the delta path).
+func TestStrategyKeyUnkeyableFallsBackToFullScans(t *testing.T) {
+	if _, ok := strategyKey(unkeyableStrategy{Overrides: map[string]float64{"WETH": 1}}); ok {
+		t.Fatal("map-carrying strategy reported keyable")
+	}
+
+	pools, prices := deltaMarket(t)
+	src := cex.NewStatic(prices)
+	ctx := context.Background()
+
+	// Fresh unkeyable value per scan: every scan is a full scan.
+	st := &DeltaState{}
+	for i := 0; i < 2; i++ {
+		if _, err := RunDelta(ctx, pools, nil, src, Config{Strategy: unkeyableStrategy{Overrides: map[string]float64{}}}, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := st.Stats(); s.FullScans != 2 || s.DeltaScans != 0 {
+		t.Errorf("fresh unkeyable strategy: stats = %+v, want 2 full scans", s)
+	}
+
+	// The same pointer value every scan: identity match keeps the delta
+	// path engaged even though the strategy is unkeyable.
+	st2 := &DeltaState{}
+	same := &unkeyableStrategy{Overrides: map[string]float64{}}
+	for i := 0; i < 2; i++ {
+		if _, err := RunDelta(ctx, pools, nil, src, Config{Strategy: same}, st2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := st2.Stats(); s.FullScans != 1 || s.DeltaScans != 1 {
+		t.Errorf("identity-matched unkeyable strategy: stats = %+v, want 1 full + 1 delta", s)
 	}
 }
 

@@ -62,8 +62,8 @@ type Metrics struct {
 	// scanSeq sequences delta scans for stage-timing sampling (see
 	// StageSample and timedScan).
 	scanSeq atomic.Uint64
-	pools        atomic.Pointer[poolDirtiness]
-	shards       atomic.Pointer[shardWakeups]
+	pools   atomic.Pointer[poolDirtiness]
+	shards  atomic.Pointer[shardWakeups]
 }
 
 // poolDirtiness is the per-pool EMA vector for one captured pool set,

@@ -29,7 +29,11 @@ const DefaultPrimeSamples = 8
 // Observe and Value are safe for concurrent use and allocation-free; an
 // EMA embeds its own mutex, so slices of EMAs (one per pool, one per
 // loop) update independently. The zero value is unusable — construct
-// with Init or NewEMA, which set the time constant.
+// with Init or NewEMA, which set the time constant. An EMA embeds a
+// mutex and is shared by address; never copy one (enforced by arblint's
+// nocopy analyzer).
+//
+//arblint:nocopy
 type EMA struct {
 	mu    sync.Mutex
 	tau   float64 // time constant, seconds

@@ -27,6 +27,12 @@ const NumBuckets = 40
 // buckets — each counter is read atomically, so totals can be off by
 // the handful of observations racing the read, which is the standard
 // monitoring trade and never corrupts a bucket.
+//
+// Histograms are shared by address; a by-value copy forks the buckets
+// (use Snapshot for a value view). Enforced by arblint's nocopy
+// analyzer:
+//
+//arblint:nocopy
 type Histogram struct {
 	buckets [NumBuckets]atomic.Uint64
 	sum     atomic.Int64 // total observed nanoseconds
@@ -51,6 +57,10 @@ func BucketBound(i int) time.Duration {
 }
 
 // Observe records one duration. Negative durations count as zero.
+// Runs on every scan/stage completion; wait-free and allocation-free
+// (checked by arblint's hotpath analyzer).
+//
+//arblint:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	ns := int64(d)
 	if ns < 0 {

@@ -29,6 +29,12 @@ import (
 // false-share: two cores bumping adjacent counters would otherwise
 // bounce one line between them, which is exactly the per-shard wake-up
 // counting pattern the scan layer uses. The zero value is ready to use.
+//
+// Counters are shared by address between writers and the exposition
+// side; copying one forks its state. Enforced by arblint's nocopy
+// analyzer:
+//
+//arblint:nocopy
 type Counter struct {
 	v atomic.Uint64
 	_ [56]byte // pad to 64 bytes: one counter per cache line
@@ -44,7 +50,9 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
 // Gauge is a settable int64 level (queue depth, active connections).
-// The zero value is ready to use.
+// The zero value is ready to use. Shared by address; never copy.
+//
+//arblint:nocopy
 type Gauge struct {
 	v atomic.Int64
 	_ [56]byte
@@ -61,6 +69,9 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // FloatGauge is a settable float64 level, stored as IEEE-754 bits behind
 // one atomic word so Set/Load never tear. The zero value reads 0.
+// Shared by address; never copy.
+//
+//arblint:nocopy
 type FloatGauge struct {
 	bits atomic.Uint64
 	_    [56]byte
