@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-go bench-convex bench-delta bench-shard bench-server bench-telemetry fuzz clean
+.PHONY: all build test race vet lint bench bench-go bench-convex bench-delta bench-shard bench-server bench-telemetry bench-faults chaos fuzz clean
 
 all: build vet lint test
 
@@ -62,6 +62,18 @@ bench-telemetry:
 # CI-cheap; its job is to prove the fast path compiles and stays engaged.
 bench-convex:
 	$(GO) test -bench 'BenchmarkConvex(Generic|Structured|Warm)' -benchtime 20x -benchmem -run '^$$' .
+
+# Fault-layer zero-overhead guard: with chaos injection disabled, the
+# breaker closed, and panic containment armed, the steady-state delta
+# scan must hold the same 7-alloc budget as the bare pipeline.
+bench-faults:
+	$(GO) test -run TestFaultLayerDisabledAllocs -count=1 -v .
+
+# Chaos soak: the full serving pipeline under a seeded fault schedule
+# (injected errors, stalls, latency, corrupt payloads, strategy panics),
+# under the race detector. -short keeps it CI-sized.
+chaos:
+	$(GO) test -race -short -run TestChaosSoak -count=1 -v ./cmd/arbloop
 
 # Short fuzz of the AMM swap invariants (CI runs this on every PR).
 fuzz:

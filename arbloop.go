@@ -134,6 +134,14 @@ const (
 	StrategyConvexRisky = strategy.NameConvexRisky
 )
 
+// Breaker state labels as reported by BreakerState.State and the
+// /v1/healthz breakers section.
+const (
+	BreakerClosed   = source.BreakerClosed
+	BreakerOpen     = source.BreakerOpen
+	BreakerHalfOpen = source.BreakerHalfOpen
+)
+
 // Strategy registry.
 var (
 	// RegisterStrategy adds a custom strategy under its Name.
@@ -155,6 +163,18 @@ type (
 	StaticPools = source.StaticPools
 	// SnapshotSource adapts a market snapshot to PoolSource + PriceSource.
 	SnapshotSource = source.SnapshotSource
+	// FallbackPriceSource is a PriceSource that can answer from a degraded
+	// substitute (last-known-good data); scans consuming one mark their
+	// reports Degraded when the fallback path was used.
+	FallbackPriceSource = source.FallbackPriceSource
+	// PriceBreaker wraps a PriceSource with a circuit breaker and a
+	// last-known-good fallback — the serving tier's price-outage
+	// containment.
+	PriceBreaker = source.PriceBreaker
+	// BreakerState is a point-in-time PriceBreaker snapshot (healthz shape).
+	BreakerState = source.BreakerState
+	// BreakerOption configures a PriceBreaker.
+	BreakerOption = source.BreakerOption
 )
 
 var (
@@ -162,6 +182,12 @@ var (
 	FromSnapshot = source.FromSnapshot
 	// FromChain wraps chain-simulator state as a pool source.
 	FromChain = source.FromChain
+	// NewPriceBreaker wraps a PriceSource in a PriceBreaker.
+	NewPriceBreaker = source.NewPriceBreaker
+	// WithBreakerThreshold sets the consecutive-failure trip count.
+	WithBreakerThreshold = source.WithBreakerThreshold
+	// WithBreakerCooldown sets the open-state probe interval.
+	WithBreakerCooldown = source.WithBreakerCooldown
 )
 
 // Live pool feed: a Watcher turns any PoolSource into a versioned,
@@ -177,6 +203,17 @@ type (
 	PoolUpdate = feed.Update
 	// WatcherOption configures a Watcher.
 	WatcherOption = feed.Option
+	// WatcherFailureMode selects Watcher.Run's exhausted-retry behaviour.
+	WatcherFailureMode = feed.FailureMode
+)
+
+// Watcher failure modes (see WithWatcherFailureMode).
+const (
+	// FailStop tears the feed down when a refresh exhausts its retries.
+	FailStop = feed.FailStop
+	// FailDegrade absorbs exhausted retry budgets and keeps serving the
+	// last good update; /v1/healthz staleness is the alarm.
+	FailDegrade = feed.FailDegrade
 )
 
 var (
@@ -190,8 +227,17 @@ var (
 	// poll never tears down every subscription.
 	WithWatcherRetry = feed.WithRetry
 	// WithWatcherErrorHandler registers a callback for every failed
-	// refresh attempt — the feed's observability hook.
+	// refresh attempt — the feed's observability hook (quarantined pools
+	// surface here wrapped in feed.ErrQuarantined).
 	WithWatcherErrorHandler = feed.WithErrorHandler
+	// WithWatcherRefreshTimeout bounds each source poll so a hung
+	// PoolSource fails the refresh instead of wedging the feed.
+	WithWatcherRefreshTimeout = feed.WithRefreshTimeout
+	// WithWatcherFailureMode selects what Run does when a refresh exhausts
+	// its retry budget: FailStop (default) tears the feed down, FailDegrade
+	// keeps subscriptions alive and lets staleness monitoring raise the
+	// alarm instead.
+	WithWatcherFailureMode = feed.WithFailureMode
 	// TopologyFingerprint hashes a pool set's topology (IDs, token pairs,
 	// fees — not reserves), order-insensitively: pools are canonicalized
 	// by ID first, so equal fingerprints mean cached cycle enumerations

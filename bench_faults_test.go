@@ -1,0 +1,60 @@
+package arbloop_test
+
+import (
+	"context"
+	"testing"
+
+	"arbloop"
+	"arbloop/internal/faults"
+)
+
+// TestFaultLayerDisabledAllocs is the zero-overhead guard for the fault
+// containment stack: with a *disabled* chaos injector wrapping the pool
+// source, the price source behind a (closed, healthy) breaker, and the
+// per-loop panic recovery always armed, a steady-state delta scan must
+// stay inside the same 7-allocation budget as the bare pipeline. Fault
+// containment is free until a fault actually happens.
+func TestFaultLayerDisabledAllocs(t *testing.T) {
+	ctx := context.Background()
+	market, prices := newMutableMarket(t)
+
+	inj := faults.New(faults.Spec{}) // disabled: pure pass-through
+	src := inj.WrapPools(market)
+	breaker := arbloop.NewPriceBreaker(inj.WrapPrices(prices))
+
+	sc, err := arbloop.NewScanner(src, breaker,
+		arbloop.WithParallelism(1), arbloop.WithDeltaScans(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := arbloop.NewWatcher(src)
+	u, err := w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.ScanDelta(ctx, u); err != nil { // warm cache + baseline
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		rep, err := sc.ScanDelta(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Report.Degraded {
+			t.Fatal("healthy breaker produced a degraded report")
+		}
+	})
+	const budget = 7
+	if allocs > budget {
+		t.Errorf("delta scan through disabled fault layer allocates %.1f, budget %d", allocs, budget)
+	}
+	// The wrappers must have been live, not optimized out: the breaker saw
+	// every price fetch and stayed closed, and the injector delivered
+	// nothing.
+	if st := breaker.State(); st.State != arbloop.BreakerClosed || st.LastSuccessAgeSeconds < 0 {
+		t.Fatalf("breaker state = %+v, want closed with successes", st)
+	}
+	if s := inj.Stats(); s != (faults.Stats{}) {
+		t.Fatalf("disabled injector delivered faults: %+v", s)
+	}
+}

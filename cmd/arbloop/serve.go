@@ -27,6 +27,7 @@ import (
 	"arbloop"
 	"arbloop/internal/chain"
 	"arbloop/internal/distrib"
+	"arbloop/internal/faults"
 	"arbloop/internal/server"
 	"arbloop/internal/source"
 	"arbloop/internal/strategy"
@@ -60,7 +61,21 @@ func cmdServe(args []string) error {
 	maxConns := fs.Int("max-conns", 0, "max concurrent client connections (0 = unlimited); excess wait in the kernel accept queue")
 	writeTimeout := fs.Duration("write-timeout", server.DefaultWriteTimeout,
 		"per-client SSE write deadline; stalled consumers past it are evicted (0 = never)")
+	chaos := fs.String("chaos", "",
+		"dev-only fault injection on the pool and price sources: seed=N,err=P,stall=P,corrupt=P,latency=DUR@P (empty = off)")
+	stageTimeout := fs.Duration("stage-timeout", 0,
+		"per-scan price-fetch deadline; a hung price source cancels that scan, not the process (0 = unbounded)")
+	refreshTimeout := fs.Duration("refresh-timeout", 0,
+		"per-refresh pool-source deadline; a hung poll fails the refresh instead of wedging the feed (0 = unbounded)")
+	staleAfter := fs.Duration("stale-after", server.DefaultStaleAfter,
+		"report age past which /v1/healthz reports status=stale (0 = never)")
+	heartbeat := fs.Duration("heartbeat", server.DefaultHeartbeat,
+		"SSE heartbeat-comment interval on idle /v1/stream connections (0 = off)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	chaosSpec, err := faults.ParseSpec(*chaos)
+	if err != nil {
 		return err
 	}
 	snap, err := loadOrGenerate(*snapshot, *seed)
@@ -76,9 +91,20 @@ func cmdServe(args []string) error {
 		return err
 	}
 
-	src := arbloop.FromChain(state, serveScale)
-	oracle := arbloop.NewStaticOracle(filtered.PricesUSD)
-	sc, err := arbloop.NewScanner(src, oracle,
+	// Source stack, inside out: the raw backends, an optional chaos
+	// injector (dev-only fault drills), and a price breaker outermost so
+	// injected price faults exercise the same fallback path a real outage
+	// would.
+	var src arbloop.PoolSource = arbloop.FromChain(state, serveScale)
+	var prices arbloop.PriceSource = arbloop.NewStaticOracle(filtered.PricesUSD)
+	var inj *faults.Injector
+	if chaosSpec.Enabled() {
+		inj = faults.New(chaosSpec)
+		src = inj.WrapPools(src)
+		prices = inj.WrapPrices(prices)
+	}
+	breaker := arbloop.NewPriceBreaker(prices)
+	sc, err := arbloop.NewScanner(src, breaker,
 		arbloop.WithLoopLengths(*loopLen, *loopLen),
 		arbloop.WithStrategyName(*strategyName),
 		arbloop.WithParallelism(*parallel),
@@ -87,6 +113,7 @@ func cmdServe(args []string) error {
 		arbloop.WithTopK(*top),
 		arbloop.WithDeltaScans(*delta),
 		arbloop.WithShards(*shards),
+		arbloop.WithStageTimeout(*stageTimeout),
 	)
 	if err != nil {
 		return err
@@ -95,20 +122,25 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return serve(ctx, serveConfig{
-		addr:          *addr,
-		pprofAddr:     *pprofAddr,
-		mutexProfile:  *mutexProfile,
-		blockProfile:  *blockProfile,
-		state:         state,
-		scanner:       sc,
-		source:        src,
-		blockInterval: *blockInterval,
-		noise:         *noise,
-		blocks:        *blocks,
-		seed:          *seed,
-		maxConns:      *maxConns,
-		writeTimeout:  *writeTimeout,
-		logf:          func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		addr:           *addr,
+		pprofAddr:      *pprofAddr,
+		mutexProfile:   *mutexProfile,
+		blockProfile:   *blockProfile,
+		state:          state,
+		scanner:        sc,
+		source:         src,
+		breaker:        breaker,
+		injector:       inj,
+		refreshTimeout: *refreshTimeout,
+		staleAfter:     *staleAfter,
+		heartbeat:      *heartbeat,
+		blockInterval:  *blockInterval,
+		noise:          *noise,
+		blocks:         *blocks,
+		seed:           *seed,
+		maxConns:       *maxConns,
+		writeTimeout:   *writeTimeout,
+		logf:           func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 	})
 }
 
@@ -123,15 +155,27 @@ type serveConfig struct {
 	// mutexProfile (SetMutexProfileFraction) and blockProfile
 	// (SetBlockProfileRate) enable the runtime's contention profiles;
 	// 0 leaves each off.
-	mutexProfile  int
-	blockProfile  int
-	state         *chain.State
-	scanner       *arbloop.Scanner
-	source        arbloop.PoolSource
-	blockInterval time.Duration
-	noise         int
-	blocks        int
-	seed          int64
+	mutexProfile int
+	blockProfile int
+	state        *chain.State
+	scanner      *arbloop.Scanner
+	source       arbloop.PoolSource
+	// breaker, when non-nil, is the price breaker the scanner's price
+	// source is wrapped in; its state feeds the healthz breakers section.
+	breaker *arbloop.PriceBreaker
+	// injector, when non-nil, is the chaos injector wrapping the sources
+	// (-chaos flag); its counters mount on the telemetry registry.
+	injector *faults.Injector
+	// refreshTimeout bounds each feed poll; staleAfter and heartbeat tune
+	// the server's staleness reporting and SSE keep-alives (see the
+	// corresponding flags).
+	refreshTimeout time.Duration
+	staleAfter     time.Duration
+	heartbeat      time.Duration
+	blockInterval  time.Duration
+	noise          int
+	blocks         int
+	seed           int64
 	// maxConns caps concurrently accepted client connections (0 =
 	// unlimited); writeTimeout is the per-client SSE write deadline
 	// past which a stalled consumer is evicted.
@@ -154,11 +198,16 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	// Transient source failures are retried by the watcher (they reach
-	// the log through the error handler); only an exhausted retry budget
-	// is fatal below.
+	// the log through the error handler). FailDegrade absorbs even an
+	// exhausted retry budget: the feed keeps its subscriptions and the
+	// last good update stays served, while /v1/healthz degrades to
+	// status=degraded (consecutive failures) and eventually status=stale
+	// — the operator alarm that replaces tearing the process down.
 	watcher := arbloop.NewWatcher(cfg.source,
 		arbloop.WithHeightProbe(cfg.state.Height),
-		arbloop.WithWatcherErrorHandler(func(err error) { cfg.logf("feed refresh: %v", err) }))
+		arbloop.WithWatcherErrorHandler(func(err error) { cfg.logf("feed refresh: %v", err) }),
+		arbloop.WithWatcherFailureMode(arbloop.FailDegrade),
+		arbloop.WithWatcherRefreshTimeout(cfg.refreshTimeout))
 	cfg.state.OnBlock(func(int64) { watcher.Notify() })
 
 	// One tracker spans the whole connection tier: the limit listener
@@ -168,11 +217,24 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	srv := server.New(
 		server.WithConnTracker(tracker),
 		server.WithWriteTimeout(cfg.writeTimeout),
+		server.WithStaleAfter(cfg.staleAfter),
+		server.WithHeartbeat(cfg.heartbeat),
 	)
 	// /v1/healthz reports the delta engine's fast-path hit rate, shard
-	// wake-ups, and feed refresh/failure counts alongside liveness.
+	// wake-ups, feed refresh/failure counts, and dependency breaker
+	// states alongside liveness and report staleness.
 	srv.SetDeltaStatsProbe(cfg.scanner.DeltaStats)
 	srv.SetFeedStatsProbe(watcher.Stats)
+	if cfg.breaker != nil {
+		b := cfg.breaker
+		srv.SetBreakerStatsProbe(func() map[string]arbloop.BreakerState {
+			return map[string]arbloop.BreakerState{"prices": b.State()}
+		})
+		b.RegisterMetrics(srv.Telemetry())
+	}
+	if cfg.injector != nil {
+		cfg.injector.RegisterMetrics(srv.Telemetry())
+	}
 	// Every layer's metrics mount into the server registry behind
 	// GET /v1/metrics: the scan engine's stage histograms and dirtiness
 	// EMAs, the feed's retry counters, and the convex solver's
@@ -224,9 +286,10 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	}
 
 	// Feed loop: every Notify (one per sealed block, plus the priming one
-	// below) becomes one versioned pool update. A feed error is fatal —
-	// without updates every served report is a lie — so it cancels the
-	// service.
+	// below) becomes one versioned pool update. Under FailDegrade, Run
+	// absorbs refresh failures (healthz staleness is the alarm), so an
+	// error here means the feed itself died — that still cancels the
+	// service rather than serving an ever-staler report as healthy.
 	go rtpprof.Do(ctx, rtpprof.Labels("loop", "feed"), func(ctx context.Context) {
 		if err := watcher.Run(ctx, 0); err != nil {
 			errc <- fmt.Errorf("feed: %w", err)

@@ -252,10 +252,11 @@ func (badSource) Pools(context.Context) ([]*amm.Pool, error) {
 	return nil, errors.New("rpc down")
 }
 
-// TestServeFeedFailureShutsDown: a fatal feed error must tear the whole
-// service down (and surface the error), not leave HTTP serving an
-// ever-staler report.
-func TestServeFeedFailureShutsDown(t *testing.T) {
+// TestServeFeedFailureDegrades: a dead pool source must not tear the
+// service down. The feed absorbs the exhausted retry budget (FailDegrade),
+// HTTP keeps answering, and /v1/healthz carries the rising feed failure
+// counters as the operator alarm — then a clean shutdown still works.
+func TestServeFeedFailureDegrades(t *testing.T) {
 	state := chain.NewState(0)
 	if err := state.AddPool("p1", "X", "Y", big.NewInt(1_000_000), big.NewInt(1_000_000), 30); err != nil {
 		t.Fatal(err)
@@ -266,6 +267,7 @@ func TestServeFeedFailureShutsDown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
 		done <- serve(ctx, serveConfig{
@@ -274,14 +276,59 @@ func TestServeFeedFailureShutsDown(t *testing.T) {
 			scanner:       sc,
 			source:        badSource{},
 			blockInterval: time.Hour,
+			ready:         ready,
 		})
 	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never came up")
+	}
+
+	// The feed never succeeds: healthz must stay answerable, report the
+	// failures, and never publish a report (status stays "starting").
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h server.Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if h.Feed != nil && h.Feed.Exhausted > 0 {
+			if h.Status != "starting" {
+				t.Errorf("status = %q, want starting (no report ever published)", h.Status)
+			}
+			if h.Feed.ConsecutiveFailures == 0 {
+				t.Errorf("feed = %+v, want consecutive failures > 0", h.Feed)
+			}
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve died on feed failure: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("feed failures never surfaced: %+v", h.Feed)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	cancel()
 	select {
 	case err := <-done:
-		if err == nil {
-			t.Error("feed failure did not surface from serve")
+		if err != nil {
+			t.Errorf("serve returned %v", err)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("serve kept running after fatal feed failure")
+		t.Fatal("serve did not shut down")
 	}
 }

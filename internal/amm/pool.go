@@ -26,6 +26,7 @@ const DefaultFee = 0.003
 // Errors shared by the analytic pool operations.
 var (
 	ErrNonPositiveReserve = errors.New("amm: reserves must be positive")
+	ErrNotFinite          = errors.New("amm: reserve must be finite")
 	ErrInvalidFee         = errors.New("amm: fee must be in [0, 1)")
 	ErrNegativeAmount     = errors.New("amm: amount must be non-negative")
 	ErrInsufficientOutput = errors.New("amm: requested output exceeds reserve")
@@ -50,23 +51,42 @@ type Pool struct {
 
 // NewPool validates and builds an analytic pool.
 func NewPool(id, token0, token1 string, reserve0, reserve1, fee float64) (*Pool, error) {
-	if !(reserve0 > 0) || !(reserve1 > 0) || math.IsInf(reserve0, 0) || math.IsInf(reserve1, 0) {
-		return nil, fmt.Errorf("%w: got (%g, %g)", ErrNonPositiveReserve, reserve0, reserve1)
-	}
-	if fee < 0 || fee >= 1 || math.IsNaN(fee) {
-		return nil, fmt.Errorf("%w: got %g", ErrInvalidFee, fee)
-	}
-	if token0 == token1 {
-		return nil, fmt.Errorf("amm: pool tokens must differ, both %q", token0)
-	}
-	return &Pool{
+	p := &Pool{
 		ID:       id,
 		Token0:   token0,
 		Token1:   token1,
 		Reserve0: reserve0,
 		Reserve1: reserve1,
 		Fee:      fee,
-	}, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks the pool's fields against the CPMM domain: finite
+// strictly-positive reserves, a fee in [0, 1), and distinct tokens. It is
+// the single choke point for pool-shaped data entering the pipeline —
+// NewPool routes through it at construction, and the feed boundary
+// (feed.Watcher) re-applies it on ingest so a source handing back
+// directly-built (or corrupted) Pool structs cannot smuggle NaN into the
+// cyclic-KKT solver. Errors unwrap to the typed amm errors
+// (ErrNotFinite, ErrNonPositiveReserve, ErrInvalidFee).
+func (p *Pool) Validate() error {
+	if math.IsNaN(p.Reserve0) || math.IsNaN(p.Reserve1) || math.IsInf(p.Reserve0, 0) || math.IsInf(p.Reserve1, 0) {
+		return fmt.Errorf("%w: got (%g, %g)", ErrNotFinite, p.Reserve0, p.Reserve1)
+	}
+	if !(p.Reserve0 > 0) || !(p.Reserve1 > 0) {
+		return fmt.Errorf("%w: got (%g, %g)", ErrNonPositiveReserve, p.Reserve0, p.Reserve1)
+	}
+	if p.Fee < 0 || p.Fee >= 1 || math.IsNaN(p.Fee) {
+		return fmt.Errorf("%w: got %g", ErrInvalidFee, p.Fee)
+	}
+	if p.Token0 == p.Token1 {
+		return fmt.Errorf("amm: pool tokens must differ, both %q", p.Token0)
+	}
+	return nil
 }
 
 // MustNewPool is NewPool that panics on error; for tests and literal tables.

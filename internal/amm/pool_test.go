@@ -1,6 +1,7 @@
 package amm
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -43,6 +44,35 @@ func TestNewPoolValidation(t *testing.T) {
 				t.Fatalf("NewPool() error = %v, wantErr %v", err, tt.wantErr)
 			}
 		})
+	}
+}
+
+func TestPoolValidateTypedErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		pool Pool
+		want error
+	}{
+		{name: "nan reserve0", pool: Pool{ID: "p", Token0: "X", Token1: "Y", Reserve0: math.NaN(), Reserve1: 1, Fee: 0.003}, want: ErrNotFinite},
+		{name: "nan reserve1", pool: Pool{ID: "p", Token0: "X", Token1: "Y", Reserve0: 1, Reserve1: math.NaN(), Fee: 0.003}, want: ErrNotFinite},
+		{name: "pos inf reserve", pool: Pool{ID: "p", Token0: "X", Token1: "Y", Reserve0: math.Inf(1), Reserve1: 1, Fee: 0.003}, want: ErrNotFinite},
+		{name: "neg inf reserve", pool: Pool{ID: "p", Token0: "X", Token1: "Y", Reserve0: 1, Reserve1: math.Inf(-1), Fee: 0.003}, want: ErrNotFinite},
+		{name: "negative reserve", pool: Pool{ID: "p", Token0: "X", Token1: "Y", Reserve0: -5, Reserve1: 1, Fee: 0.003}, want: ErrNonPositiveReserve},
+		{name: "zero reserve", pool: Pool{ID: "p", Token0: "X", Token1: "Y", Reserve0: 1, Reserve1: 0, Fee: 0.003}, want: ErrNonPositiveReserve},
+		{name: "nan fee", pool: Pool{ID: "p", Token0: "X", Token1: "Y", Reserve0: 1, Reserve1: 1, Fee: math.NaN()}, want: ErrInvalidFee},
+		{name: "fee one", pool: Pool{ID: "p", Token0: "X", Token1: "Y", Reserve0: 1, Reserve1: 1, Fee: 1}, want: ErrInvalidFee},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.pool.Validate()
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tt.want)
+			}
+		})
+	}
+	good := Pool{ID: "p", Token0: "X", Token1: "Y", Reserve0: 100, Reserve1: 200, Fee: 0.003}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate() on a valid pool = %v", err)
 	}
 }
 

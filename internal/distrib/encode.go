@@ -63,6 +63,9 @@ type ReportJSON struct {
 	// ShardsScanned counts the delta-engine shards rescanned for this
 	// report (0 for unsharded full scans).
 	ShardsScanned int `json:"shards_scanned"`
+	// Degraded reports that the scan behind this report ran on fallback
+	// (last-known-good) prices: best-effort results, not fresh ones.
+	Degraded bool `json:"degraded"`
 	// Results is ranked by ProfitUSD descending. It must stay the
 	// struct's last field — the frame builder's ?top=N prefix slicer
 	// depends on its encoding closing the JSON object (enforced
@@ -90,6 +93,7 @@ func Encode(rep scan.Report, version uint64, height int64) ReportJSON {
 		LoopsReoptimized: rep.LoopsReoptimized,
 		LoopsReused:      rep.LoopsReused,
 		ShardsScanned:    rep.ShardsScanned,
+		Degraded:         rep.Degraded,
 		Results:          make([]ResultJSON, 0, len(rep.Results)),
 	}
 	for _, r := range rep.Results {

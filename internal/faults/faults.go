@@ -1,0 +1,364 @@
+// Package faults is a deterministic fault-injection harness for the
+// serving pipeline's upstream dependencies. An Injector wraps a
+// source.PoolSource and/or source.PriceSource and, on a seeded schedule,
+// injects the failure modes a production feed exhibits: returned errors,
+// added latency, indefinite stalls (context-respecting — the call blocks
+// until the caller's context is cancelled, exactly like a hung RPC), and
+// corrupt payloads (NaN/negative/zero reserves, ±Inf reserve overflow,
+// duplicate pool IDs, poisoned prices).
+//
+// Determinism is the point: the same Spec seed and the same call sequence
+// produce the same fault schedule, so a chaos soak that fails is
+// re-runnable bit for bit. All randomness flows from one seeded PRNG
+// guarded by a mutex; draws happen in a fixed order per call.
+//
+// The harness is used three ways: directly from tests, as the
+// `arbloop serve -chaos <spec>` dev flag, and by the chaos soak test that
+// drives the full feed→scan→distrib→HTTP pipeline. A zero Spec disables
+// every fault and the wrappers become pure pass-throughs.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/source"
+	"arbloop/internal/telemetry"
+)
+
+// ErrInjected is the error returned by injected failures; chaos-aware
+// tests unwrap against it to tell injected faults from real bugs.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Spec is a fault schedule. Rates are per-call probabilities in [0, 1].
+type Spec struct {
+	// Seed seeds the injector's PRNG (0 is a valid, fixed seed).
+	Seed int64
+	// ErrRate is the probability a call fails with ErrInjected.
+	ErrRate float64
+	// StallRate is the probability a call blocks until its context is
+	// cancelled, returning ctx.Err().
+	StallRate float64
+	// Latency and LatencyRate add a fixed delay to a fraction of calls.
+	Latency     time.Duration
+	LatencyRate float64
+	// CorruptRate is the probability a payload is corrupted: one pool gets
+	// a NaN/negative/zero/±Inf reserve or a duplicated ID (cycling through
+	// the modes deterministically), or one price goes NaN/negative.
+	CorruptRate float64
+}
+
+// ParseSpec parses the -chaos flag grammar: comma-separated clauses
+//
+//	seed=N  err=P  stall=P  corrupt=P  latency=DUR@P
+//
+// e.g. "seed=7,err=0.05,latency=20ms@0.3,stall=0.01,corrupt=0.1".
+// Probabilities are in [0, 1]; DUR is a Go duration. An empty string is
+// the zero (disabled) Spec.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: clause %q: want key=value", clause)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: seed %q: %v", val, err)
+			}
+			spec.Seed = n
+		case "err", "stall", "corrupt":
+			p, err := parseProb(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: %s %q: %v", key, val, err)
+			}
+			switch key {
+			case "err":
+				spec.ErrRate = p
+			case "stall":
+				spec.StallRate = p
+			case "corrupt":
+				spec.CorruptRate = p
+			}
+		case "latency":
+			durStr, probStr, ok := strings.Cut(val, "@")
+			if !ok {
+				return Spec{}, fmt.Errorf("faults: latency %q: want DUR@P", val)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d <= 0 {
+				return Spec{}, fmt.Errorf("faults: latency duration %q invalid", durStr)
+			}
+			p, err := parseProb(probStr)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: latency rate %q: %v", probStr, err)
+			}
+			spec.Latency, spec.LatencyRate = d, p
+		default:
+			return Spec{}, fmt.Errorf("faults: unknown clause %q", key)
+		}
+	}
+	return spec, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %g outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool {
+	return s.ErrRate > 0 || s.StallRate > 0 || (s.LatencyRate > 0 && s.Latency > 0) || s.CorruptRate > 0
+}
+
+// Stats is a snapshot of the faults an injector has delivered.
+type Stats struct {
+	Errors      uint64 `json:"errors"`
+	Stalls      uint64 `json:"stalls"`
+	Delays      uint64 `json:"delays"`
+	Corruptions uint64 `json:"corruptions"`
+}
+
+// Injector owns the fault schedule. One Injector may wrap several sources;
+// they share the PRNG, so the combined call sequence is what must match
+// for bit-for-bit reproducibility.
+type Injector struct {
+	spec Spec
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	corruptSeq int
+
+	errs        telemetry.Counter
+	stalls      telemetry.Counter
+	delays      telemetry.Counter
+	corruptions telemetry.Counter
+}
+
+// New builds an Injector for spec.
+func New(spec Spec) *Injector {
+	return &Injector{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+}
+
+// Spec returns the injector's schedule.
+func (inj *Injector) Spec() Spec { return inj.spec }
+
+// Stats returns the faults delivered so far.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Errors:      inj.errs.Load(),
+		Stalls:      inj.stalls.Load(),
+		Delays:      inj.delays.Load(),
+		Corruptions: inj.corruptions.Load(),
+	}
+}
+
+// RegisterMetrics exposes the fault counters on reg under the
+// arbloop_faults_* family.
+func (inj *Injector) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("arbloop_faults_injected_total", `kind="error"`, "injected faults by kind", &inj.errs)
+	reg.Counter("arbloop_faults_injected_total", `kind="stall"`, "injected faults by kind", &inj.stalls)
+	reg.Counter("arbloop_faults_injected_total", `kind="delay"`, "injected faults by kind", &inj.delays)
+	reg.Counter("arbloop_faults_injected_total", `kind="corruption"`, "injected faults by kind", &inj.corruptions)
+}
+
+// decision is one call's drawn fault plan.
+type decision struct {
+	stall   bool
+	err     bool
+	delay   time.Duration
+	corrupt bool
+	mode    int     // corruption mode (see corruptPools)
+	frac    float64 // corruption victim index as a fraction of the payload
+}
+
+// decide draws this call's faults in a fixed order under the mutex so the
+// schedule is a pure function of (seed, call sequence). Disabled rates
+// draw nothing, keeping a zero Spec free of PRNG state and lock traffic
+// beyond the Enabled check.
+func (inj *Injector) decide() decision {
+	var d decision
+	if !inj.spec.Enabled() {
+		return d
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.spec.StallRate > 0 && inj.rng.Float64() < inj.spec.StallRate {
+		d.stall = true
+		return d
+	}
+	if inj.spec.ErrRate > 0 && inj.rng.Float64() < inj.spec.ErrRate {
+		d.err = true
+		return d
+	}
+	if inj.spec.LatencyRate > 0 && inj.spec.Latency > 0 && inj.rng.Float64() < inj.spec.LatencyRate {
+		d.delay = inj.spec.Latency
+	}
+	if inj.spec.CorruptRate > 0 && inj.rng.Float64() < inj.spec.CorruptRate {
+		d.corrupt = true
+		d.mode = inj.corruptSeq
+		inj.corruptSeq++
+		d.frac = inj.rng.Float64()
+	}
+	return d
+}
+
+// gate runs the pre-call faults of one decision: stalls block until ctx is
+// done, injected errors return ErrInjected, delays sleep (also
+// context-respecting). It reports whether the payload should be corrupted
+// after the wrapped call succeeds.
+func (inj *Injector) gate(ctx context.Context, d decision) (corrupt bool, err error) {
+	if d.stall {
+		inj.stalls.Inc()
+		<-ctx.Done()
+		return false, ctx.Err()
+	}
+	if d.err {
+		inj.errs.Inc()
+		return false, fmt.Errorf("%w: scheduled error", ErrInjected)
+	}
+	if d.delay > 0 {
+		inj.delays.Inc()
+		t := time.NewTimer(d.delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return false, ctx.Err()
+		case <-t.C:
+		}
+	}
+	return d.corrupt, nil
+}
+
+// WrapPools wraps src with the injector's schedule.
+func (inj *Injector) WrapPools(src source.PoolSource) source.PoolSource {
+	return &chaosPools{inj: inj, src: src}
+}
+
+// WrapPrices wraps src with the injector's schedule.
+func (inj *Injector) WrapPrices(src source.PriceSource) source.PriceSource {
+	return &chaosPrices{inj: inj, src: src}
+}
+
+type chaosPools struct {
+	inj *Injector
+	src source.PoolSource
+}
+
+var _ source.PoolSource = (*chaosPools)(nil)
+
+// Pools implements source.PoolSource.
+func (c *chaosPools) Pools(ctx context.Context) ([]*amm.Pool, error) {
+	d := c.inj.decide()
+	corrupt, err := c.inj.gate(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	pools, err := c.src.Pools(ctx)
+	if err != nil || !corrupt || len(pools) == 0 {
+		return pools, err
+	}
+	c.inj.corruptions.Inc()
+	return corruptPools(pools, d.mode, d.frac), nil
+}
+
+const corruptModesPool = 5
+
+// corruptPools returns a copy of pools with one victim corrupted.
+func corruptPools(pools []*amm.Pool, mode int, frac float64) []*amm.Pool {
+	out := make([]*amm.Pool, len(pools))
+	copy(out, pools)
+	idx := int(frac * float64(len(out)))
+	if idx >= len(out) {
+		idx = len(out) - 1
+	}
+	victim := *out[idx] // corrupt a copy; never mutate the source's pool
+	switch mode % corruptModesPool {
+	case 0:
+		victim.Reserve0 = math.NaN()
+	case 1:
+		victim.Reserve1 = -victim.Reserve1
+	case 2:
+		victim.Reserve0 = 0
+	case 3:
+		victim.Reserve1 = math.Inf(1) // reserve overflow
+	case 4:
+		victim.ID = out[(idx+1)%len(out)].ID // duplicate pool ID
+	}
+	out[idx] = &victim
+	return out
+}
+
+type chaosPrices struct {
+	inj *Injector
+	src source.PriceSource
+}
+
+var _ source.PriceSource = (*chaosPrices)(nil)
+
+// Prices implements source.PriceSource.
+func (c *chaosPrices) Prices(ctx context.Context, symbols []string) (map[string]float64, error) {
+	d := c.inj.decide()
+	corrupt, err := c.inj.gate(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.src.Prices(ctx, symbols)
+	if err != nil || !corrupt || len(m) == 0 {
+		return m, err
+	}
+	c.inj.corruptions.Inc()
+	return corruptPrices(m, symbols, d.mode, d.frac), nil
+}
+
+// corruptPrices returns a copy of m with one victim price poisoned.
+func corruptPrices(m map[string]float64, symbols []string, mode int, frac float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	victim := ""
+	if len(symbols) > 0 {
+		idx := int(frac * float64(len(symbols)))
+		if idx >= len(symbols) {
+			idx = len(symbols) - 1
+		}
+		victim = symbols[idx]
+	}
+	if _, ok := out[victim]; !ok {
+		for k := range out {
+			victim = k
+			break
+		}
+	}
+	if mode%2 == 0 {
+		out[victim] = math.NaN()
+	} else {
+		out[victim] = -math.Abs(out[victim])
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"arbloop/internal/amm"
+	"arbloop/internal/source"
+)
+
+func testPools(t *testing.T) []*amm.Pool {
+	t.Helper()
+	mk := func(id, t0, t1 string) *amm.Pool {
+		p, err := amm.NewPool(id, t0, t1, 1000, 2000, amm.DefaultFee)
+		if err != nil {
+			t.Fatalf("NewPool(%s): %v", id, err)
+		}
+		return p
+	}
+	return []*amm.Pool{
+		mk("p0", "A", "B"),
+		mk("p1", "B", "C"),
+		mk("p2", "C", "A"),
+		mk("p3", "A", "C"),
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("seed=7,err=0.05,latency=20ms@0.3,stall=0.01,corrupt=0.1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	want := Spec{Seed: 7, ErrRate: 0.05, StallRate: 0.01, Latency: 20 * time.Millisecond, LatencyRate: 0.3, CorruptRate: 0.1}
+	if spec != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", spec, want)
+	}
+	if !spec.Enabled() {
+		t.Fatal("spec should be enabled")
+	}
+
+	empty, err := ParseSpec("  ")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if empty.Enabled() {
+		t.Fatal("empty spec must be disabled")
+	}
+
+	for _, bad := range []string{
+		"err",            // no value
+		"err=2",          // probability out of range
+		"err=-0.1",       // negative probability
+		"err=NaN",        // NaN probability
+		"latency=20ms",   // missing @P
+		"latency=-5ms@1", // non-positive duration
+		"bogus=1",        // unknown clause
+		"seed=x",         // non-integer seed
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): want error, got nil", bad)
+		}
+	}
+}
+
+// Two injectors with the same seed driven through the same call sequence
+// must deliver the identical fault schedule.
+func TestInjectorDeterminism(t *testing.T) {
+	spec := Spec{Seed: 42, ErrRate: 0.3, CorruptRate: 0.4, Latency: time.Microsecond, LatencyRate: 0.2}
+	run := func() ([]bool, []string) {
+		inj := New(spec)
+		src := inj.WrapPools(source.StaticPools(testPools(t)))
+		var errsSeen []bool
+		var firstIDs []string
+		for i := 0; i < 50; i++ {
+			pools, err := src.Pools(context.Background())
+			errsSeen = append(errsSeen, err != nil)
+			if err == nil {
+				firstIDs = append(firstIDs, pools[0].ID)
+			}
+		}
+		return errsSeen, firstIDs
+	}
+	e1, id1 := run()
+	e2, id2 := run()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("call %d: error schedules diverge", i)
+		}
+	}
+	for i := range id1 {
+		if id1[i] != id2[i] {
+			t.Fatalf("call %d: corruption schedules diverge", i)
+		}
+	}
+}
+
+func TestInjectedError(t *testing.T) {
+	inj := New(Spec{ErrRate: 1})
+	src := inj.WrapPools(source.StaticPools(testPools(t)))
+	_, err := src.Pools(context.Background())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := inj.Stats().Errors; got != 1 {
+		t.Fatalf("Stats.Errors = %d, want 1", got)
+	}
+}
+
+// A stall must block until the caller's context is cancelled — exactly
+// like a hung RPC — and then return the context error.
+func TestStallRespectsContext(t *testing.T) {
+	inj := New(Spec{StallRate: 1})
+	src := inj.WrapPools(source.StaticPools(testPools(t)))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.Pools(ctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled call returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled call did not unblock on cancel")
+	}
+	if got := inj.Stats().Stalls; got != 1 {
+		t.Fatalf("Stats.Stalls = %d, want 1", got)
+	}
+}
+
+func TestLatencyAddsDelay(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	inj := New(Spec{Latency: delay, LatencyRate: 1})
+	src := inj.WrapPools(source.StaticPools(testPools(t)))
+	start := time.Now()
+	if _, err := src.Pools(context.Background()); err != nil {
+		t.Fatalf("Pools: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("call took %s, want >= %s", elapsed, delay)
+	}
+	if got := inj.Stats().Delays; got != 1 {
+		t.Fatalf("Stats.Delays = %d, want 1", got)
+	}
+}
+
+// Every corrupted payload must fail pool validation (or duplicate an ID)
+// and must never mutate the source's own backing pools.
+func TestCorruptPoolsPoisonsCopyOnly(t *testing.T) {
+	orig := testPools(t)
+	inj := New(Spec{CorruptRate: 1})
+	src := inj.WrapPools(source.StaticPools(orig))
+	sawInvalid := 0
+	for i := 0; i < 20; i++ {
+		pools, err := src.Pools(context.Background())
+		if err != nil {
+			t.Fatalf("Pools: %v", err)
+		}
+		seen := make(map[string]bool, len(pools))
+		bad := false
+		for _, p := range pools {
+			if p.Validate() != nil || seen[p.ID] {
+				bad = true
+			}
+			seen[p.ID] = true
+		}
+		if bad {
+			sawInvalid++
+		}
+	}
+	if sawInvalid != 20 {
+		t.Fatalf("corrupt=1: %d/20 payloads poisoned, want all", sawInvalid)
+	}
+	for _, p := range orig {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("source pool %s mutated: %v", p.ID, err)
+		}
+	}
+}
+
+func TestCorruptPrices(t *testing.T) {
+	base := map[string]float64{"A": 1, "B": 2, "C": 3}
+	symbols := []string{"A", "B", "C"}
+	inj := New(Spec{CorruptRate: 1})
+	src := inj.WrapPrices(pricesFunc(func(ctx context.Context, syms []string) (map[string]float64, error) {
+		out := make(map[string]float64, len(base))
+		for k, v := range base {
+			out[k] = v
+		}
+		return out, nil
+	}))
+	poisoned := 0
+	for i := 0; i < 20; i++ {
+		m, err := src.Prices(context.Background(), symbols)
+		if err != nil {
+			t.Fatalf("Prices: %v", err)
+		}
+		for _, v := range m {
+			if math.IsNaN(v) || v < 0 {
+				poisoned++
+				break
+			}
+		}
+	}
+	if poisoned != 20 {
+		t.Fatalf("corrupt=1: %d/20 price maps poisoned, want all", poisoned)
+	}
+	for k, v := range base {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("source price %s mutated: %g", k, v)
+		}
+	}
+}
+
+// A zero Spec must be a pure pass-through: same slice, no faults.
+func TestZeroSpecPassthrough(t *testing.T) {
+	pools := testPools(t)
+	inj := New(Spec{})
+	src := inj.WrapPools(source.StaticPools(pools))
+	got, err := src.Pools(context.Background())
+	if err != nil {
+		t.Fatalf("Pools: %v", err)
+	}
+	if len(got) != len(pools) {
+		t.Fatalf("len = %d, want %d", len(got), len(pools))
+	}
+	if s := inj.Stats(); s != (Stats{}) {
+		t.Fatalf("zero spec delivered faults: %+v", s)
+	}
+}
+
+type pricesFunc func(ctx context.Context, symbols []string) (map[string]float64, error)
+
+func (f pricesFunc) Prices(ctx context.Context, symbols []string) (map[string]float64, error) {
+	return f(ctx, symbols)
+}

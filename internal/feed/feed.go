@@ -21,6 +21,7 @@ package feed
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -31,8 +32,20 @@ import (
 	"arbloop/internal/telemetry"
 )
 
-// ErrClosed is returned by Refresh after Close.
-var ErrClosed = errors.New("feed: watcher closed")
+// Feed errors.
+var (
+	// ErrClosed is returned by Refresh after Close.
+	ErrClosed = errors.New("feed: watcher closed")
+	// ErrQuarantined wraps each poisoned pool rejected at the feed
+	// boundary (NaN/±Inf/non-positive reserves, invalid fee, duplicate
+	// pool ID). Delivered per pool to the WithErrorHandler callback; the
+	// underlying amm validation error is also in the chain.
+	ErrQuarantined = errors.New("feed: pool quarantined")
+	// ErrNoValidPools fails a refresh whose every pool was quarantined —
+	// publishing an empty update would tear down every loop downstream
+	// for what is really a poisoned source.
+	ErrNoValidPools = errors.New("feed: no valid pools after quarantine")
+)
 
 // SendCoalesce delivers v on a one-buffered channel with latest-wins
 // semantics: when the buffer is full the stale value is evicted and v
@@ -113,6 +126,37 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 	}
 }
 
+// WithRefreshTimeout bounds the source read inside each Refresh: a hung
+// Pools() call is cancelled after d and counted as a failed attempt
+// instead of wedging the feed (and everything subscribed to it) forever.
+// 0 (the default) disables the deadline.
+func WithRefreshTimeout(d time.Duration) Option {
+	return func(w *Watcher) { w.refreshTimeout = d }
+}
+
+// FailureMode selects what Run does when a trigger's whole retry budget
+// is spent.
+type FailureMode int
+
+const (
+	// FailStop (default) returns the final error from Run, closing the
+	// watcher and every subscription — the pre-existing behavior, right
+	// for batch pipelines where a dead feed should fail the job.
+	FailStop FailureMode = iota
+	// FailDegrade keeps Run alive: the exhausted trigger is counted
+	// (Stats.Exhausted, ConsecutiveFailures) and reported through the
+	// error handler, subscriptions stay open serving the last good
+	// update, and the loop waits for the next trigger. Serving tiers use
+	// this so a flaky upstream degrades visibly (healthz goes
+	// degraded/stale) instead of tearing the process down.
+	FailDegrade
+)
+
+// WithFailureMode selects Run's exhausted-retry policy.
+func WithFailureMode(m FailureMode) Option {
+	return func(w *Watcher) { w.failMode = m }
+}
+
 // WithErrorHandler registers a callback Run invokes on every failed
 // refresh attempt (transient or final) — the observability hook for
 // services that log feed errors. The callback runs on Run's goroutine;
@@ -134,22 +178,38 @@ type WatcherStats struct {
 	// Exhausted counts triggers whose whole retry budget failed — the
 	// fatal outcomes a Run loop surfaces to its caller.
 	Exhausted uint64 `json:"exhausted"`
+	// Quarantined counts pools rejected at the feed boundary over the
+	// watcher's lifetime (see ErrQuarantined).
+	Quarantined uint64 `json:"quarantined"`
+	// ConsecutiveFailures counts failed refresh attempts since the last
+	// success — 0 on a healthy feed, the "degraded" signal healthz keys
+	// off during an outage.
+	ConsecutiveFailures uint64 `json:"consecutive_failures"`
+	// LastSuccessAgeSeconds is the age of the last successful refresh, or
+	// -1 before the first one.
+	LastSuccessAgeSeconds float64 `json:"last_success_age_seconds"`
 }
 
 // Watcher reads a pool source on demand and fans versioned updates out to
 // subscribers. Create with NewWatcher; drive with Run (polling and/or
 // Notify triggers) or call Refresh directly. Safe for concurrent use.
 type Watcher struct {
-	src           source.PoolSource
-	height        func() int64
-	notify        chan struct{}
-	retryAttempts int
-	retryBackoff  time.Duration
-	onError       func(error)
+	src            source.PoolSource
+	height         func() int64
+	notify         chan struct{}
+	retryAttempts  int
+	retryBackoff   time.Duration
+	refreshTimeout time.Duration
+	failMode       FailureMode
+	onError        func(error)
 
 	// Lifetime counters (see WatcherStats); always on — counting one
 	// atomic add per refresh outcome costs nothing worth an option.
-	refreshes, failures, exhausted telemetry.Counter
+	refreshes, failures, exhausted, quarantined telemetry.Counter
+	// consecFails and lastSuccessNano back the degraded/staleness fields
+	// of WatcherStats.
+	consecFails     telemetry.Gauge
+	lastSuccessNano telemetry.Gauge
 
 	// refreshMu serializes whole Refresh calls — source read through
 	// publish — so a pool set read later can never be published under an
@@ -230,10 +290,26 @@ func (w *Watcher) Refresh(ctx context.Context) (Update, error) {
 	if w.height != nil {
 		height = w.height()
 	}
-	pools, err := w.src.Pools(ctx)
+	rctx := ctx
+	if w.refreshTimeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, w.refreshTimeout)
+		defer cancel()
+	}
+	pools, err := w.src.Pools(rctx)
 	if err != nil {
 		w.failures.Inc()
+		w.consecFails.Add(1)
 		return Update{}, err
+	}
+	pools, dropped := w.quarantine(pools)
+	if dropped > 0 {
+		w.quarantined.Add(uint64(dropped))
+		if len(pools) == 0 {
+			w.failures.Inc()
+			w.consecFails.Add(1)
+			return Update{}, ErrNoValidPools
+		}
 	}
 	fp := scan.Fingerprint(pools)
 
@@ -243,6 +319,8 @@ func (w *Watcher) Refresh(ctx context.Context) (Update, error) {
 		return Update{}, ErrClosed
 	}
 	w.refreshes.Inc()
+	w.consecFails.Set(0)
+	w.lastSuccessNano.Set(time.Now().UnixNano())
 	u := Update{
 		Version:         w.last.Version + 1,
 		Height:          height,
@@ -258,6 +336,45 @@ func (w *Watcher) Refresh(ctx context.Context) (Update, error) {
 		SendCoalesce(ch, u)
 	}
 	return u, nil
+}
+
+// quarantine validates every ingested pool against amm.Pool.Validate plus
+// a duplicate-ID check, dropping poisoned entries so NaN reserves or a
+// doubled pool never reach the solver. Each rejection is reported to the
+// error-handler callback wrapping ErrQuarantined. The clean path (every
+// pool valid — the steady state) returns the input slice untouched; a
+// filtered copy is built only once the first pool is dropped.
+func (w *Watcher) quarantine(pools []*amm.Pool) ([]*amm.Pool, int) {
+	seen := make(map[string]struct{}, len(pools))
+	var kept []*amm.Pool
+	dropped := 0
+	for i, p := range pools {
+		err := p.Validate()
+		if err == nil {
+			if _, dup := seen[p.ID]; dup {
+				err = errors.New("duplicate pool id")
+			}
+		}
+		if err != nil {
+			if kept == nil {
+				kept = make([]*amm.Pool, i, len(pools))
+				copy(kept, pools[:i])
+			}
+			dropped++
+			if w.onError != nil {
+				w.onError(fmt.Errorf("%w: pool %q: %w", ErrQuarantined, p.ID, err))
+			}
+			continue
+		}
+		seen[p.ID] = struct{}{}
+		if kept != nil {
+			kept = append(kept, p)
+		}
+	}
+	if kept == nil {
+		return pools, 0
+	}
+	return kept, dropped
 }
 
 // diffReserves returns the sorted IDs of pools whose reserves differ
@@ -283,11 +400,18 @@ func diffReserves(prev, cur []*amm.Pool) []string {
 // Stats returns the watcher's lifetime refresh/failure counters — the
 // probe /v1/healthz's feed section polls (server.SetFeedStatsProbe).
 func (w *Watcher) Stats() WatcherStats {
-	return WatcherStats{
-		Refreshes: w.refreshes.Load(),
-		Failures:  w.failures.Load(),
-		Exhausted: w.exhausted.Load(),
+	s := WatcherStats{
+		Refreshes:             w.refreshes.Load(),
+		Failures:              w.failures.Load(),
+		Exhausted:             w.exhausted.Load(),
+		Quarantined:           w.quarantined.Load(),
+		ConsecutiveFailures:   uint64(w.consecFails.Load()),
+		LastSuccessAgeSeconds: -1,
 	}
+	if nano := w.lastSuccessNano.Load(); nano > 0 {
+		s.LastSuccessAgeSeconds = time.Since(time.Unix(0, nano)).Seconds()
+	}
+	return s
 }
 
 // RegisterMetrics exposes the watcher's counters on reg under the
@@ -296,6 +420,9 @@ func (w *Watcher) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter("arbloop_feed_refreshes_total", "", "successful pool-source reads published as updates", &w.refreshes)
 	reg.Counter("arbloop_feed_failures_total", "", "failed refresh attempts, transient retries included", &w.failures)
 	reg.Counter("arbloop_feed_exhausted_total", "", "triggers whose whole retry budget failed", &w.exhausted)
+	reg.Counter("arbloop_feed_quarantined_total", "", "pools rejected at the feed boundary (invalid reserves/fee, duplicate ID)", &w.quarantined)
+	reg.Gauge("arbloop_feed_consecutive_failures", "", "failed refresh attempts since the last success", func() float64 { return float64(w.consecFails.Load()) })
+	reg.Gauge("arbloop_feed_last_success_age_seconds", "", "age of the last successful refresh (-1 before the first)", func() float64 { return w.Stats().LastSuccessAgeSeconds })
 }
 
 // Latest returns the most recently published update (zero Version when
@@ -323,8 +450,9 @@ func (w *Watcher) Notify() {
 // every subscription; each attempt's error also reaches the
 // WithErrorHandler callback. Run blocks until ctx is cancelled and
 // returns the final error of a trigger whose every attempt failed
-// (context cancellation returns nil). Close is called on exit, ending all
-// subscriptions.
+// (context cancellation returns nil) — unless WithFailureMode(FailDegrade)
+// is set, in which case exhausted triggers are absorbed and Run keeps
+// serving. Close is called on exit, ending all subscriptions.
 func (w *Watcher) Run(ctx context.Context, interval time.Duration) error {
 	defer w.Close()
 	var tick <-chan time.Time
@@ -343,6 +471,14 @@ func (w *Watcher) Run(ctx context.Context, interval time.Duration) error {
 		if err := w.refreshWithRetry(ctx); err != nil {
 			if ctx.Err() != nil || errors.Is(err, ErrClosed) {
 				return nil
+			}
+			if w.failMode == FailDegrade {
+				// Stay alive: subscriptions keep the last good update, the
+				// exhausted trigger is already counted, and the next
+				// trigger gets a fresh retry budget. Staleness-aware
+				// serving (healthz degraded/stale) is the alarm now, not
+				// process death.
+				continue
 			}
 			return err
 		}

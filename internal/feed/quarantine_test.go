@@ -1,0 +1,195 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arbloop/internal/amm"
+)
+
+// poisoned returns a pool built around Validate: tests corrupt fields
+// directly, the way a buggy upstream would.
+func poisoned(t *testing.T, id string, mutate func(*amm.Pool)) *amm.Pool {
+	t.Helper()
+	p := pool(t, id, "X", "Y", 100, 200)
+	mutate(p)
+	return p
+}
+
+// The feed boundary must reject poisoned pools — NaN reserves, duplicate
+// IDs — publish the surviving set, count the drops, and report each one
+// through the error handler wrapped in ErrQuarantined.
+func TestRefreshQuarantinesPoisonedPools(t *testing.T) {
+	good := pool(t, "p1", "X", "Y", 100, 200)
+	nan := poisoned(t, "p2", func(p *amm.Pool) { p.Reserve0 = math.NaN() })
+	dup := pool(t, "p1", "Y", "Z", 50, 60) // duplicate ID
+	src := &mutablePools{}
+	src.set([]*amm.Pool{good, nan, dup}, nil)
+
+	var mu sync.Mutex
+	var seen []error
+	w := NewWatcher(src, WithErrorHandler(func(err error) {
+		mu.Lock()
+		seen = append(seen, err)
+		mu.Unlock()
+	}))
+	u, err := w.Refresh(context.Background())
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if len(u.Pools) != 1 || u.Pools[0].ID != "p1" {
+		t.Fatalf("published pools = %v, want just the valid p1", u.Pools)
+	}
+	if got := w.Stats().Quarantined; got != 2 {
+		t.Fatalf("Stats.Quarantined = %d, want 2", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("error handler saw %d errors, want 2", len(seen))
+	}
+	for _, err := range seen {
+		if !errors.Is(err, ErrQuarantined) {
+			t.Errorf("handler error %v does not wrap ErrQuarantined", err)
+		}
+	}
+}
+
+// Every pool poisoned: the refresh fails with ErrNoValidPools instead of
+// publishing an empty update that would tear down all loops downstream.
+func TestRefreshAllQuarantinedFails(t *testing.T) {
+	nan := poisoned(t, "p1", func(p *amm.Pool) { p.Reserve0 = math.NaN() })
+	neg := poisoned(t, "p2", func(p *amm.Pool) { p.Reserve1 = -p.Reserve1 })
+	src := &mutablePools{}
+	src.set([]*amm.Pool{nan, neg}, nil)
+	w := NewWatcher(src)
+	if _, err := w.Refresh(context.Background()); !errors.Is(err, ErrNoValidPools) {
+		t.Fatalf("err = %v, want ErrNoValidPools", err)
+	}
+	if s := w.Stats(); s.Failures != 1 || s.ConsecutiveFailures != 1 {
+		t.Fatalf("stats = %+v, want the failure counted", s)
+	}
+}
+
+// The clean path returns the source slice untouched — no copy when no
+// pool is dropped.
+func TestQuarantineCleanPathZeroCopy(t *testing.T) {
+	pools := []*amm.Pool{pool(t, "p1", "X", "Y", 100, 200), pool(t, "p2", "Y", "Z", 10, 20)}
+	w := NewWatcher(&mutablePools{})
+	kept, dropped := w.quarantine(pools)
+	if dropped != 0 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if &kept[0] != &pools[0] {
+		t.Fatal("clean quarantine copied the slice")
+	}
+}
+
+// hangingPools wedges until its context ends.
+type hangingPools struct{ calls atomic.Int64 }
+
+func (h *hangingPools) Pools(ctx context.Context) ([]*amm.Pool, error) {
+	h.calls.Add(1)
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// WithRefreshTimeout turns a hung source poll into a bounded failure.
+func TestRefreshTimeoutBoundsHungSource(t *testing.T) {
+	src := &hangingPools{}
+	w := NewWatcher(src, WithRefreshTimeout(30*time.Millisecond))
+	start := time.Now()
+	_, err := w.Refresh(context.Background())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hung refresh took %s", elapsed)
+	}
+}
+
+// The exhausted-retry → recovery round-trip under FailDegrade: the feed
+// absorbs a full retry-budget failure (subscriptions stay open, the
+// consecutive-failure count rises), then a healed source resets the
+// counters and versions continue monotonically.
+func TestRunFailDegradeRecovery(t *testing.T) {
+	good := []*amm.Pool{pool(t, "p1", "X", "Y", 100, 200)}
+	src := &mutablePools{}
+	src.set(good, nil)
+	w := NewWatcher(src,
+		WithRetry(2, time.Millisecond),
+		WithFailureMode(FailDegrade))
+
+	ch, cancelSub := w.Subscribe()
+	defer cancelSub()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx, 0) }()
+
+	recv := func(what string) Update {
+		t.Helper()
+		select {
+		case u, ok := <-ch:
+			if !ok {
+				t.Fatalf("%s: subscription closed", what)
+			}
+			return u
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: no update", what)
+		}
+		panic("unreachable")
+	}
+
+	w.Notify()
+	u1 := recv("healthy update")
+
+	// Outage: every attempt of the next trigger fails. Run must absorb it.
+	src.set(nil, errors.New("source down"))
+	w.Notify()
+	waitFor(t, func() bool { return w.Stats().Exhausted == 1 })
+	select {
+	case err := <-done:
+		t.Fatalf("Run exited during outage: %v", err)
+	default:
+	}
+	if s := w.Stats(); s.ConsecutiveFailures == 0 {
+		t.Fatalf("stats = %+v, want consecutive failures > 0", s)
+	}
+
+	// Recovery: the next trigger succeeds, counters reset, versions grow.
+	src.set(good, nil)
+	w.Notify()
+	u2 := recv("recovery update")
+	if u2.Version <= u1.Version {
+		t.Fatalf("versions regressed: %d then %d", u1.Version, u2.Version)
+	}
+	waitFor(t, func() bool {
+		s := w.Stats()
+		return s.ConsecutiveFailures == 0 && s.LastSuccessAgeSeconds >= 0
+	})
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// waitFor polls cond until true or the deadline, failing the test on
+// timeout.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

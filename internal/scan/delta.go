@@ -638,7 +638,7 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 		scr.symbols = append(scr.symbols, tok)
 	}
 	slices.Sort(scr.symbols)
-	pm, err := fetchPriceSymbols(ctx, prices, scr.symbols)
+	pm, degraded, err := fetchPriceSymbols(ctx, prices, scr.symbols, cfg.StageTimeout)
 	if err != nil {
 		return Report{}, err
 	}
@@ -720,7 +720,7 @@ func RunDelta(ctx context.Context, pools []*amm.Pool, hint []string, prices sour
 
 	// assembleReport only reads the detection within the call, so the
 	// scratch arena carries it across blocks instead of the heap.
-	scr.det = detection{graph: g, top: top, loops: scr.loops, prices: pm, cacheHit: true}
+	scr.det = detection{graph: g, top: top, loops: scr.loops, prices: pm, cacheHit: true, degraded: degraded}
 	rep, err := assembleReport(&scr.det, cfg, scr.all, len(scr.jobs), len(scr.loops)-len(scr.jobs))
 	if err != nil {
 		return Report{}, err

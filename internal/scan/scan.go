@@ -38,6 +38,13 @@ import (
 // path (RunDelta), which must not construct errors per call.
 var errNoPools = errors.New("scan: no pools to scan")
 
+// ErrStrategyPanic wraps a panic recovered from a Strategy.Optimize (or
+// OptimizeWarm) call. The scan engine contains per-loop panics: the loop
+// is reported as failed (Report.Failed, Result.Err) and the rest of the
+// scan proceeds — a buggy custom strategy costs one loop, not the
+// process. Recovered panics are also counted in Metrics.StrategyPanics.
+var ErrStrategyPanic = errors.New("scan: strategy panicked")
+
 // LoopFromDirected converts a detected directed cycle into a strategy
 // loop, resolving pools and token keys through the graph.
 func LoopFromDirected(g *graph.Graph, d cycles.Directed) (*strategy.Loop, error) {
@@ -100,6 +107,14 @@ type Config struct {
 	// instrumentation. The writes the engine performs against it on the
 	// steady-state delta path are allocation-free.
 	Metrics *Metrics
+	// StageTimeout bounds each externally-dependent stage of one scan —
+	// today the batched CEX price fetch, the one place a scan blocks on
+	// an outside service. A hung PriceSource cancels that scan with
+	// context.DeadlineExceeded instead of wedging the block loop. 0 (the
+	// default) disables the deadline; enabling it moves the price fetch
+	// off the allocation-free fast path (context.WithTimeout allocates),
+	// so the 7-alloc delta budget is quoted with it off.
+	StageTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +182,12 @@ type Report struct {
 	// shard on a capture (full) pass through the delta engine, only the
 	// dirty ones on a delta scan, 0 for a plain unsharded Run.
 	ShardsScanned int
+	// Degraded reports that the scan's prices came from a fallback (a
+	// circuit-broken source serving last-known-good data — see
+	// source.FallbackPriceSource): the results are best-effort, not
+	// fresh. Propagated to the wire as ReportJSON's degraded field and
+	// into the /v1/healthz status.
+	Degraded bool
 	// Results is sorted by monetized profit, descending, then by Index;
 	// filtered by MinProfitUSD and truncated to TopK. Failed loops are
 	// not included (they arrive only on the stream).
@@ -183,6 +204,7 @@ type detection struct {
 	loopOf   []int  // per cycle: loop index, or -1 when not profitable
 	prices   strategy.PriceMap
 	cacheHit bool
+	degraded bool // prices came from a fallback (see Report.Degraded)
 }
 
 // Cycle orientations. At most one direction of an undirected cycle can be
@@ -311,7 +333,7 @@ func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 		m.StageOrient.Observe(now.Sub(t0))
 		t0 = now
 	}
-	d.prices, err = fetchPrices(ctx, prices, tokenSet)
+	d.prices, d.degraded, err = fetchPrices(ctx, prices, tokenSet, cfg.StageTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -323,31 +345,56 @@ func detect(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, c
 
 // fetchPrices batch-fetches CEX prices for a token set in sorted symbol
 // order.
-func fetchPrices(ctx context.Context, prices source.PriceSource, tokenSet map[string]struct{}) (strategy.PriceMap, error) {
+func fetchPrices(ctx context.Context, prices source.PriceSource, tokenSet map[string]struct{}, timeout time.Duration) (strategy.PriceMap, bool, error) {
 	if len(tokenSet) == 0 {
-		return strategy.PriceMap{}, nil
+		return strategy.PriceMap{}, false, nil
 	}
 	symbols := make([]string, 0, len(tokenSet))
 	for s := range tokenSet {
 		symbols = append(symbols, s)
 	}
 	sort.Strings(symbols)
-	return fetchPriceSymbols(ctx, prices, symbols)
+	return fetchPriceSymbols(ctx, prices, symbols, timeout)
 }
 
 // fetchPriceSymbols batch-fetches prices for an already sorted symbol
 // list — the delta path's variant, which reuses its scratch symbol slice
 // instead of building a fresh set per scan. The source must treat the
 // slice as read-only.
-func fetchPriceSymbols(ctx context.Context, prices source.PriceSource, symbols []string) (strategy.PriceMap, error) {
+//
+// This is the scan's one externally-blocking stage, so the containment
+// hooks live here: a positive timeout puts a deadline on the call
+// (Config.StageTimeout — a hung source fails this scan, not the
+// process), and a source implementing source.FallbackPriceSource may
+// answer degraded (last-known-good data), which flags the whole report
+// (Report.Degraded). The fetched map is also validated: a NaN or
+// negative price is a failed fetch, never input to the solver.
+func fetchPriceSymbols(ctx context.Context, prices source.PriceSource, symbols []string, timeout time.Duration) (strategy.PriceMap, bool, error) {
 	if len(symbols) == 0 {
-		return strategy.PriceMap{}, nil
+		return strategy.PriceMap{}, false, nil
 	}
-	fetched, err := prices.Prices(ctx, symbols)
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var (
+		fetched  map[string]float64
+		degraded bool
+		err      error
+	)
+	if fb, ok := prices.(source.FallbackPriceSource); ok {
+		fetched, degraded, err = fb.PricesFallback(ctx, symbols)
+	} else {
+		fetched, err = prices.Prices(ctx, symbols)
+	}
+	if err == nil {
+		err = source.ValidatePrices(fetched)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("scan: fetch prices: %w", err)
+		return nil, false, fmt.Errorf("scan: fetch prices: %w", err)
 	}
-	return strategy.PriceMap(fetched), nil
+	return strategy.PriceMap(fetched), degraded, nil
 }
 
 // fanOut optimizes the loops named by jobs (indices into loops) over a
@@ -372,7 +419,7 @@ func fanOut(ctx context.Context, loops []*strategy.Loop, pm strategy.PriceMap, j
 			if ctx.Err() != nil {
 				return
 			}
-			res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
+			res, err := optimizeOne(ctx, cfg.Strategy, nil, loops[i], pm, nil, cfg.Metrics)
 			if !emit(Result{Index: i, Loop: loops[i], Result: res, Err: err}) {
 				return
 			}
@@ -389,7 +436,7 @@ func fanOut(ctx context.Context, loops []*strategy.Loop, pm strategy.PriceMap, j
 			return false
 		}
 		i := jobsList[k]
-		res, err := cfg.Strategy.Optimize(ctx, loops[i], pm)
+		res, err := optimizeOne(ctx, cfg.Strategy, nil, loops[i], pm, nil, cfg.Metrics)
 		r := Result{Index: i, Loop: loops[i], Result: res, Err: err}
 		emitMu.Lock()
 		ok := stopped.Load() || emit(r)
@@ -426,14 +473,14 @@ func optimizeInto(ctx context.Context, loops []*strategy.Loop, pm strategy.Price
 			if ctx.Err() != nil {
 				return
 			}
-			res, err := optimizeOne(ctx, cfg.Strategy, warm, loops[i], pm, prevFor(prev, i))
+			res, err := optimizeOne(ctx, cfg.Strategy, warm, loops[i], pm, prevFor(prev, i), cfg.Metrics)
 			out[i] = Result{Index: i, Loop: loops[i], Result: res, Err: err}
 		}
 		return
 	}
 	forEachIndex(ctx, cfg.Workers, workers, len(jobsList), func(k int) bool {
 		i := jobsList[k]
-		res, err := optimizeOne(ctx, cfg.Strategy, warm, loops[i], pm, prevFor(prev, i))
+		res, err := optimizeOne(ctx, cfg.Strategy, warm, loops[i], pm, prevFor(prev, i), cfg.Metrics)
 		out[i] = Result{Index: i, Loop: loops[i], Result: res, Err: err}
 		return true
 	})
@@ -449,8 +496,23 @@ func prevFor(prev []*strategy.Result, i int) *strategy.Result {
 
 // optimizeOne dispatches one loop's optimization: through the strategy's
 // warm-start entry point when it has one and a previous result exists,
-// the plain Optimize otherwise.
-func optimizeOne(ctx context.Context, s strategy.Strategy, warm strategy.WarmStarter, l *strategy.Loop, pm strategy.PriceMap, prev *strategy.Result) (strategy.Result, error) {
+// the plain Optimize otherwise. A panic inside the strategy is contained
+// here — the innermost frame the engine owns, inside the pooled worker
+// goroutines, so a panicking custom strategy fails its loop
+// (ErrStrategyPanic) instead of killing a Workers goroutine and the
+// process with it. The deferred recover is open-coded by the compiler
+// (one defer, not in a loop) and allocates only on the panic path, so
+// the steady-state delta budget is unchanged with containment enabled.
+func optimizeOne(ctx context.Context, s strategy.Strategy, warm strategy.WarmStarter, l *strategy.Loop, pm strategy.PriceMap, prev *strategy.Result, m *Metrics) (res strategy.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if m != nil {
+				m.StrategyPanics.Inc()
+			}
+			res = strategy.Result{}
+			err = fmt.Errorf("%w: %v", ErrStrategyPanic, r)
+		}
+	}()
 	if warm != nil && prev != nil {
 		return warm.OptimizeWarm(ctx, l, pm, prev)
 	}
@@ -512,6 +574,9 @@ func assembleReport(d *detection, cfg Config, all []Result, reoptimized, reused 
 	if cfg.TopK > 0 && len(results) > cfg.TopK {
 		results = results[:cfg.TopK]
 	}
+	if d.degraded && cfg.Metrics != nil {
+		cfg.Metrics.DegradedScans.Inc()
+	}
 	return Report{
 		Strategy:         cfg.Strategy.Name(),
 		Parallelism:      cfg.Parallelism,
@@ -523,6 +588,7 @@ func assembleReport(d *detection, cfg Config, all []Result, reoptimized, reused 
 		TopologyCacheHit: d.cacheHit,
 		LoopsReoptimized: reoptimized,
 		LoopsReused:      reused,
+		Degraded:         d.degraded,
 		Results:          results,
 	}, nil
 }

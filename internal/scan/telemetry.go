@@ -55,6 +55,14 @@ type Metrics struct {
 	LoopsReoptimized, LoopsReused telemetry.Counter
 	// DirtyPools is the cumulative dirty-pool count across delta scans.
 	DirtyPools telemetry.Counter
+	// StrategyPanics counts panics recovered from Strategy.Optimize /
+	// OptimizeWarm calls (each one also fails its loop — see
+	// ErrStrategyPanic). A non-zero value is a strategy bug signal, not
+	// normal operation.
+	StrategyPanics telemetry.Counter
+	// DegradedScans counts scans whose prices came from a fallback
+	// (Report.Degraded true).
+	DegradedScans telemetry.Counter
 
 	// lastScanNano is the wall clock of the previous dirtiness sweep —
 	// the shared gap every pool EMA's alpha derives from.
@@ -214,6 +222,8 @@ func (m *Metrics) Register(reg *telemetry.Registry) {
 	reg.Counter("arbloop_scan_loops_total", `outcome="reoptimized"`, "per-loop outcomes: Optimize ran vs merged from capture", &m.LoopsReoptimized)
 	reg.Counter("arbloop_scan_loops_total", `outcome="reused"`, "per-loop outcomes: Optimize ran vs merged from capture", &m.LoopsReused)
 	reg.Counter("arbloop_scan_dirty_pools_total", "", "cumulative pools whose reserves moved, across delta scans", &m.DirtyPools)
+	reg.Counter("arbloop_scan_strategy_panics_total", "", "panics recovered from strategy Optimize calls (each fails its loop)", &m.StrategyPanics)
+	reg.Counter("arbloop_scan_degraded_total", "", "scans whose prices came from a fallback (report marked degraded)", &m.DegradedScans)
 	reg.GaugeVec("arbloop_pool_dirtiness_rate", "pool",
 		"EMA (tau 30s) of each pool's probability of trading between scans",
 		func(emit func(string, float64)) {

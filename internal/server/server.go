@@ -16,10 +16,12 @@
 //	                 gzip negotiation on the full report
 //	GET /v1/stream   server-sent events; one `report` event per published
 //	                 scan, with the feed version as event id so clients
-//	                 resume via Last-Event-ID. Slow consumers are evicted
-//	                 past the write deadline.
-//	GET /v1/healthz  service liveness: version, block height, uptime,
-//	                 last-scan latency, delta-engine, feed, and
+//	                 resume via Last-Event-ID. Idle streams carry periodic
+//	                 heartbeat comments (WithHeartbeat). Slow consumers
+//	                 are evicted past the write deadline.
+//	GET /v1/healthz  serving condition (ok|degraded|stale, see Health):
+//	                 version, block height, report age, uptime, last-scan
+//	                 latency, delta-engine, feed, breaker, and
 //	                 connection-tier gauges, plus a flattened telemetry
 //	                 summary
 //	GET /v1/metrics  the full telemetry registry in Prometheus text
@@ -40,6 +42,7 @@ import (
 	"arbloop/internal/distrib"
 	"arbloop/internal/feed"
 	"arbloop/internal/scan"
+	"arbloop/internal/source"
 	"arbloop/internal/telemetry"
 )
 
@@ -53,10 +56,39 @@ type Store = distrib.Store
 // a healthy client is never close).
 const DefaultWriteTimeout = 10 * time.Second
 
+// DefaultStaleAfter is the report age past which /v1/healthz degrades
+// its status to "stale": generous against a seconds-cadence block loop,
+// tight enough that a wedged feed is visible within half a minute.
+const DefaultStaleAfter = 30 * time.Second
+
+// DefaultHeartbeat is the idle interval between SSE heartbeat comments
+// on /v1/stream — frequent enough to beat common 30–60 s proxy idle
+// timeouts, cheap enough to be noise-free (a comment line, no event).
+const DefaultHeartbeat = 15 * time.Second
+
 // Health is the /v1/healthz body.
 type Health struct {
-	// Status is "ok" once a report has been published, "starting" before.
+	// Status is the service's serving condition:
+	//
+	//	"starting"  no report published yet
+	//	"ok"        latest report fresh, every dependency healthy
+	//	"degraded"  serving, but on best-effort inputs: the latest report
+	//	            ran on fallback prices, a dependency breaker is open,
+	//	            or the feed is failing refreshes
+	//	"stale"     the latest report is older than the stale-after
+	//	            threshold (WithStaleAfter) — the block loop stopped
+	//	            producing
+	//
+	// Monitors must treat unknown future values as unhealthy rather than
+	// pattern-matching "ok"/"starting" only.
 	Status string `json:"status"`
+	// LastUpdateAgeSeconds is the age of the most recently published
+	// report, or -1 before the first publish. The number behind the
+	// ok→stale transition.
+	LastUpdateAgeSeconds float64 `json:"last_update_age_seconds"`
+	// Degraded reports whether the latest published report ran on
+	// fallback (last-known-good) prices.
+	Degraded bool `json:"degraded"`
 	// Version is the feed version of the latest report.
 	Version uint64 `json:"version"`
 	// Height is the block height of the latest report.
@@ -92,6 +124,11 @@ type Health struct {
 	// failures count is the early sign of a flaky source before an
 	// exhausted retry budget takes the service down.
 	Feed *feed.WatcherStats `json:"feed,omitempty"`
+	// Breakers, when the embedder registers a probe
+	// (SetBreakerStatsProbe), reports each dependency circuit breaker's
+	// state keyed by dependency name (e.g. "prices") — any non-closed
+	// entry flips Status to degraded.
+	Breakers map[string]source.BreakerState `json:"breakers,omitempty"`
 	// Telemetry is the flattened scalar summary of the server's metric
 	// registry (counters, gauges, histogram counts and sums in seconds —
 	// labeled per-pool/per-shard series are left to /v1/metrics).
@@ -142,29 +179,40 @@ type Server struct {
 
 	scans        atomic.Uint64
 	lastScanNano atomic.Int64
+	// lastPublishNano is the wall clock of the most recent Publish — the
+	// basis of healthz's last_update_age_seconds and the ok→stale cut.
+	lastPublishNano atomic.Int64
 
 	// tracker, when set, receives slow-consumer eviction counts.
 	tracker *distrib.Tracker
 	// writeTimeout bounds one SSE event write (0 = no deadline).
 	writeTimeout time.Duration
+	// staleAfter is the report age past which status reads "stale"
+	// (0 disables staleness detection).
+	staleAfter time.Duration
+	// heartbeat is the idle interval between SSE comment lines on
+	// /v1/stream (0 disables heartbeats).
+	heartbeat time.Duration
 
-	// deltaStats / connStats / feedStats, when set, are polled per
-	// healthz request.
-	deltaStats atomic.Pointer[func() scan.DeltaStats]
-	connStats  atomic.Pointer[func() distrib.ConnStats]
-	feedStats  atomic.Pointer[func() feed.WatcherStats]
+	// deltaStats / connStats / feedStats / breakerStats, when set, are
+	// polled per healthz request.
+	deltaStats   atomic.Pointer[func() scan.DeltaStats]
+	connStats    atomic.Pointer[func() distrib.ConnStats]
+	feedStats    atomic.Pointer[func() feed.WatcherStats]
+	breakerStats atomic.Pointer[func() map[string]source.BreakerState]
 
 	// reg is the server-owned metric registry behind /v1/metrics; the
 	// distribution tier's own metrics live alongside whatever the
 	// embedder registers.
-	reg          *telemetry.Registry
-	frameBuild   telemetry.Histogram
-	reportPlain  telemetry.Counter
-	reportGzip   telemetry.Counter
-	reportTop    telemetry.Counter
-	report304    telemetry.Counter
-	sseEvents    telemetry.Counter
-	sseEvictions telemetry.Counter
+	reg           *telemetry.Registry
+	frameBuild    telemetry.Histogram
+	reportPlain   telemetry.Counter
+	reportGzip    telemetry.Counter
+	reportTop     telemetry.Counter
+	report304     telemetry.Counter
+	sseEvents     telemetry.Counter
+	sseEvictions  telemetry.Counter
+	sseHeartbeats telemetry.Counter
 }
 
 // Option configures a Server at construction.
@@ -191,6 +239,34 @@ func WithConnTracker(t *distrib.Tracker) Option {
 // DefaultWriteTimeout.
 func WithWriteTimeout(d time.Duration) Option {
 	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithStaleAfter sets the report age past which /v1/healthz reports
+// "stale" (default DefaultStaleAfter). 0 disables staleness detection —
+// status then never leaves ok/degraded once serving.
+func WithStaleAfter(d time.Duration) Option {
+	return func(s *Server) { s.staleAfter = d }
+}
+
+// WithHeartbeat sets the idle interval between SSE heartbeat comments on
+// /v1/stream (default DefaultHeartbeat). A heartbeat is a `: heartbeat`
+// comment line — invisible to EventSource consumers, but it keeps idle
+// connections distinguishable from dead upstreams and defeats proxy idle
+// timeouts. 0 disables heartbeats.
+func WithHeartbeat(d time.Duration) Option {
+	return func(s *Server) { s.heartbeat = d }
+}
+
+// SetBreakerStatsProbe registers a callback polled on every /v1/healthz
+// request to report dependency circuit-breaker states keyed by
+// dependency name (e.g. {"prices": breaker.State()}). Pass nil to
+// unregister. Safe to call at any time.
+func (s *Server) SetBreakerStatsProbe(fn func() map[string]source.BreakerState) {
+	if fn == nil {
+		s.breakerStats.Store(nil)
+		return
+	}
+	s.breakerStats.Store(&fn)
 }
 
 // SetDeltaStatsProbe registers a callback polled on every /v1/healthz
@@ -232,6 +308,8 @@ func New(opts ...Option) *Server {
 	s := &Server{
 		subs:         make(map[int]chan *distrib.Frame),
 		writeTimeout: DefaultWriteTimeout,
+		staleAfter:   DefaultStaleAfter,
+		heartbeat:    DefaultHeartbeat,
 		start:        time.Now(),
 		reg:          telemetry.NewRegistry(),
 	}
@@ -259,6 +337,19 @@ func (s *Server) registerMetrics() {
 	s.reg.Counter("arbloop_report_requests_total", `variant="not_modified"`, reqHelp, &s.report304)
 	s.reg.Counter("arbloop_sse_events_total", "", "SSE report events written to subscribers", &s.sseEvents)
 	s.reg.Counter("arbloop_sse_evictions_total", "", "SSE subscribers evicted past the write deadline", &s.sseEvictions)
+	s.reg.Counter("arbloop_sse_heartbeats_total", "", "SSE heartbeat comments written on idle streams", &s.sseHeartbeats)
+	s.reg.Gauge("arbloop_report_age_seconds", "", "age of the most recently published report (-1 before the first)",
+		func() float64 { return s.reportAge().Seconds() })
+}
+
+// reportAge returns the age of the latest published report, or -1 before
+// the first publish.
+func (s *Server) reportAge() time.Duration {
+	nano := s.lastPublishNano.Load()
+	if nano == 0 {
+		return -time.Second
+	}
+	return time.Since(time.Unix(0, nano))
 }
 
 // Telemetry returns the server-owned metric registry: the mount point
@@ -287,6 +378,7 @@ func (s *Server) Publish(r ReportJSON, elapsed time.Duration) error {
 	s.store.SetFrame(f)
 	s.scans.Add(1)
 	s.lastScanNano.Store(int64(elapsed))
+	s.lastPublishNano.Store(time.Now().UnixNano())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -388,6 +480,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	h.Set("ETag", etag)
 	h.Set("Vary", "Accept-Encoding")
 	h.Set("Cache-Control", "no-cache")
+	// Age (RFC 9111 §5.1): seconds since this report was published, so a
+	// client can judge freshness without parsing the body. Paired with
+	// the healthz stale threshold — a large Age on a 200 is the "served
+	// but stale" signal.
+	if age := s.reportAge(); age >= 0 {
+		h.Set("Age", strconv.FormatInt(int64(age.Seconds()), 10))
+	}
 	if inm := r.Header.Get("If-None-Match"); inm != "" && distrib.ETagMatches(inm, etag) {
 		s.report304.Inc()
 		w.WriteHeader(http.StatusNotModified)
@@ -430,13 +529,19 @@ func topParam(r *http.Request) (int, error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := Health{Status: "starting", Scans: s.scans.Load()}
+	h := Health{Status: "starting", Scans: s.scans.Load(), LastUpdateAgeSeconds: -1}
+	served := false
 	if f := s.store.Frame(); f != nil {
+		served = true
 		h.Status = "ok"
 		h.Version = f.Report.Version
 		h.Height = f.Report.Height
 		h.TopologyCacheHit = f.Report.TopologyCacheHit
 		h.Strategy = f.Report.Strategy
+		h.Degraded = f.Report.Degraded
+	}
+	if age := s.reportAge(); age >= 0 {
+		h.LastUpdateAgeSeconds = age.Seconds()
 	}
 	lastScan := time.Duration(s.lastScanNano.Load())
 	h.LastScanMillis = float64(lastScan) / float64(time.Millisecond)
@@ -446,6 +551,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if probe := s.feedStats.Load(); probe != nil {
 		fs := (*probe)()
 		h.Feed = &fs
+	}
+	if probe := s.breakerStats.Load(); probe != nil {
+		h.Breakers = (*probe)()
+	}
+	// Status derivation, worst condition wins: stale (report older than
+	// the threshold — the loop stopped producing) over degraded (still
+	// producing, but on fallback prices, an open breaker, or a failing
+	// feed) over ok.
+	if served {
+		switch {
+		case s.staleAfter > 0 && s.reportAge() > s.staleAfter:
+			h.Status = "stale"
+		case h.Degraded,
+			anyBreakerNotClosed(h.Breakers),
+			h.Feed != nil && h.Feed.ConsecutiveFailures > 0:
+			h.Status = "degraded"
+		}
 	}
 	if probe := s.deltaStats.Load(); probe != nil {
 		ds := (*probe)()
@@ -463,6 +585,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(h)
 }
+
+// anyBreakerNotClosed reports whether any dependency breaker is open or
+// half-open.
+func anyBreakerNotClosed(m map[string]source.BreakerState) bool {
+	for _, b := range m {
+		if b.State != source.BreakerClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// heartbeatComment is the SSE comment line written on idle streams: a
+// field-less line EventSource clients ignore, but proxies and liveness
+// checks see bytes moving.
+var heartbeatComment = []byte(": heartbeat\n\n")
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
@@ -499,8 +637,38 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return err
 	}
 
+	// writeHeartbeat pushes one comment line under the same deadline and
+	// eviction rules as a report event.
+	writeHeartbeat := func() error {
+		if s.writeTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+		_, err := w.Write(heartbeatComment)
+		if err == nil {
+			err = rc.Flush()
+			s.sseHeartbeats.Inc()
+		}
+		if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+			s.sseEvictions.Inc()
+			if s.tracker != nil {
+				s.tracker.Evict()
+			}
+		}
+		return err
+	}
+
 	ch, cancel := s.subscribe()
 	defer cancel()
+
+	// Heartbeats let a client (and any proxy between) distinguish "no
+	// opportunities published lately" from "dead upstream": with no
+	// report flowing, a comment still moves every heartbeat interval.
+	var hb <-chan time.Time
+	if s.heartbeat > 0 {
+		t := time.NewTicker(s.heartbeat)
+		defer t.Stop()
+		hb = t.C
+	}
 
 	// A fresh client sees the current report immediately instead of
 	// waiting out the rest of the block interval — unless it reconnected
@@ -515,6 +683,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-hb:
+			if err := writeHeartbeat(); err != nil {
+				return
+			}
 		case f, ok := <-ch:
 			if !ok { // server closed: end the stream
 				return

@@ -1,0 +1,251 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"arbloop/internal/telemetry"
+)
+
+// FallbackPriceSource is a PriceSource that can answer from a degraded
+// substitute (typically last-known-good data) when the live backend is
+// unavailable. The scan engine type-asserts for it: when the degraded flag
+// comes back true the scan still completes but the report is marked
+// Degraded, so serving stays live without pretending the prices are fresh.
+type FallbackPriceSource interface {
+	PriceSource
+	// PricesFallback is Prices plus a degraded flag: (m, false, nil) is a
+	// fresh answer, (m, true, nil) is a stale/substitute answer, and an
+	// error means not even a fallback was available.
+	PricesFallback(ctx context.Context, symbols []string) (map[string]float64, bool, error)
+}
+
+// Breaker errors.
+var (
+	// ErrBreakerOpen is returned when the breaker is open and no
+	// last-known-good snapshot exists to fall back to.
+	ErrBreakerOpen = errors.New("source: price breaker open")
+	// ErrInvalidPrice marks a backend answer containing a non-finite or
+	// negative price — treated as a failure, never cached or served.
+	ErrInvalidPrice = errors.New("source: invalid price")
+)
+
+// Breaker state labels as surfaced in healthz and metrics.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half_open"
+)
+
+// Default breaker tuning: trip after 3 consecutive failures, probe the
+// backend again after 10 s.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 10 * time.Second
+)
+
+// BreakerState is a point-in-time snapshot of a PriceBreaker, shaped for
+// the /v1/healthz per-dependency breakers section.
+type BreakerState struct {
+	// State is closed | open | half_open.
+	State string `json:"state"`
+	// ConsecutiveFailures counts backend failures since the last success.
+	ConsecutiveFailures uint64 `json:"consecutive_failures"`
+	// LastSuccessAgeSeconds is the age of the last fresh backend answer,
+	// or -1 before the first success.
+	LastSuccessAgeSeconds float64 `json:"last_success_age_seconds"`
+	// Trips counts closed→open transitions.
+	Trips uint64 `json:"trips"`
+	// StaleServes counts answers served from the last-known-good snapshot.
+	StaleServes uint64 `json:"stale_serves"`
+}
+
+// PriceBreaker wraps a PriceSource with a circuit breaker and a
+// last-known-good fallback. Every successful (and validated: finite,
+// non-negative) answer is retained by reference; on a backend failure the
+// retained snapshot is served instead and the answer is flagged degraded.
+// After threshold consecutive failures the breaker opens and stops calling
+// the backend entirely until cooldown elapses (half-open: the next caller
+// probes the backend once; success closes the breaker, failure re-opens
+// it). The steady-state success path costs one mutex acquisition and zero
+// allocations beyond what the backend itself allocates.
+//
+// Symbol-set caveat: the fallback snapshot answers for the symbol set it
+// was captured with. The scan engine asks for the same symbol slice every
+// scan of a given topology, so this is exact in the serving pipeline; a
+// caller varying symbols across calls may get a fallback missing some of
+// them, which the scan layer then rejects as an unknown symbol.
+type PriceBreaker struct {
+	src       PriceSource
+	threshold uint64
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	lastGood    map[string]float64
+	consecFails uint64
+	openedAt    time.Time // zero while closed
+	halfOpen    bool
+	lastSuccess time.Time
+
+	trips       telemetry.Counter
+	staleServes telemetry.Counter
+	failures    telemetry.Counter
+}
+
+var (
+	_ PriceSource         = (*PriceBreaker)(nil)
+	_ FallbackPriceSource = (*PriceBreaker)(nil)
+)
+
+// BreakerOption configures a PriceBreaker.
+type BreakerOption func(*PriceBreaker)
+
+// WithBreakerThreshold sets the consecutive-failure count that opens the
+// breaker (min 1).
+func WithBreakerThreshold(n int) BreakerOption {
+	return func(b *PriceBreaker) {
+		if n >= 1 {
+			b.threshold = uint64(n)
+		}
+	}
+}
+
+// WithBreakerCooldown sets how long an open breaker waits before probing
+// the backend again.
+func WithBreakerCooldown(d time.Duration) BreakerOption {
+	return func(b *PriceBreaker) {
+		if d > 0 {
+			b.cooldown = d
+		}
+	}
+}
+
+// NewPriceBreaker wraps src.
+func NewPriceBreaker(src PriceSource, opts ...BreakerOption) *PriceBreaker {
+	b := &PriceBreaker{
+		src:       src,
+		threshold: DefaultBreakerThreshold,
+		cooldown:  DefaultBreakerCooldown,
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Prices implements PriceSource. A fallback answer is returned as a plain
+// success — callers that care whether the answer was degraded should use
+// PricesFallback (the scan engine does).
+func (b *PriceBreaker) Prices(ctx context.Context, symbols []string) (map[string]float64, error) {
+	m, _, err := b.PricesFallback(ctx, symbols)
+	return m, err
+}
+
+// PricesFallback implements FallbackPriceSource.
+func (b *PriceBreaker) PricesFallback(ctx context.Context, symbols []string) (map[string]float64, bool, error) {
+	b.mu.Lock()
+	if !b.openedAt.IsZero() {
+		if time.Since(b.openedAt) < b.cooldown {
+			// Open: don't touch the backend; serve stale if we can.
+			m := b.lastGood
+			b.mu.Unlock()
+			if m != nil {
+				b.staleServes.Inc()
+				return m, true, nil
+			}
+			return nil, false, ErrBreakerOpen
+		}
+		// Cooldown elapsed: half-open, let this call probe the backend.
+		b.halfOpen = true
+	}
+	b.mu.Unlock()
+
+	m, err := b.src.Prices(ctx, symbols)
+	if err == nil {
+		err = ValidatePrices(m)
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.lastGood = m
+		b.consecFails = 0
+		b.openedAt = time.Time{}
+		b.halfOpen = false
+		b.lastSuccess = time.Now()
+		return m, false, nil
+	}
+	if errors.Is(err, context.Canceled) {
+		// The caller went away (shutdown, superseded scan) — not a backend
+		// failure; pass it through without charging the breaker.
+		return nil, false, err
+	}
+	b.failures.Inc()
+	b.consecFails++
+	if b.halfOpen || b.consecFails >= b.threshold {
+		if b.openedAt.IsZero() {
+			b.trips.Inc()
+		}
+		b.openedAt = time.Now()
+		b.halfOpen = false
+	}
+	if b.lastGood != nil {
+		b.staleServes.Inc()
+		return b.lastGood, true, nil
+	}
+	return nil, false, err
+}
+
+// State returns a snapshot for healthz.
+func (b *PriceBreaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BreakerState{
+		State:                 BreakerClosed,
+		ConsecutiveFailures:   b.consecFails,
+		LastSuccessAgeSeconds: -1,
+		Trips:                 b.trips.Load(),
+		StaleServes:           b.staleServes.Load(),
+	}
+	if !b.openedAt.IsZero() {
+		if time.Since(b.openedAt) < b.cooldown {
+			s.State = BreakerOpen
+		} else {
+			s.State = BreakerHalfOpen
+		}
+	}
+	if !b.lastSuccess.IsZero() {
+		s.LastSuccessAgeSeconds = time.Since(b.lastSuccess).Seconds()
+	}
+	return s
+}
+
+// RegisterMetrics exposes the breaker counters and state on reg under the
+// arbloop_price_breaker_* family.
+func (b *PriceBreaker) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("arbloop_price_breaker_trips_total", "", "price breaker closed→open transitions", &b.trips)
+	reg.Counter("arbloop_price_breaker_stale_serves_total", "", "price answers served from the last-known-good snapshot", &b.staleServes)
+	reg.Counter("arbloop_price_breaker_failures_total", "", "price backend failures observed by the breaker", &b.failures)
+	reg.Gauge("arbloop_price_breaker_open", "", "1 while the price breaker is open or half-open", func() float64 {
+		if b.State().State == BreakerClosed {
+			return 0
+		}
+		return 1
+	})
+}
+
+// ValidatePrices rejects maps containing non-finite or negative prices,
+// wrapping ErrInvalidPrice. Zero is allowed (a delisted token prices loops
+// through it at zero profit rather than poisoning the solve).
+func ValidatePrices(m map[string]float64) error {
+	for sym, p := range m {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return fmt.Errorf("%w: %q = %g", ErrInvalidPrice, sym, p)
+		}
+	}
+	return nil
+}

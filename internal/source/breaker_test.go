@@ -1,0 +1,220 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakePrices is a scriptable PriceSource: each call pops the next step.
+type fakePrices struct {
+	calls atomic.Int64
+	step  func(call int64) (map[string]float64, error)
+}
+
+func (f *fakePrices) Prices(ctx context.Context, symbols []string) (map[string]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.step(f.calls.Add(1))
+}
+
+var goodPrices = map[string]float64{"A": 1, "B": 2}
+
+func TestBreakerSuccessPassthrough(t *testing.T) {
+	src := &fakePrices{step: func(int64) (map[string]float64, error) { return goodPrices, nil }}
+	b := NewPriceBreaker(src)
+	m, degraded, err := b.PricesFallback(context.Background(), []string{"A", "B"})
+	if err != nil || degraded {
+		t.Fatalf("got (%v, %v), want fresh success", degraded, err)
+	}
+	if m["A"] != 1 {
+		t.Fatalf("m = %v", m)
+	}
+	if st := b.State(); st.State != BreakerClosed || st.ConsecutiveFailures != 0 {
+		t.Fatalf("state = %+v, want closed/0", st)
+	}
+}
+
+func TestBreakerFallsBackDegraded(t *testing.T) {
+	boom := errors.New("backend down")
+	src := &fakePrices{step: func(call int64) (map[string]float64, error) {
+		if call == 1 {
+			return goodPrices, nil
+		}
+		return nil, boom
+	}}
+	b := NewPriceBreaker(src)
+	if _, _, err := b.PricesFallback(context.Background(), nil); err != nil {
+		t.Fatalf("seed call: %v", err)
+	}
+	m, degraded, err := b.PricesFallback(context.Background(), nil)
+	if err != nil || !degraded {
+		t.Fatalf("got (%v, %v), want degraded fallback", degraded, err)
+	}
+	if m["B"] != 2 {
+		t.Fatalf("fallback lost data: %v", m)
+	}
+	if st := b.State(); st.StaleServes != 1 || st.ConsecutiveFailures != 1 {
+		t.Fatalf("state = %+v", st)
+	}
+}
+
+// No last-known-good snapshot: the backend error must propagate.
+func TestBreakerNoFallbackPropagatesError(t *testing.T) {
+	boom := errors.New("backend down")
+	src := &fakePrices{step: func(int64) (map[string]float64, error) { return nil, boom }}
+	b := NewPriceBreaker(src)
+	if _, _, err := b.PricesFallback(context.Background(), nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want backend error", err)
+	}
+}
+
+// Full trip cycle: threshold failures open the breaker (backend stops
+// being called), cooldown elapses into a half-open probe, and a probe
+// success closes it again.
+func TestBreakerTripCooldownRecovery(t *testing.T) {
+	boom := errors.New("backend down")
+	var healthy atomic.Bool
+	src := &fakePrices{step: func(call int64) (map[string]float64, error) {
+		if call == 1 || healthy.Load() {
+			return goodPrices, nil
+		}
+		return nil, boom
+	}}
+	const cooldown = 40 * time.Millisecond
+	b := NewPriceBreaker(src, WithBreakerThreshold(2), WithBreakerCooldown(cooldown))
+	ctx := context.Background()
+
+	if _, _, err := b.PricesFallback(ctx, nil); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, degraded, err := b.PricesFallback(ctx, nil); err != nil || !degraded {
+			t.Fatalf("failure %d: (%v, %v)", i, degraded, err)
+		}
+	}
+	if st := b.State(); st.State != BreakerOpen || st.Trips != 1 {
+		t.Fatalf("state after threshold = %+v, want open/1 trip", st)
+	}
+
+	// Open: the backend must not be touched.
+	before := src.calls.Load()
+	if _, degraded, err := b.PricesFallback(ctx, nil); err != nil || !degraded {
+		t.Fatalf("open serve: (%v, %v)", degraded, err)
+	}
+	if src.calls.Load() != before {
+		t.Fatal("open breaker called the backend")
+	}
+
+	// Cooldown elapses; the probe fails once (re-opening without a new
+	// closed→open trip), then the backend heals and the next probe closes
+	// the breaker.
+	time.Sleep(cooldown + 10*time.Millisecond)
+	probeCalls := src.calls.Load()
+	if _, degraded, err := b.PricesFallback(ctx, nil); err != nil || !degraded {
+		t.Fatalf("failed probe: (%v, %v)", degraded, err)
+	}
+	if src.calls.Load() != probeCalls+1 {
+		t.Fatal("half-open probe did not reach the backend")
+	}
+	if st := b.State(); st.State != BreakerOpen || st.Trips != 1 {
+		t.Fatalf("state after failed probe = %+v, want re-opened (1 trip)", st)
+	}
+
+	healthy.Store(true)
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if _, degraded, err := b.PricesFallback(ctx, nil); err != nil || degraded {
+		t.Fatalf("healing probe: (%v, %v), want fresh", degraded, err)
+	}
+	if st := b.State(); st.State != BreakerClosed || st.ConsecutiveFailures != 0 {
+		t.Fatalf("state after recovery = %+v, want closed", st)
+	}
+}
+
+// Invalid backend data (NaN price) is a failure: never cached, never
+// served fresh.
+func TestBreakerRejectsInvalidPrices(t *testing.T) {
+	src := &fakePrices{step: func(call int64) (map[string]float64, error) {
+		if call == 1 {
+			return goodPrices, nil
+		}
+		return map[string]float64{"A": math.NaN()}, nil
+	}}
+	b := NewPriceBreaker(src)
+	ctx := context.Background()
+	if _, _, err := b.PricesFallback(ctx, nil); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	m, degraded, err := b.PricesFallback(ctx, nil)
+	if err != nil || !degraded {
+		t.Fatalf("poisoned answer not deflected: (%v, %v)", degraded, err)
+	}
+	if math.IsNaN(m["A"]) {
+		t.Fatal("NaN price served")
+	}
+	// And with no snapshot, the validation error surfaces.
+	b2 := NewPriceBreaker(&fakePrices{step: func(int64) (map[string]float64, error) {
+		return map[string]float64{"A": -1}, nil
+	}})
+	if _, _, err := b2.PricesFallback(ctx, nil); !errors.Is(err, ErrInvalidPrice) {
+		t.Fatalf("err = %v, want ErrInvalidPrice", err)
+	}
+}
+
+// Caller cancellation is not a backend failure: it passes through without
+// charging the breaker or serving stale data.
+func TestBreakerIgnoresCancellation(t *testing.T) {
+	src := &fakePrices{step: func(call int64) (map[string]float64, error) { return goodPrices, nil }}
+	b := NewPriceBreaker(src)
+	if _, _, err := b.PricesFallback(context.Background(), nil); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := b.PricesFallback(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := b.State(); st.ConsecutiveFailures != 0 || st.StaleServes != 0 {
+		t.Fatalf("cancellation charged the breaker: %+v", st)
+	}
+}
+
+// The plain PriceSource face hides the degraded flag but keeps the
+// fallback behaviour.
+func TestBreakerPricesCompat(t *testing.T) {
+	boom := errors.New("down")
+	src := &fakePrices{step: func(call int64) (map[string]float64, error) {
+		if call == 1 {
+			return goodPrices, nil
+		}
+		return nil, boom
+	}}
+	b := NewPriceBreaker(src)
+	ctx := context.Background()
+	if _, err := b.Prices(ctx, nil); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	m, err := b.Prices(ctx, nil)
+	if err != nil || m["A"] != 1 {
+		t.Fatalf("fallback through Prices: (%v, %v)", m, err)
+	}
+}
+
+func TestValidatePrices(t *testing.T) {
+	if err := ValidatePrices(map[string]float64{"A": 1, "Z": 0}); err != nil {
+		t.Fatalf("valid map rejected: %v", err)
+	}
+	for name, m := range map[string]map[string]float64{
+		"nan": {"A": math.NaN()},
+		"inf": {"A": math.Inf(1)},
+		"neg": {"A": -0.5},
+	} {
+		if err := ValidatePrices(m); !errors.Is(err, ErrInvalidPrice) {
+			t.Errorf("%s: err = %v, want ErrInvalidPrice", name, err)
+		}
+	}
+}

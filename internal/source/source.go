@@ -166,6 +166,12 @@ func MirrorToChain(state *chain.State, snap *market.Snapshot, scale int64) error
 		if err != nil {
 			return fmt.Errorf("source: mirror pool %s reserve1: %w", p.ID, err)
 		}
+		// int64(NaN) and int64(±Inf) are implementation-defined in Go, so a
+		// non-finite fee must be rejected before the bps conversion, not
+		// discovered as a garbage feeBps downstream.
+		if math.IsNaN(p.Fee) || math.IsInf(p.Fee, 0) || p.Fee < 0 || p.Fee >= 1 {
+			return fmt.Errorf("source: mirror pool %s: %w: got %g", p.ID, amm.ErrInvalidFee, p.Fee)
+		}
 		feeBps := int64(math.Round(p.Fee * amm.FeeDenominator))
 		if err := state.AddPool(p.ID, p.Token0, p.Token1, r0, r1, feeBps); err != nil {
 			return fmt.Errorf("source: mirror pool %s: %w", p.ID, err)

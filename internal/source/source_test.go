@@ -2,6 +2,7 @@ package source
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/big"
 	"testing"
@@ -175,6 +176,32 @@ func TestMirrorToChainRejectsDegenerateReserves(t *testing.T) {
 		}
 		if !tc.wantFail && err != nil {
 			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+// TestMirrorToChainRejectsInvalidFee: NaN/±Inf/out-of-range fees are
+// caught at the mirror choke point with the typed amm error, before the
+// bps conversion can smuggle a garbage value into chain state.
+func TestMirrorToChainRejectsInvalidFee(t *testing.T) {
+	for name, fee := range map[string]float64{
+		"nan":     math.NaN(),
+		"pos-inf": math.Inf(1),
+		"neg-inf": math.Inf(-1),
+		"neg":     -0.003,
+		"one":     1,
+	} {
+		snap := &market.Snapshot{
+			Name:   name,
+			Tokens: []token.Token{{Symbol: "X"}, {Symbol: "Y"}},
+			Pools: []market.PoolRecord{
+				{ID: "p", Token0: "X", Token1: "Y", Reserve0: 1, Reserve1: 1, Fee: fee},
+			},
+			PricesUSD: map[string]float64{"X": 1, "Y": 1},
+		}
+		err := MirrorToChain(chain.NewState(0), snap, 1_000_000)
+		if !errors.Is(err, amm.ErrInvalidFee) {
+			t.Errorf("%s: err = %v, want amm.ErrInvalidFee", name, err)
 		}
 	}
 }

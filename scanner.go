@@ -160,6 +160,16 @@ func WithTelemetry(enabled bool) ScannerOption {
 // the registry at GET /v1/metrics).
 type ScanMetrics = scan.Metrics
 
+// WithStageTimeout bounds the price-fetch stage of every scan (default 0:
+// no bound). With a timeout set, a hung PriceSource cancels that scan with
+// context.DeadlineExceeded instead of wedging the pipeline; the next feed
+// update triggers a fresh scan. Enabling it moves the price fetch off the
+// allocation-free path (context.WithTimeout allocates), so the steady-state
+// allocation budget is quoted with it off.
+func WithStageTimeout(d time.Duration) ScannerOption {
+	return func(c *scan.Config) { c.StageTimeout = d }
+}
+
 // WithShards partitions the cycle set into n shards for the delta path
 // (default GOMAXPROCS). Each shard owns the remembered state of its
 // cycles — partitioned connected-component-aware over the pool→cycle
