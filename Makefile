@@ -71,13 +71,18 @@ bench-faults:
 
 # Chaos soak: the full serving pipeline under a seeded fault schedule
 # (injected errors, stalls, latency, corrupt payloads, strategy panics),
-# under the race detector. -short keeps it CI-sized.
+# under the race detector, plus the oplog crash-recovery soak (seeded
+# disk faults, hard truncation at arbitrary byte offsets, replay-prefix
+# and reopen-append invariants). -short keeps it CI-sized.
 chaos:
 	$(GO) test -race -short -run TestChaosSoak -count=1 -v ./cmd/arbloop
+	$(GO) test -race -short -run TestOplogCrashSoak -count=1 -v ./internal/oplog
 
-# Short fuzz of the AMM swap invariants (CI runs this on every PR).
+# Short fuzz of the AMM swap invariants and the oplog record decoder
+# (CI runs this on every PR).
 fuzz:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s ./internal/amm
+	$(GO) test -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/oplog
 
 clean:
 	$(GO) clean ./...

@@ -9,7 +9,8 @@
 //	arbloop detect   [-snapshot FILE] [-len N] [-top N]
 //	arbloop optimize [-snapshot FILE] [-len N] [-loop N]
 //	arbloop execute  [-snapshot FILE] [-len N] [-loop N]
-//	arbloop serve    [-addr HOST:PORT] [-snapshot FILE] [-len N] [-strategy NAME] [-shards N] [-pprof HOST:PORT] [-block-interval D] [-noise N] ...
+//	arbloop serve    [-addr HOST:PORT] [-snapshot FILE] [-len N] [-strategy NAME] [-shards N] [-pprof HOST:PORT] [-block-interval D] [-noise N] [-oplog DIR] ...
+//	arbloop replay   [-addr HOST:PORT] [-interval D] [-loop] DIR
 //
 // Without -snapshot the paper-calibrated synthetic market is generated in
 // memory. `scan` is the one-shot entry point: one detection pass, then
@@ -62,6 +63,8 @@ func run(args []string) error {
 		return cmdExecute(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "replay":
+		return cmdReplay(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -81,6 +84,7 @@ subcommands:
   optimize  compare Traditional/MaxPrice/MaxMax/Convex on a loop
   execute   run the best plan atomically on the chain simulator
   serve     run the live opportunity service (HTTP + SSE) over the chain simulator
+  replay    re-serve a recorded oplog directory through the distribution tier
 `, strings.Join(arbloop.StrategyNames(), ", "))
 }
 

@@ -1,0 +1,158 @@
+// The replay subcommand: re-serve a recorded oplog directory through the
+// live distribution tier. `arbloop serve -oplog DIR` records every
+// published block; replay plays that history back over the same HTTP
+// surface (/v1/report, /v1/stream, /v1/healthz), so dashboards, load
+// tests, and the paper's empirical analyses run against real recorded
+// markets instead of regenerating synthetic ones.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"arbloop/internal/oplog"
+	"arbloop/internal/server"
+)
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	interval := fs.Duration("interval", 200*time.Millisecond,
+		"publish pacing between recorded entries (0 = as fast as possible)")
+	loop := fs.Bool("loop", false, "restart from the beginning after the last entry instead of holding it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay: exactly one oplog directory argument required")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runReplay(ctx, replayConfig{
+		dir:      fs.Arg(0),
+		addr:     *addr,
+		interval: *interval,
+		loop:     *loop,
+		logf:     func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+}
+
+// replayConfig carries the assembled replay pieces; split from cmdReplay
+// so tests can run the stack on an ephemeral port without flag parsing.
+type replayConfig struct {
+	dir      string
+	addr     string
+	interval time.Duration
+	loop     bool
+	logf     func(format string, a ...any)
+	// ready, when non-nil, receives the bound listen address once the
+	// HTTP server accepts connections (tests use port 0).
+	ready chan<- string
+}
+
+// runReplay serves the recorded history until ctx is cancelled. Each
+// recorded report is re-published through the normal distribution tier —
+// one frame build per entry, SSE fan-out, healthz — paced by interval.
+// After the last entry the server keeps serving it (or, with loop, the
+// pass restarts), so a replayed service looks exactly like a live one
+// that stopped receiving blocks.
+func runReplay(ctx context.Context, cfg replayConfig) error {
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
+	}
+	// Fail fast on an empty or unreadable directory — a replay of
+	// nothing is a misconfiguration, unlike serve where an empty oplog
+	// just means a fresh start.
+	head, st, err := oplog.Tail(cfg.dir, 1)
+	if err != nil {
+		return fmt.Errorf("replay: read %s: %w", cfg.dir, err)
+	}
+	if st.Entries == 0 {
+		return fmt.Errorf("replay: no recoverable entries in %s", cfg.dir)
+	}
+	if st.Truncated {
+		cfg.logf("replay: torn tail truncated at %s+%d; serving the %d-entry durable prefix",
+			st.TruncatedSegment, st.TruncatedOffset, st.Entries)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Staleness is meaningless for recorded history: the replayed frames
+	// are as old as the recording, and holding the final frame is the
+	// intended end state — never report it stale.
+	srv := server.New(server.WithStaleAfter(0))
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("replay: listen %s: %w", cfg.addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			_ = httpSrv.Close()
+		}
+	}()
+
+	// Publisher loop: one recovery pass per iteration, publishing each
+	// entry as it decodes — the log is never held in memory at once.
+	go func() {
+		ticker := time.NewTicker(max(cfg.interval, time.Nanosecond))
+		defer ticker.Stop()
+		pass := 0
+		for {
+			published := 0
+			_, err := oplog.Replay(cfg.dir, func(e oplog.Entry) error {
+				if cfg.interval > 0 && !(pass == 0 && published == 0) {
+					select {
+					case <-ticker.C:
+					case <-ctx.Done():
+						return oplog.ErrStop
+					}
+				}
+				if ctx.Err() != nil {
+					return oplog.ErrStop
+				}
+				if err := srv.Publish(e.Report, 0); err != nil {
+					cfg.logf("replay: publish v%d failed: %v", e.Version, err)
+					return nil
+				}
+				published++
+				return nil
+			})
+			if err != nil {
+				cfg.logf("replay: pass failed: %v", err)
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			pass++
+			if !cfg.loop {
+				cfg.logf("replay: pass complete, %d entries published; holding the final report", published)
+				return
+			}
+			cfg.logf("replay: pass %d complete, %d entries published; restarting", pass, published)
+		}
+	}()
+
+	cfg.logf("replaying %s on http://%s (%d+ entries, last v%d, interval %s, loop %v)",
+		cfg.dir, ln.Addr(), st.Entries, head[0].Version, cfg.interval, cfg.loop)
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr().String()
+	}
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

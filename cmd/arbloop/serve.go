@@ -28,6 +28,7 @@ import (
 	"arbloop/internal/chain"
 	"arbloop/internal/distrib"
 	"arbloop/internal/faults"
+	"arbloop/internal/oplog"
 	"arbloop/internal/server"
 	"arbloop/internal/source"
 	"arbloop/internal/strategy"
@@ -71,10 +72,18 @@ func cmdServe(args []string) error {
 		"report age past which /v1/healthz reports status=stale (0 = never)")
 	heartbeat := fs.Duration("heartbeat", server.DefaultHeartbeat,
 		"SSE heartbeat-comment interval on idle /v1/stream connections (0 = off)")
+	oplogDir := fs.String("oplog", "",
+		"durable opportunity log directory: append every published block for replay and restart priming (empty = off)")
+	oplogFsync := fs.String("oplog-fsync", "",
+		"oplog fsync policy: always | every=N | interval=DUR (default interval=1s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	chaosSpec, err := faults.ParseSpec(*chaos)
+	if err != nil {
+		return err
+	}
+	oplogSync, err := oplog.ParseSyncPolicy(*oplogFsync)
 	if err != nil {
 		return err
 	}
@@ -140,6 +149,8 @@ func cmdServe(args []string) error {
 		seed:           *seed,
 		maxConns:       *maxConns,
 		writeTimeout:   *writeTimeout,
+		oplogDir:       *oplogDir,
+		oplogSync:      oplogSync,
 		logf:           func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 	})
 }
@@ -181,7 +192,15 @@ type serveConfig struct {
 	// past which a stalled consumer is evicted.
 	maxConns     int
 	writeTimeout time.Duration
-	logf         func(format string, a ...any)
+	// oplogDir, when non-empty, enables the durable opportunity log:
+	// every published block is appended for replay and restart priming,
+	// under the oplogSync fsync policy. oplogOpenFile, when non-nil,
+	// replaces the log's segment-file opener — the test hook for
+	// injecting disk faults (see internal/faults.FileInjector).
+	oplogDir      string
+	oplogSync     oplog.SyncPolicy
+	oplogOpenFile func(path string) (oplog.File, error)
+	logf          func(format string, a ...any)
 	// ready, when non-nil, receives the bound listen address once the
 	// HTTP server accepts connections (tests use port 0).
 	ready chan<- string
@@ -244,6 +263,33 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	}
 	watcher.RegisterMetrics(srv.Telemetry())
 	strategy.Telemetry().Register(srv.Telemetry())
+
+	// Durable opportunity log: prime the scanner from the recovered tail
+	// *before* any scan runs (dirtiness EMAs + convex warm starts resume
+	// where the last process stopped), then open the log for appending.
+	// Opening is the one fatal oplog error — a service asked to be
+	// durable must not start silently non-durable; once running, disk
+	// faults only degrade healthz (see oplog.Log).
+	var olog *oplog.Log
+	if cfg.oplogDir != "" {
+		primeScannerFromOplog(cfg.oplogDir, cfg.scanner, cfg.logf)
+		var err error
+		olog, err = oplog.Open(cfg.oplogDir, oplog.Options{
+			Sync:     cfg.oplogSync,
+			OpenFile: cfg.oplogOpenFile,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: open oplog: %w", err)
+		}
+		defer func() {
+			if err := olog.Close(); err != nil {
+				cfg.logf("oplog close: %v", err)
+			}
+		}()
+		srv.SetOplogStatsProbe(olog.Stats)
+		olog.RegisterMetrics(srv.Telemetry())
+		cfg.logf("oplog: appending to %s (fsync %s)", cfg.oplogDir, cfg.oplogSync)
+	}
 	errc := make(chan error, 1)
 
 	// Contention profiling is opt-in (it taxes every lock operation);
@@ -313,6 +359,19 @@ func serve(ctx context.Context, cfg serveConfig) error {
 				cfg.logf("publish v%d failed: %v", vr.Version, err)
 				continue
 			}
+			if olog != nil {
+				// Fire-and-forget: Append hands the entry to the background
+				// syncer and never blocks the block loop; a failing disk
+				// surfaces through the healthz oplog section instead.
+				_ = olog.Append(oplog.Entry{
+					Version:    vr.Version,
+					Height:     vr.Height,
+					UnixNano:   time.Now().UnixNano(),
+					DirtyPools: vr.ChangedPools,
+					Warm:       warmLoops(vr.Report),
+					Report:     rep,
+				})
+			}
 			cfg.logf("block %d v%d: %d loops (%d reoptimized, %d reused), best $%.2f, scan %s (cache hit: %v)",
 				vr.Height, vr.Version, vr.Report.LoopsDetected, vr.Report.LoopsReoptimized,
 				vr.Report.LoopsReused, bestProfit(vr.Report),
@@ -378,6 +437,81 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	default:
 		return nil
 	}
+}
+
+// oplogTail is how many recovered entries restart priming reads: enough
+// blocks for a meaningful per-pool activity frequency at block cadence,
+// small enough to keep startup instant.
+const oplogTail = 64
+
+// maxWarmLoops caps how many of a report's ranked plans one oplog entry
+// records as warm starts — the head of the ranking is what a restart
+// re-detects first, and entries stay small.
+const maxWarmLoops = 32
+
+// primeScannerFromOplog seeds the scanner from the durable log's
+// recovered tail: per-pool dirtiness priors from how often each pool
+// appeared dirty across the tail entries, and convex warm starts from
+// the last entry's recorded plans. Priming is strictly best-effort — an
+// unreadable or empty log starts the scanner cold, never fails serve.
+func primeScannerFromOplog(dir string, sc *arbloop.Scanner, logf func(format string, a ...any)) {
+	entries, st, err := oplog.Tail(dir, oplogTail)
+	if err != nil {
+		logf("oplog: priming read failed: %v (starting cold)", err)
+		return
+	}
+	if len(entries) == 0 {
+		return
+	}
+	counts := make(map[string]int)
+	for _, e := range entries {
+		for _, id := range e.DirtyPools {
+			counts[id]++
+		}
+	}
+	if len(counts) > 0 {
+		priors := make(map[string]float64, len(counts))
+		for id, c := range counts {
+			priors[id] = float64(c) / float64(len(entries))
+		}
+		sc.PrimeDirtiness(priors)
+	}
+	last := entries[len(entries)-1]
+	hints := make([]arbloop.WarmHint, 0, len(last.Warm))
+	for _, wl := range last.Warm {
+		hints = append(hints, arbloop.WarmHint{Tokens: wl.Tokens, Inputs: wl.Inputs})
+	}
+	sc.PrimeWarmStarts(hints)
+	note := ""
+	if st.Truncated {
+		note = fmt.Sprintf(", torn tail truncated at %s+%d", st.TruncatedSegment, st.TruncatedOffset)
+	}
+	logf("oplog: primed from %d recovered entries across %d segments%s: %d pool priors, %d warm starts",
+		st.Entries, st.Segments, note, len(counts), len(hints))
+}
+
+// warmLoops extracts the warm-start records of one published report: the
+// ranked plans' token cycles and per-hop inputs, in ranking order,
+// capped at maxWarmLoops.
+func warmLoops(rep arbloop.ScanReport) []oplog.WarmLoop {
+	n := len(rep.Results)
+	if n == 0 {
+		return nil
+	}
+	if n > maxWarmLoops {
+		n = maxWarmLoops
+	}
+	out := make([]oplog.WarmLoop, 0, n)
+	for _, r := range rep.Results[:n] {
+		loop := r.Result.Loop
+		if loop == nil || len(r.Result.Plan.Inputs) != loop.Len() {
+			continue
+		}
+		inputs := make([]float64, len(r.Result.Plan.Inputs))
+		copy(inputs, r.Result.Plan.Inputs)
+		out = append(out, oplog.WarmLoop{Tokens: loop.Tokens(), Inputs: inputs})
+	}
+	return out
 }
 
 // bestProfit returns the top-ranked profit of a report (0 when empty).

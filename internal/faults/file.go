@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"syscall"
+
+	"arbloop/internal/telemetry"
+)
+
+// WritableFile is the file surface the injector wraps: the subset of
+// *os.File the oplog writer (and anything else append-only) needs. It is
+// declared structurally here so faults depends on no higher layer — any
+// package with a compatible file type can hand one in.
+type WritableFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FileSpec configures deterministic fault injection on a WritableFile:
+// the write/sync failure surface a full disk (ENOSPC), a dying device
+// (EIO), and torn final records exercise. Like Spec, all decisions come
+// from one seeded PRNG in a fixed draw order, so a given seed yields the
+// same fault schedule on every run — failures are reproducible test
+// cases, not flakes.
+type FileSpec struct {
+	// Seed keys the deterministic fault schedule (0 picks 1).
+	Seed int64
+	// WriteErrRate is the probability a Write fails outright with an
+	// injected ENOSPC before writing anything.
+	WriteErrRate float64
+	// ShortRate is the probability a Write is torn: a strict prefix of
+	// the buffer reaches the file and the call returns an injected EIO —
+	// the torn-final-record case a crash-consistent reader must truncate.
+	ShortRate float64
+	// SyncErrRate is the probability a Sync fails with an injected EIO
+	// (the data may or may not be durable — exactly the ambiguity a
+	// caller must treat as "not durable").
+	SyncErrRate float64
+	// FailAfterBytes, when > 0, fails every Write with injected ENOSPC
+	// once the cumulative bytes successfully written through this
+	// injector reach the limit — the deterministic disk-full cliff.
+	FailAfterBytes int64
+}
+
+// Enabled reports whether the spec injects anything.
+func (s FileSpec) Enabled() bool {
+	return s.WriteErrRate > 0 || s.ShortRate > 0 || s.SyncErrRate > 0 || s.FailAfterBytes > 0
+}
+
+// FileStats counts faults a FileInjector delivered.
+type FileStats struct {
+	Writes      uint64 `json:"writes"`
+	WriteErrs   uint64 `json:"write_errs"`
+	ShortWrites uint64 `json:"short_writes"`
+	SyncErrs    uint64 `json:"sync_errs"`
+}
+
+// FileInjector wraps WritableFiles with the FileSpec's fault schedule.
+// One injector may wrap many files (e.g. every rotated oplog segment);
+// the PRNG and byte budget are shared across them, so the schedule spans
+// the file sequence the way a real disk's state does.
+type FileInjector struct {
+	spec FileSpec
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int64
+
+	writes      telemetry.Counter
+	writeErrs   telemetry.Counter
+	shortWrites telemetry.Counter
+	syncErrs    telemetry.Counter
+}
+
+// NewFile builds a file-fault injector. A zero spec is a pass-through.
+func NewFile(spec FileSpec) *FileInjector {
+	return &FileInjector{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+}
+
+// Stats snapshots the injector's fault counters.
+func (fi *FileInjector) Stats() FileStats {
+	return FileStats{
+		Writes:      fi.writes.Load(),
+		WriteErrs:   fi.writeErrs.Load(),
+		ShortWrites: fi.shortWrites.Load(),
+		SyncErrs:    fi.syncErrs.Load(),
+	}
+}
+
+// Wrap returns f with the injector's fault schedule applied. A disabled
+// injector still counts writes (so tests can assert the wrapper was
+// live) but never alters behavior.
+func (fi *FileInjector) Wrap(f WritableFile) WritableFile {
+	return &faultFile{f: f, inj: fi}
+}
+
+// faultFile is one wrapped file. All fault decisions happen in the
+// shared injector under its mutex, in a fixed draw order per call:
+// Write draws (writeErr, short), Sync draws (syncErr) — so enabling one
+// rate never shifts another's schedule within the same call kind.
+type faultFile struct {
+	f   WritableFile
+	inj *FileInjector
+}
+
+// errnoInjected wraps a syscall errno under ErrInjected so callers can
+// match either the injection marker or the concrete errno.
+func errnoInjected(op string, errno syscall.Errno) error {
+	return fmt.Errorf("%w: %s: %w", ErrInjected, op, errno)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	fi := ff.inj
+	fi.writes.Inc()
+	fi.mu.Lock()
+	full := fi.spec.FailAfterBytes > 0 && fi.written >= fi.spec.FailAfterBytes
+	failWrite := full || (fi.spec.WriteErrRate > 0 && fi.rng.Float64() < fi.spec.WriteErrRate)
+	short := !failWrite && fi.spec.ShortRate > 0 && fi.rng.Float64() < fi.spec.ShortRate
+	cut := 0
+	if short && len(p) > 0 {
+		cut = fi.rng.Intn(len(p)) // strict prefix: [0, len)
+	}
+	if failWrite {
+		fi.mu.Unlock()
+		fi.writeErrs.Inc()
+		return 0, errnoInjected("write", syscall.ENOSPC)
+	}
+	if short {
+		n, err := ff.f.Write(p[:cut])
+		fi.written += int64(n)
+		fi.mu.Unlock()
+		fi.shortWrites.Inc()
+		if err != nil {
+			return n, err
+		}
+		return n, errnoInjected("write", syscall.EIO)
+	}
+	n, err := ff.f.Write(p)
+	fi.written += int64(n)
+	fi.mu.Unlock()
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	fi := ff.inj
+	fi.mu.Lock()
+	fail := fi.spec.SyncErrRate > 0 && fi.rng.Float64() < fi.spec.SyncErrRate
+	fi.mu.Unlock()
+	if fail {
+		fi.syncErrs.Inc()
+		// The kernel may have flushed some pages before failing; the
+		// underlying sync still runs so the test double decides what is
+		// actually durable.
+		_ = ff.f.Sync()
+		return errnoInjected("sync", syscall.EIO)
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	return ff.f.Close()
+}

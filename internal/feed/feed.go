@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -126,6 +127,20 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 	}
 }
 
+// RetryJitterFrac is the symmetric fraction by which each retry backoff
+// is randomly perturbed: a nominal backoff d sleeps for a uniform draw in
+// [0.8d, 1.2d). Without it, every watcher replica that saw the same
+// upstream outage retries on the same schedule and the recovering source
+// takes the whole herd at once.
+const RetryJitterFrac = 0.2
+
+// WithRetryJitter replaces the watcher's jitter source with rng —
+// deterministic retry schedules for tests. The default (nil) draws from
+// the shared math/rand source.
+func WithRetryJitter(rng *rand.Rand) Option {
+	return func(w *Watcher) { w.jitterRand = rng }
+}
+
 // WithRefreshTimeout bounds the source read inside each Refresh: a hung
 // Pools() call is cancelled after d and counted as a failed attempt
 // instead of wedging the feed (and everything subscribed to it) forever.
@@ -181,6 +196,10 @@ type WatcherStats struct {
 	// Quarantined counts pools rejected at the feed boundary over the
 	// watcher's lifetime (see ErrQuarantined).
 	Quarantined uint64 `json:"quarantined"`
+	// Readmitted counts pools that came back valid after a quarantine —
+	// each one is a healed upstream rejoining the scan set. Duplicates
+	// never count: their ID stayed in the set the whole time.
+	Readmitted uint64 `json:"readmitted"`
 	// ConsecutiveFailures counts failed refresh attempts since the last
 	// success — 0 on a healthy feed, the "degraded" signal healthz keys
 	// off during an outage.
@@ -202,10 +221,11 @@ type Watcher struct {
 	refreshTimeout time.Duration
 	failMode       FailureMode
 	onError        func(error)
+	jitterRand     *rand.Rand
 
 	// Lifetime counters (see WatcherStats); always on — counting one
 	// atomic add per refresh outcome costs nothing worth an option.
-	refreshes, failures, exhausted, quarantined telemetry.Counter
+	refreshes, failures, exhausted, quarantined, readmitted telemetry.Counter
 	// consecFails and lastSuccessNano back the degraded/staleness fields
 	// of WatcherStats.
 	consecFails     telemetry.Gauge
@@ -215,6 +235,11 @@ type Watcher struct {
 	// publish — so a pool set read later can never be published under an
 	// earlier version (versions order the *data*, not just the calls).
 	refreshMu sync.Mutex
+	// quarantinedIDs holds the IDs currently serving a quarantine — pools
+	// whose last appearance failed validation. A valid reappearance is a
+	// re-admission (counted) and clears the entry. Guarded by refreshMu:
+	// quarantine only runs inside Refresh.
+	quarantinedIDs map[string]struct{}
 
 	mu     sync.Mutex
 	subs   map[int]chan Update
@@ -344,14 +369,22 @@ func (w *Watcher) Refresh(ctx context.Context) (Update, error) {
 // error-handler callback wrapping ErrQuarantined. The clean path (every
 // pool valid — the steady state) returns the input slice untouched; a
 // filtered copy is built only once the first pool is dropped.
+//
+// Quarantine is not a one-way door: the rejected IDs are remembered, and
+// a pool that later shows up valid again rejoins the published set on
+// that very refresh — the Readmitted counter records each healing so
+// operators can tell "flapping upstream" from "permanently poisoned".
+// Duplicate IDs are dropped but never remembered: their first, valid copy
+// kept the ID in the set throughout.
 func (w *Watcher) quarantine(pools []*amm.Pool) ([]*amm.Pool, int) {
 	seen := make(map[string]struct{}, len(pools))
 	var kept []*amm.Pool
 	dropped := 0
 	for i, p := range pools {
 		err := p.Validate()
+		dup := false
 		if err == nil {
-			if _, dup := seen[p.ID]; dup {
+			if _, dup = seen[p.ID]; dup {
 				err = errors.New("duplicate pool id")
 			}
 		}
@@ -361,10 +394,20 @@ func (w *Watcher) quarantine(pools []*amm.Pool) ([]*amm.Pool, int) {
 				copy(kept, pools[:i])
 			}
 			dropped++
+			if !dup {
+				if w.quarantinedIDs == nil {
+					w.quarantinedIDs = make(map[string]struct{})
+				}
+				w.quarantinedIDs[p.ID] = struct{}{}
+			}
 			if w.onError != nil {
 				w.onError(fmt.Errorf("%w: pool %q: %w", ErrQuarantined, p.ID, err))
 			}
 			continue
+		}
+		if _, healed := w.quarantinedIDs[p.ID]; healed {
+			delete(w.quarantinedIDs, p.ID)
+			w.readmitted.Inc()
 		}
 		seen[p.ID] = struct{}{}
 		if kept != nil {
@@ -405,6 +448,7 @@ func (w *Watcher) Stats() WatcherStats {
 		Failures:              w.failures.Load(),
 		Exhausted:             w.exhausted.Load(),
 		Quarantined:           w.quarantined.Load(),
+		Readmitted:            w.readmitted.Load(),
 		ConsecutiveFailures:   uint64(w.consecFails.Load()),
 		LastSuccessAgeSeconds: -1,
 	}
@@ -421,6 +465,7 @@ func (w *Watcher) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter("arbloop_feed_failures_total", "", "failed refresh attempts, transient retries included", &w.failures)
 	reg.Counter("arbloop_feed_exhausted_total", "", "triggers whose whole retry budget failed", &w.exhausted)
 	reg.Counter("arbloop_feed_quarantined_total", "", "pools rejected at the feed boundary (invalid reserves/fee, duplicate ID)", &w.quarantined)
+	reg.Counter("arbloop_feed_readmitted_total", "", "quarantined pools that came back valid and rejoined the scan set", &w.readmitted)
 	reg.Gauge("arbloop_feed_consecutive_failures", "", "failed refresh attempts since the last success", func() float64 { return float64(w.consecFails.Load()) })
 	reg.Gauge("arbloop_feed_last_success_age_seconds", "", "age of the last successful refresh (-1 before the first)", func() float64 { return w.Stats().LastSuccessAgeSeconds })
 }
@@ -507,7 +552,7 @@ func (w *Watcher) refreshWithRetry(ctx context.Context) error {
 			return err
 		}
 		if backoff > 0 {
-			timer := time.NewTimer(backoff)
+			timer := time.NewTimer(w.jitterBackoff(backoff))
 			select {
 			case <-ctx.Done():
 				timer.Stop()
@@ -517,6 +562,24 @@ func (w *Watcher) refreshWithRetry(ctx context.Context) error {
 			backoff *= 2
 		}
 	}
+}
+
+// jitterBackoff perturbs a nominal backoff by ±RetryJitterFrac so watcher
+// replicas recovering from the same outage don't re-poll the source in
+// lockstep. The doubling schedule itself stays exact (backoff *= 2 on
+// the nominal value); only each sleep is drawn.
+func (w *Watcher) jitterBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	var f float64
+	if w.jitterRand != nil {
+		f = w.jitterRand.Float64()
+	} else {
+		f = rand.Float64()
+	}
+	scale := 1 - RetryJitterFrac + 2*RetryJitterFrac*f
+	return time.Duration(float64(d) * scale)
 }
 
 // Close ends the watcher: subscriber channels are closed and further

@@ -1,0 +1,80 @@
+package feed
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// A seeded jitter source makes the retry schedule reproducible, and every
+// drawn sleep stays inside the ±RetryJitterFrac band around the nominal
+// backoff.
+func TestJitterBackoffBoundsAndDeterminism(t *testing.T) {
+	const base = 100 * time.Millisecond
+	lo := time.Duration(float64(base) * (1 - RetryJitterFrac))
+	hi := time.Duration(float64(base) * (1 + RetryJitterFrac))
+
+	draw := func(seed int64, n int) []time.Duration {
+		w := NewWatcher(&mutablePools{}, WithRetryJitter(rand.New(rand.NewSource(seed))))
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = w.jitterBackoff(base)
+		}
+		return out
+	}
+
+	a, b := draw(7, 64), draw(7, 64)
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically seeded watchers: %s vs %s", i, a[i], b[i])
+		}
+		if a[i] < lo || a[i] >= hi {
+			t.Fatalf("draw %d = %s outside [%s, %s)", i, a[i], lo, hi)
+		}
+		if a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("64 draws all identical — jitter is not being applied")
+	}
+
+	// A different seed produces a different schedule.
+	c := draw(8, 64)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// Non-positive backoffs pass through untouched: WithRetry(n, 0) must keep
+// meaning "retry immediately".
+func TestJitterBackoffZeroPassThrough(t *testing.T) {
+	w := NewWatcher(&mutablePools{}, WithRetryJitter(rand.New(rand.NewSource(1))))
+	if d := w.jitterBackoff(0); d != 0 {
+		t.Fatalf("jitter of 0 = %s", d)
+	}
+	if d := w.jitterBackoff(-time.Second); d != -time.Second {
+		t.Fatalf("jitter of -1s = %s", d)
+	}
+}
+
+// The unseeded default still jitters inside the band.
+func TestJitterBackoffDefaultSourceInBand(t *testing.T) {
+	w := NewWatcher(&mutablePools{})
+	const base = time.Second
+	lo := time.Duration(float64(base) * (1 - RetryJitterFrac))
+	hi := time.Duration(float64(base) * (1 + RetryJitterFrac))
+	for i := 0; i < 32; i++ {
+		if d := w.jitterBackoff(base); d < lo || d >= hi {
+			t.Fatalf("default-source draw %d = %s outside [%s, %s)", i, d, lo, hi)
+		}
+	}
+}

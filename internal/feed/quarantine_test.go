@@ -180,6 +180,81 @@ func TestRunFailDegradeRecovery(t *testing.T) {
 	}
 }
 
+// Quarantine is not permanent: a pool that fails validation on one
+// refresh and comes back valid on a later one rejoins the published set,
+// and the healing is counted once in Readmitted.
+func TestQuarantineReadmission(t *testing.T) {
+	good := pool(t, "p1", "X", "Y", 100, 200)
+	sick := poisoned(t, "p2", func(p *amm.Pool) { p.Reserve0 = math.NaN() })
+	src := &mutablePools{}
+	src.set([]*amm.Pool{good, sick}, nil)
+	w := NewWatcher(src)
+	ctx := context.Background()
+
+	u, err := w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Pools) != 1 {
+		t.Fatalf("published %d pools, want 1", len(u.Pools))
+	}
+	if s := w.Stats(); s.Quarantined != 1 || s.Readmitted != 0 {
+		t.Fatalf("stats after quarantine = %+v", s)
+	}
+
+	// Still sick on the next refresh: quarantined again, nothing readmitted.
+	if _, err := w.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := w.Stats(); s.Quarantined != 2 || s.Readmitted != 0 {
+		t.Fatalf("stats while still sick = %+v", s)
+	}
+
+	// Healed: p2 comes back valid, rejoins the set, and counts once.
+	healed := pool(t, "p2", "X", "Y", 300, 400)
+	src.set([]*amm.Pool{good, healed}, nil)
+	u, err = w.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Pools) != 2 {
+		t.Fatalf("healed refresh published %d pools, want 2", len(u.Pools))
+	}
+	if s := w.Stats(); s.Readmitted != 1 {
+		t.Fatalf("stats after healing = %+v, want Readmitted 1", s)
+	}
+
+	// Staying healthy is not repeated healing.
+	if _, err := w.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := w.Stats(); s.Readmitted != 1 {
+		t.Fatalf("Readmitted grew without a new quarantine: %+v", s)
+	}
+}
+
+// A duplicate ID never enters quarantine — its first, valid copy kept the
+// ID in the scan set — so dropping the duplicate later must not register
+// as a re-admission.
+func TestQuarantineDuplicateNeverReadmitted(t *testing.T) {
+	good := pool(t, "p1", "X", "Y", 100, 200)
+	dup := pool(t, "p1", "Y", "Z", 50, 60)
+	src := &mutablePools{}
+	src.set([]*amm.Pool{good, dup}, nil)
+	w := NewWatcher(src)
+	ctx := context.Background()
+	if _, err := w.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	src.set([]*amm.Pool{good}, nil)
+	if _, err := w.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := w.Stats(); s.Quarantined != 1 || s.Readmitted != 0 {
+		t.Fatalf("stats = %+v, want Quarantined 1, Readmitted 0", s)
+	}
+}
+
 // waitFor polls cond until true or the deadline, failing the test on
 // timeout.
 func waitFor(t *testing.T, cond func() bool) {

@@ -1,0 +1,135 @@
+package oplog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// manifestName is the segment index file, rewritten atomically
+// (temp file + rename) on every rotation. It records replay order; the
+// reader unions it with a directory scan so a crash in the window
+// between creating a segment and rewriting the manifest loses nothing.
+const manifestName = "MANIFEST"
+
+// segPrefix/segSuffix shape segment file names: seg-00000042.log.
+const (
+	segPrefix = "seg-"
+	segSuffix = ".log"
+)
+
+// segmentName renders the canonical file name of segment idx.
+func segmentName(idx int) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix)
+}
+
+// segmentIndex parses a segment file name; ok is false for anything
+// that is not a canonical segment name.
+func segmentIndex(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	idx, err := strconv.Atoi(mid)
+	if err != nil || idx < 0 {
+		return 0, false
+	}
+	return idx, true
+}
+
+// manifest is the MANIFEST file body.
+type manifest struct {
+	Segments []string `json:"segments"`
+}
+
+// writeManifest atomically replaces dir's manifest with the given
+// segment list: write a temp file, fsync it, rename over the old one. A
+// crash at any point leaves either the old or the new manifest, never a
+// torn one.
+func writeManifest(dir string, segments []string) error {
+	body, err := json.Marshal(manifest{Segments: segments})
+	if err != nil {
+		return fmt.Errorf("oplog: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("oplog: manifest temp: %w", err)
+	}
+	if _, err := f.Write(body); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("oplog: manifest write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("oplog: manifest sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("oplog: manifest close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("oplog: manifest rename: %w", err)
+	}
+	return nil
+}
+
+// readManifest returns the manifest's segment list, or nil when the
+// manifest is absent or unreadable — the reader then falls back to the
+// directory scan alone.
+func readManifest(dir string) []string {
+	body, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil
+	}
+	var m manifest
+	if json.Unmarshal(body, &m) != nil {
+		return nil
+	}
+	return m.Segments
+}
+
+// listSegments returns dir's segment file names in index order: the
+// union of the manifest (replay order as last committed) and a
+// directory scan (segments created in the crash window after the last
+// manifest rewrite, plus recovery when the manifest itself is lost).
+// Names in the manifest whose files no longer exist are dropped.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("oplog: read dir: %w", err)
+	}
+	present := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := segmentIndex(e.Name()); ok {
+			present[e.Name()] = true
+		}
+	}
+	for _, name := range readManifest(dir) {
+		if _, ok := segmentIndex(name); ok {
+			// Union; a manifest entry without a file contributes nothing.
+			if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+				present[name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(present))
+	for name := range present {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, _ := segmentIndex(names[i])
+		b, _ := segmentIndex(names[j])
+		return a < b
+	})
+	return names, nil
+}

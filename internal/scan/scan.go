@@ -115,6 +115,12 @@ type Config struct {
 	// off the allocation-free fast path (context.WithTimeout allocates),
 	// so the 7-alloc delta budget is quoted with it off.
 	StageTimeout time.Duration
+	// WarmHints, when non-nil, stages recovered warm starts (token
+	// cycles + per-hop inputs, e.g. from the durable opportunity log's
+	// tail) for the first full scan after a restart. Consumed take-once
+	// by that scan, and only when Strategy implements
+	// strategy.WarmStarter; nil — the default — changes nothing.
+	WarmHints *WarmHints
 }
 
 func (c Config) withDefaults() Config {
@@ -625,10 +631,20 @@ func Run(ctx context.Context, pools []*amm.Pool, prices source.PriceSource, cfg 
 }
 
 // collectAll runs the optimization fan-out over every detected loop and
-// returns the complete result set indexed by loop.
+// returns the complete result set indexed by loop. Staged warm hints
+// (Config.WarmHints, a restart's recovered plans) feed the fan-out as
+// previous results when the strategy can warm-start; the set is
+// take-once, so only the first scan through a given hint set pays the
+// matching cost.
 func collectAll(ctx context.Context, d *detection, cfg Config) []Result {
 	all := make([]Result, len(d.loops))
-	optimizeInto(ctx, d.loops, d.prices, allJobs(len(d.loops)), nil, all, cfg)
+	var prev []*strategy.Result
+	if cfg.WarmHints != nil {
+		if _, ok := cfg.Strategy.(strategy.WarmStarter); ok {
+			prev = cfg.WarmHints.take(d.loops)
+		}
+	}
+	optimizeInto(ctx, d.loops, d.prices, allJobs(len(d.loops)), prev, all, cfg)
 	return all
 }
 

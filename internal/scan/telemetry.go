@@ -72,6 +72,9 @@ type Metrics struct {
 	scanSeq atomic.Uint64
 	pools   atomic.Pointer[poolDirtiness]
 	shards  atomic.Pointer[shardWakeups]
+	// primed holds restart priors for the per-pool dirtiness EMAs (see
+	// PrimeDirtiness), consumed by the next capture.
+	primed atomic.Pointer[map[string]float64]
 }
 
 // poolDirtiness is the per-pool EMA vector for one captured pool set,
@@ -105,6 +108,7 @@ func (m *Metrics) timedScan() bool {
 // captured baseline. Runs on the full-scan path only — it allocates.
 // Pools that persist across the capture keep their EMA state.
 func (m *Metrics) capture(pools []*amm.Pool, nShards int) {
+	priors := m.primed.Swap(nil)
 	old := m.pools.Load()
 	rebuild := old == nil || len(old.ids) != len(pools)
 	if !rebuild {
@@ -123,6 +127,7 @@ func (m *Metrics) capture(pools []*amm.Pool, nShards int) {
 				oldIdx[id] = i
 			}
 		}
+		now := time.Now()
 		pd := &poolDirtiness{ids: make([]string, len(pools)), ema: make([]*telemetry.EMA, len(pools))}
 		for i, p := range pools {
 			pd.ids[i] = p.ID
@@ -130,6 +135,11 @@ func (m *Metrics) capture(pools []*amm.Pool, nShards int) {
 				pd.ema[i] = old.ema[j]
 			} else {
 				pd.ema[i] = telemetry.NewEMA(DirtinessTau)
+				if priors != nil {
+					if v, ok := (*priors)[p.ID]; ok && v >= 0 && v <= 1 {
+						pd.ema[i].Prime(v, now)
+					}
+				}
 			}
 		}
 		m.pools.Store(pd)
@@ -177,6 +187,19 @@ func (m *Metrics) shardWake(s int) {
 	if sw := m.shards.Load(); sw != nil && s >= 0 && s < len(sw.wake) {
 		sw.wake[s].Inc()
 	}
+}
+
+// PrimeDirtiness stages restart priors for the per-pool dirtiness EMAs:
+// estimates recovered from the durable opportunity log's tail, keyed by
+// pool ID. The next capture consumes the map (take-once) and seeds the
+// EMA of every pool it creates whose prior is a sane probability in
+// [0, 1]; pools without a prior, and all later topology changes, start
+// cold as before. Call it before the first scan.
+func (m *Metrics) PrimeDirtiness(priors map[string]float64) {
+	if len(priors) == 0 {
+		return
+	}
+	m.primed.Store(&priors)
 }
 
 // PoolDirtiness returns the current per-pool dirtiness-rate estimates

@@ -41,6 +41,7 @@ import (
 
 	"arbloop/internal/distrib"
 	"arbloop/internal/feed"
+	"arbloop/internal/oplog"
 	"arbloop/internal/scan"
 	"arbloop/internal/source"
 	"arbloop/internal/telemetry"
@@ -129,6 +130,12 @@ type Health struct {
 	// state keyed by dependency name (e.g. "prices") — any non-closed
 	// entry flips Status to degraded.
 	Breakers map[string]source.BreakerState `json:"breakers,omitempty"`
+	// Oplog, when the embedder registers a probe (SetOplogStatsProbe),
+	// reports the durable opportunity log's counters and write health.
+	// A degraded oplog (disk full, I/O errors) flips Status to degraded
+	// while the scan loop keeps serving — durability loss is a
+	// best-effort condition, not an outage.
+	Oplog *oplog.Stats `json:"oplog,omitempty"`
 	// Telemetry is the flattened scalar summary of the server's metric
 	// registry (counters, gauges, histogram counts and sums in seconds —
 	// labeled per-pool/per-shard series are left to /v1/metrics).
@@ -200,6 +207,7 @@ type Server struct {
 	connStats    atomic.Pointer[func() distrib.ConnStats]
 	feedStats    atomic.Pointer[func() feed.WatcherStats]
 	breakerStats atomic.Pointer[func() map[string]source.BreakerState]
+	oplogStats   atomic.Pointer[func() oplog.Stats]
 
 	// reg is the server-owned metric registry behind /v1/metrics; the
 	// distribution tier's own metrics live alongside whatever the
@@ -300,6 +308,18 @@ func (s *Server) SetFeedStatsProbe(fn func() feed.WatcherStats) {
 		return
 	}
 	s.feedStats.Store(&fn)
+}
+
+// SetOplogStatsProbe registers a callback polled on every /v1/healthz
+// request to report the durable opportunity log's counters and write
+// health (use Log.Stats). A degraded log flips the healthz status to
+// "degraded". Pass nil to unregister. Safe to call at any time.
+func (s *Server) SetOplogStatsProbe(fn func() oplog.Stats) {
+	if fn == nil {
+		s.oplogStats.Store(nil)
+		return
+	}
+	s.oplogStats.Store(&fn)
 }
 
 // New builds an empty server; /v1/report returns 503 until the first
@@ -555,17 +575,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if probe := s.breakerStats.Load(); probe != nil {
 		h.Breakers = (*probe)()
 	}
+	if probe := s.oplogStats.Load(); probe != nil {
+		os := (*probe)()
+		h.Oplog = &os
+	}
 	// Status derivation, worst condition wins: stale (report older than
 	// the threshold — the loop stopped producing) over degraded (still
-	// producing, but on fallback prices, an open breaker, or a failing
-	// feed) over ok.
+	// producing, but on fallback prices, an open breaker, a failing
+	// feed, or a durability-losing oplog) over ok.
 	if served {
 		switch {
 		case s.staleAfter > 0 && s.reportAge() > s.staleAfter:
 			h.Status = "stale"
 		case h.Degraded,
 			anyBreakerNotClosed(h.Breakers),
-			h.Feed != nil && h.Feed.ConsecutiveFailures > 0:
+			h.Feed != nil && h.Feed.ConsecutiveFailures > 0,
+			h.Oplog != nil && h.Oplog.Degraded:
 			h.Status = "degraded"
 		}
 	}

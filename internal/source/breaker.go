@@ -89,6 +89,13 @@ type PriceBreaker struct {
 	consecFails uint64
 	openedAt    time.Time // zero while closed
 	halfOpen    bool
+	// probing gates the half-open state to a single in-flight backend
+	// call: the first caller past the cooldown owns the probe, concurrent
+	// callers keep getting the open-breaker treatment (stale serve or
+	// ErrBreakerOpen) until the probe resolves. Without the gate, every
+	// caller stacked up during the cooldown would hammer the just-
+	// recovering backend at once.
+	probing     bool
 	lastSuccess time.Time
 
 	trips       telemetry.Counter
@@ -148,9 +155,18 @@ func (b *PriceBreaker) Prices(ctx context.Context, symbols []string) (map[string
 // PricesFallback implements FallbackPriceSource.
 func (b *PriceBreaker) PricesFallback(ctx context.Context, symbols []string) (map[string]float64, bool, error) {
 	b.mu.Lock()
+	probeOwner := false
 	if !b.openedAt.IsZero() {
-		if time.Since(b.openedAt) < b.cooldown {
-			// Open: don't touch the backend; serve stale if we can.
+		if time.Since(b.openedAt) >= b.cooldown && !b.probing {
+			// Cooldown elapsed and no probe in flight: this call owns the
+			// single half-open probe of the backend.
+			b.probing = true
+			b.halfOpen = true
+			probeOwner = true
+		}
+		if !probeOwner {
+			// Open, or another caller already owns the half-open probe:
+			// don't touch the backend; serve stale if we can.
 			m := b.lastGood
 			b.mu.Unlock()
 			if m != nil {
@@ -159,8 +175,6 @@ func (b *PriceBreaker) PricesFallback(ctx context.Context, symbols []string) (ma
 			}
 			return nil, false, ErrBreakerOpen
 		}
-		// Cooldown elapsed: half-open, let this call probe the backend.
-		b.halfOpen = true
 	}
 	b.mu.Unlock()
 
@@ -171,6 +185,12 @@ func (b *PriceBreaker) PricesFallback(ctx context.Context, symbols []string) (ma
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	// Release the probe gate on every outcome — success, failure, and the
+	// cancellation pass-through below — or the breaker would never probe
+	// again.
+	if probeOwner {
+		b.probing = false
+	}
 	if err == nil {
 		b.lastGood = m
 		b.consecFails = 0

@@ -1,0 +1,200 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// probeBackend is a PriceSource with three switchable behaviors: immediate
+// success, immediate failure, and block-on-gate-then-success. It tracks the
+// maximum number of concurrent blocked calls — the thing the half-open
+// single-probe gate must pin at one.
+type probeBackend struct {
+	mode      atomic.Int32 // 0 succeed, 1 fail, 2 block on gate then succeed
+	gate      chan struct{}
+	inFlight  atomic.Int64
+	maxProbes atomic.Int64
+	blocked   atomic.Int64 // total calls that entered block mode
+}
+
+func (s *probeBackend) Prices(ctx context.Context, symbols []string) (map[string]float64, error) {
+	switch s.mode.Load() {
+	case 1:
+		return nil, errors.New("backend down")
+	case 2:
+		s.blocked.Add(1)
+		n := s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		for {
+			old := s.maxProbes.Load()
+			if n <= old || s.maxProbes.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		select {
+		case <-s.gate:
+			return goodPrices, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	default:
+		return goodPrices, nil
+	}
+}
+
+// After the cooldown, a stampede of concurrent callers must produce
+// exactly one backend probe; everyone else keeps getting the stale
+// fallback until the probe resolves. Run under -race.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	src := &probeBackend{gate: make(chan struct{})}
+	const cooldown = 20 * time.Millisecond
+	b := NewPriceBreaker(src, WithBreakerThreshold(1), WithBreakerCooldown(cooldown))
+	ctx := context.Background()
+
+	// Seed the last-known-good snapshot, then trip the breaker.
+	if _, _, err := b.PricesFallback(ctx, nil); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	src.mode.Store(1)
+	if _, degraded, err := b.PricesFallback(ctx, nil); err != nil || !degraded {
+		t.Fatalf("trip call: (%v, %v), want degraded stale serve", degraded, err)
+	}
+	if st := b.State(); st.State != BreakerOpen || st.Trips != 1 {
+		t.Fatalf("state after trip = %+v, want open with 1 trip", st)
+	}
+
+	time.Sleep(cooldown + 5*time.Millisecond)
+	src.mode.Store(2)
+
+	// Stampede: one caller owns the probe (blocks on the gate), the rest
+	// must come back degraded immediately.
+	const callers = 8
+	type res struct {
+		degraded bool
+		err      error
+	}
+	results := make(chan res, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, degraded, err := b.PricesFallback(ctx, nil)
+			results <- res{degraded, err}
+		}()
+	}
+
+	// The non-owners drain without the gate opening.
+	for i := 0; i < callers-1; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil || !r.degraded {
+				t.Fatalf("non-owner %d: (%v, %v), want degraded stale serve", i, r.degraded, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("non-owner %d blocked behind the probe", i)
+		}
+	}
+
+	// Release the probe: it must be the only backend call in flight.
+	close(src.gate)
+	r := <-results
+	if r.err != nil || r.degraded {
+		t.Fatalf("probe owner: (%v, %v), want fresh success", r.degraded, r.err)
+	}
+	wg.Wait()
+	if n := src.maxProbes.Load(); n != 1 {
+		t.Fatalf("max concurrent probes = %d, want 1", n)
+	}
+	if n := src.blocked.Load(); n != 1 {
+		t.Fatalf("backend saw %d probe calls, want 1", n)
+	}
+	if st := b.State(); st.State != BreakerClosed || st.Trips != 1 {
+		t.Fatalf("state after probe success = %+v, want closed with 1 trip", st)
+	}
+}
+
+// A cancelled probe must release the gate: the next caller after the
+// cancellation gets to probe, and a healthy backend closes the breaker.
+func TestBreakerCancelledProbeReleasesGate(t *testing.T) {
+	src := &probeBackend{gate: make(chan struct{})}
+	const cooldown = 10 * time.Millisecond
+	b := NewPriceBreaker(src, WithBreakerThreshold(1), WithBreakerCooldown(cooldown))
+	ctx := context.Background()
+
+	src.mode.Store(1)
+	if _, _, err := b.PricesFallback(ctx, nil); err == nil {
+		t.Fatal("trip call succeeded with no snapshot")
+	}
+	time.Sleep(cooldown + 5*time.Millisecond)
+
+	// Probe owner gets cancelled mid-probe.
+	src.mode.Store(2)
+	pctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.PricesFallback(pctx, nil)
+		done <- err
+	}()
+	waitForCond(t, func() bool { return src.inFlight.Load() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled probe returned %v", err)
+	}
+
+	// The gate is free again: a healthy backend closes the breaker.
+	src.mode.Store(0)
+	if _, degraded, err := b.PricesFallback(ctx, nil); err != nil || degraded {
+		t.Fatalf("post-cancel probe: (%v, %v), want fresh success", degraded, err)
+	}
+	if st := b.State(); st.State != BreakerClosed {
+		t.Fatalf("state = %+v, want closed", st)
+	}
+}
+
+// A failed probe re-opens the breaker without double-counting the trip,
+// and releases the gate for the next cooldown's probe.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	src := &probeBackend{gate: make(chan struct{})}
+	const cooldown = 10 * time.Millisecond
+	b := NewPriceBreaker(src, WithBreakerThreshold(1), WithBreakerCooldown(cooldown))
+	ctx := context.Background()
+
+	src.mode.Store(1)
+	if _, _, err := b.PricesFallback(ctx, nil); err == nil {
+		t.Fatal("trip call succeeded with no snapshot")
+	}
+	time.Sleep(cooldown + 5*time.Millisecond)
+
+	// Probe fails: breaker re-opens, trips stays 1 (still the same outage).
+	if _, _, err := b.PricesFallback(ctx, nil); err == nil {
+		t.Fatal("failed probe reported success")
+	}
+	if st := b.State(); st.State != BreakerOpen || st.Trips != 1 {
+		t.Fatalf("state after failed probe = %+v, want open with 1 trip", st)
+	}
+
+	// Next cooldown: the gate must be free for a fresh probe.
+	time.Sleep(cooldown + 5*time.Millisecond)
+	src.mode.Store(0)
+	if _, degraded, err := b.PricesFallback(ctx, nil); err != nil || degraded {
+		t.Fatalf("recovery probe: (%v, %v), want fresh success", degraded, err)
+	}
+}
+
+// waitForCond polls cond until true or a 5 s deadline.
+func waitForCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

@@ -63,6 +63,27 @@ func (e *EMA) Init(tau time.Duration) {
 	e.n = 0
 }
 
+// Prime seeds the estimator with a prior estimate v as of time now —
+// the restart path, where a recovered value (e.g. from the durable
+// opportunity log) stands in for history this process never saw. The
+// primed value decays on the normal time constant from now, and the
+// arithmetic-mean warm-up is skipped: the prior already embodies many
+// observations, so the next Observe weights exponentially. Non-finite
+// priors are ignored. Not safe to call concurrently with Observe; call
+// it before the estimator goes live.
+func (e *EMA) Prime(v float64, now time.Time) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	e.mu.Lock()
+	e.value = v
+	e.last = now.UnixNano()
+	if e.n < DefaultPrimeSamples {
+		e.n = DefaultPrimeSamples
+	}
+	e.mu.Unlock()
+}
+
 // Alpha returns the dynamic smoothing factor for a gap of dt against
 // time constant tau: 1 − exp(−dt/τ), clamped to [0, 1]. Exported so a
 // caller updating many EMAs at the same instant (the per-pool dirtiness

@@ -201,6 +201,35 @@ func (s *Scanner) Metrics() *ScanMetrics {
 	return s.cfg.Metrics
 }
 
+// WarmHint is one recovered warm start — the token cycle of a
+// previously optimized loop and its per-hop inputs — for PrimeWarmStarts.
+type WarmHint = scan.WarmHint
+
+// PrimeWarmStarts stages recovered optimization plans (typically the
+// last entry of the durable opportunity log) as warm starts for the
+// scanner's first full scan: loops re-detected after a restart whose
+// token cycle matches a hint start from the recovered plan instead of
+// cold. Hints apply once, only when the configured strategy supports
+// warm starts, and malformed hints are ignored — priming can shorten the
+// first scan but never change its results. Call before the first scan;
+// later calls are ignored once scanning has begun.
+func (s *Scanner) PrimeWarmStarts(hints []WarmHint) {
+	if wh := scan.NewWarmHints(hints); wh != nil {
+		s.cfg.WarmHints = wh
+	}
+}
+
+// PrimeDirtiness seeds the per-pool dirtiness-rate EMAs with estimates
+// recovered from a previous run (pool ID → rate in [0, 1]), so a
+// restarted serving process resumes with yesterday's activity profile
+// instead of re-learning it over the EMA time constant. No-op without
+// telemetry. Call before the first scan.
+func (s *Scanner) PrimeDirtiness(priors map[string]float64) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.PrimeDirtiness(priors)
+	}
+}
+
 // NewScanner builds a scanner over a pool source and a price source.
 // A SnapshotSource (FromSnapshot) can serve as both.
 func NewScanner(pools PoolSource, prices PriceSource, opts ...ScannerOption) (*Scanner, error) {
@@ -268,6 +297,10 @@ type VersionedReport struct {
 	Report ScanReport
 	// Elapsed is the wall-clock scan latency.
 	Elapsed time.Duration
+	// ChangedPools echoes the update's changed-pool IDs (nil when the
+	// feed doesn't provide them) — the per-block activity record the
+	// durable opportunity log persists for dirtiness priming.
+	ChangedPools []string
 	// Err is set on Watch streams when one update's scan failed; the
 	// stream continues with the next update.
 	Err error
@@ -285,10 +318,11 @@ func (s *Scanner) ScanVersioned(ctx context.Context, u PoolUpdate) (VersionedRep
 		return VersionedReport{}, fmt.Errorf("arbloop: scan version %d: %w", u.Version, err)
 	}
 	return VersionedReport{
-		Version: u.Version,
-		Height:  u.Height,
-		Report:  rep,
-		Elapsed: time.Since(start),
+		Version:      u.Version,
+		Height:       u.Height,
+		Report:       rep,
+		Elapsed:      time.Since(start),
+		ChangedPools: u.ChangedPools,
 	}, nil
 }
 
@@ -321,7 +355,7 @@ func (s *Scanner) scanUpdate(ctx context.Context, u PoolUpdate, cfg scan.Config)
 		if err != nil {
 			return VersionedReport{}, fmt.Errorf("arbloop: scan version %d: %w", u.Version, err)
 		}
-		return VersionedReport{Version: u.Version, Height: u.Height, Report: rep, Elapsed: time.Since(start)}, nil
+		return VersionedReport{Version: u.Version, Height: u.Height, Report: rep, Elapsed: time.Since(start), ChangedPools: u.ChangedPools}, nil
 	}
 	start := time.Now()
 	rep, err := scan.RunDelta(ctx, u.Pools, u.ChangedPools, s.prices, cfg, s.delta)
@@ -329,10 +363,11 @@ func (s *Scanner) scanUpdate(ctx context.Context, u PoolUpdate, cfg scan.Config)
 		return VersionedReport{}, fmt.Errorf("arbloop: delta scan version %d: %w", u.Version, err)
 	}
 	return VersionedReport{
-		Version: u.Version,
-		Height:  u.Height,
-		Report:  rep,
-		Elapsed: time.Since(start),
+		Version:      u.Version,
+		Height:       u.Height,
+		Report:       rep,
+		Elapsed:      time.Since(start),
+		ChangedPools: u.ChangedPools,
 	}, nil
 }
 
